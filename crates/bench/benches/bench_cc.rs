@@ -1,0 +1,86 @@
+//! Congestion-control and estimator hot-path microbenchmarks: these run
+//! once per ACK/NAK/packet, i.e. up to ~10⁵ times per second per flow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use udt_algo::rate::{increase_param, CcContext, RateControl, UdtCc};
+use udt_algo::{Nanos, PktTimeWindow};
+use udt_proto::{SeqNo, SeqRange};
+
+fn ctx(now_us: u64) -> CcContext {
+    CcContext {
+        now: Nanos::from_micros(now_us),
+        rtt_us: 100_000.0,
+        bandwidth_pps: 83_333.0,
+        recv_rate_pps: 40_000.0,
+        mss: 1500,
+        max_cwnd: 10_000.0,
+        snd_curr_seq: SeqNo::new(1_000_000),
+        min_snd_period_us: 0.0,
+    }
+}
+
+fn bench_rate(c: &mut Criterion) {
+    c.bench_function("cc_increase_param", |b| {
+        let mut x = 1e6;
+        b.iter(|| {
+            x = if x > 9e9 { 1e6 } else { x * 1.7 };
+            increase_param(x, 1500)
+        })
+    });
+    c.bench_function("cc_on_ack_syn_tick", |b| {
+        let mut cc = UdtCc::with_defaults(SeqNo::ZERO);
+        cc.on_loss(&[SeqRange::single(SeqNo::new(1))], &ctx(1)); // exit SS
+        let mut now = 1_000_000u64;
+        let mut ack = 100u32;
+        b.iter(|| {
+            now += 10_000;
+            ack += 500;
+            cc.on_ack(SeqNo::new(ack), &ctx(now));
+            cc.pkt_snd_period_us()
+        })
+    });
+    c.bench_function("cc_on_loss", |b| {
+        let mut cc = UdtCc::with_defaults(SeqNo::ZERO);
+        cc.on_loss(&[SeqRange::single(SeqNo::new(1))], &ctx(1));
+        let mut s = 100u32;
+        b.iter(|| {
+            s += 10;
+            cc.on_loss(&[SeqRange::single(SeqNo::new(s))], &ctx(2_000_000));
+            cc.pkt_snd_period_us()
+        })
+    });
+}
+
+fn bench_history(c: &mut Criterion) {
+    c.bench_function("history_on_pkt_arrival", |b| {
+        let mut h = PktTimeWindow::new();
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100_000;
+            h.on_pkt_arrival(Nanos(t));
+        })
+    });
+    c.bench_function("history_recv_speed_filter", |b| {
+        let mut h = PktTimeWindow::new();
+        let mut t = Nanos::ZERO;
+        for _ in 0..32 {
+            h.on_pkt_arrival(t);
+            t = t.plus(Nanos::from_micros(100));
+        }
+        b.iter(|| h.pkt_recv_speed())
+    });
+    c.bench_function("history_bandwidth_filter", |b| {
+        let mut h = PktTimeWindow::new();
+        let mut t = Nanos::ZERO;
+        for _ in 0..16 {
+            h.on_probe1_arrival(t);
+            t = t.plus(Nanos::from_micros(12));
+            h.on_probe2_arrival(t);
+            t = t.plus(Nanos::from_micros(500));
+        }
+        b.iter(|| h.bandwidth())
+    });
+}
+
+criterion_group!(benches, bench_rate, bench_history);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion companion to Figure 9: loss-list operations on a
+//! congestion-shaped loss trace, paper structure vs the naive per-packet
+//! list.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udt_algo::losslist::{LossList, NaiveLossList};
+use udt_proto::SeqNo;
+
+/// Fig8-shaped events: (start, run length).
+fn events(n: usize) -> Vec<(u32, u32)> {
+    let mut out = Vec::with_capacity(n);
+    let mut seq = 0u32;
+    let mut state = 0x5EEDu64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for _ in 0..n {
+        seq += 50 + next() % 1950;
+        let run = if next() % 10 < 3 {
+            200 + next() % 2800
+        } else {
+            1 + next() % 49
+        };
+        out.push((seq, run));
+        seq += run;
+    }
+    out
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("losslist_insert_trace");
+    for n in [100usize, 500, 2000] {
+        let ev = events(n);
+        let span = (ev.last().unwrap().0 + ev.last().unwrap().1 + 10) as usize;
+        g.bench_with_input(BenchmarkId::new("paper", n), &ev, |b, ev| {
+            b.iter(|| {
+                let mut l = LossList::new(span.next_power_of_two());
+                for &(s, r) in ev {
+                    l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
+                }
+                l.len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("naive", n), &ev, |b, ev| {
+            b.iter(|| {
+                let mut l = NaiveLossList::new();
+                for &(s, r) in ev {
+                    l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
+                }
+                l.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mixed_ops(c: &mut Criterion) {
+    // The receiver's steady-state pattern: insert a gap, retransmissions
+    // remove individual numbers, ACK progress trims the front.
+    let ev = events(500);
+    let span = (ev.last().unwrap().0 + ev.last().unwrap().1 + 10) as usize;
+    c.bench_function("losslist_receiver_pattern", |b| {
+        b.iter(|| {
+            let mut l = LossList::new(span.next_power_of_two());
+            for &(s, r) in &ev {
+                l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
+                // Retransmissions arrive for the first three of the run.
+                for k in 0..3.min(r) {
+                    l.remove(SeqNo::new(s + k));
+                }
+            }
+            let mut drained = 0;
+            while l.pop_first().is_some() {
+                drained += 1;
+                if drained > 10_000 {
+                    break;
+                }
+            }
+            l.len()
+        })
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let ev = events(2000);
+    let span = (ev.last().unwrap().0 + ev.last().unwrap().1 + 10) as usize;
+    let mut l = LossList::new(span.next_power_of_two());
+    for &(s, r) in &ev {
+        l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
+    }
+    c.bench_function("losslist_query_hit", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let (s, r) = ev[i % ev.len()];
+            i += 1;
+            l.contains(SeqNo::new(s + r / 2))
+        })
+    });
+}
+
+criterion_group!(benches, bench_insert, bench_mixed_ops, bench_query);
+criterion_main!(benches);

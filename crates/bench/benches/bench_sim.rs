@@ -1,0 +1,49 @@
+//! Simulator performance: virtual seconds simulated per wall second — the
+//! budget that decides how much of the paper's 100 s × many-flow grid is
+//! reproducible on a laptop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netsim::agents::udt::{attach_udt_flow, UdtSenderCfg};
+use netsim::{dumbbell, paper_queue_cap, DumbbellCfg};
+use udt_algo::Nanos;
+
+fn simulate(flows: usize, rate_bps: f64, secs: u64) -> u64 {
+    let rtt = Nanos::from_millis(40);
+    let mut d = dumbbell(DumbbellCfg {
+        flows,
+        rate_bps,
+        one_way_delay: Nanos(rtt.0 / 2),
+        queue_cap: paper_queue_cap(rate_bps, rtt, 1500),
+    });
+    let mut total = 0u64;
+    let mut fl = Vec::new();
+    for i in 0..flows {
+        let f = d.sim.add_flow();
+        let cfg = UdtSenderCfg::bulk(d.sinks[i], f);
+        attach_udt_flow(&mut d.sim, d.sources[i], d.sinks[i], cfg);
+        fl.push(f);
+    }
+    d.sim.run_until(Nanos::from_secs(secs));
+    for f in fl {
+        total += d.sim.delivered(f);
+    }
+    total
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("netsim_udt_dumbbell");
+    g.sample_size(10);
+    for &(flows, rate) in &[(1usize, 1e8), (10, 1e8), (1, 1e9)] {
+        g.bench_with_input(
+            BenchmarkId::new("sim_2s", format!("{flows}flows_{}mbps", rate / 1e6)),
+            &(flows, rate),
+            |b, &(flows, rate)| {
+                b.iter(|| simulate(flows, rate, 2));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Wire codec microbenchmarks: the per-packet encode/decode cost bounds
+//! the packets-per-second an endpoint can process (§4.1's concern).
+
+use bytes::{Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use udt_proto::ctrl::{ControlBody, ControlPacket};
+use udt_proto::{decode, encode, AckData, DataPacket, Packet, SeqNo, SeqRange};
+
+fn data_packet(payload: usize) -> Packet {
+    Packet::Data(DataPacket {
+        seq: SeqNo::new(123_456),
+        timestamp_us: 777,
+        conn_id: 42,
+        payload: Bytes::from(vec![7u8; payload]),
+    })
+}
+
+fn bench_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_data");
+    let pkt = data_packet(1488);
+    g.throughput(Throughput::Bytes(1500));
+    g.bench_function("encode_1500", |b| {
+        let mut buf = BytesMut::with_capacity(2048);
+        b.iter(|| {
+            buf.clear();
+            encode(&pkt, &mut buf);
+            buf.len()
+        })
+    });
+    let mut buf = BytesMut::new();
+    encode(&pkt, &mut buf);
+    let datagram = buf.freeze();
+    g.bench_function("decode_1500", |b| {
+        b.iter(|| decode(datagram.clone()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_control(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire_control");
+    let ack = Packet::Control(ControlPacket {
+        timestamp_us: 1,
+        conn_id: 2,
+        body: ControlBody::Ack {
+            ack_seq: 9,
+            data: AckData::full(SeqNo::new(5), 1, 2, 3, 4, 5),
+        },
+    });
+    g.bench_function("encode_full_ack", |b| {
+        let mut buf = BytesMut::with_capacity(64);
+        b.iter(|| {
+            buf.clear();
+            encode(&ack, &mut buf);
+            buf.len()
+        })
+    });
+    let nak = Packet::Control(ControlPacket {
+        timestamp_us: 1,
+        conn_id: 2,
+        body: ControlBody::Nak(
+            (0..32)
+                .map(|i| SeqRange::new(SeqNo::new(i * 100), SeqNo::new(i * 100 + 40)))
+                .collect(),
+        ),
+    });
+    g.bench_function("encode_nak_32_ranges", |b| {
+        let mut buf = BytesMut::with_capacity(512);
+        b.iter(|| {
+            buf.clear();
+            encode(&nak, &mut buf);
+            buf.len()
+        })
+    });
+    let mut buf = BytesMut::new();
+    encode(&nak, &mut buf);
+    let datagram = buf.freeze();
+    g.bench_function("decode_nak_32_ranges", |b| {
+        b.iter(|| decode(datagram.clone()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_data, bench_control);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerate the paper's abl_pacing artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::abl_pacing::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's abl_sabul artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::abl_sabul::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate the cmp_protocols artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::cmp_protocols::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's fig2 artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::fig2::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerate the paper's fig9 artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::fig9::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

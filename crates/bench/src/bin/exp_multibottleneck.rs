@@ -1,0 +1,8 @@
+//! Regenerate the multibottleneck artifact. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::multibottleneck::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

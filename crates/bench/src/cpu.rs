@@ -1,0 +1,96 @@
+//! Process/thread CPU sampling from `/proc` (Figure 14's VTune substitute).
+
+use std::time::Instant;
+
+/// CPU time consumed so far by this process (user + system), seconds.
+pub fn process_cpu_seconds() -> f64 {
+    let stat = std::fs::read_to_string("/proc/self/stat").unwrap_or_default();
+    parse_stat_cpu(&stat)
+}
+
+/// Parse utime+stime (fields 14 and 15) out of a `/proc/*/stat` line.
+pub fn parse_stat_cpu(stat: &str) -> f64 {
+    // The comm field (2) may contain spaces; skip past the closing paren.
+    let Some(rest) = stat.rsplit(')').next() else {
+        return 0.0;
+    };
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    // After ") ", field indices shift: state=0, ..., utime=11, stime=12.
+    if fields.len() < 13 {
+        return 0.0;
+    }
+    let utime: f64 = fields[11].parse().unwrap_or(0.0);
+    let stime: f64 = fields[12].parse().unwrap_or(0.0);
+    let hz = 100.0; // USER_HZ on all mainstream Linux configs
+    (utime + stime) / hz
+}
+
+/// Per-thread CPU seconds, keyed by thread name (from `/proc/self/task`).
+pub fn thread_cpu_seconds() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return out;
+    };
+    for e in entries.flatten() {
+        let dir = e.path();
+        let name = std::fs::read_to_string(dir.join("comm"))
+            .unwrap_or_default()
+            .trim()
+            .to_string();
+        let stat = std::fs::read_to_string(dir.join("stat")).unwrap_or_default();
+        out.push((name, parse_stat_cpu(&stat)));
+    }
+    out
+}
+
+/// Measure the CPU utilization (fraction of one core) of the process over
+/// the runtime of `f`.
+pub fn measure_utilization<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let cpu0 = process_cpu_seconds();
+    let t0 = Instant::now();
+    let out = f();
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let cpu = process_cpu_seconds() - cpu0;
+    (out, cpu / wall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_stat_extracts_cpu() {
+        // A realistic stat line with a parenthesised comm containing space.
+        let line = "1234 (my (weird) proc) S 1 1 1 0 -1 4194560 100 0 0 0 250 150 0 0 20 0 4 0 100 0 0 1 0 0 0 0 0 0 0 0 0 0 0 0 0";
+        let cpu = parse_stat_cpu(line);
+        assert!((cpu - 4.0).abs() < 1e-9, "cpu={cpu}"); // (250+150)/100
+    }
+
+    #[test]
+    fn process_cpu_grows_under_load() {
+        let a = process_cpu_seconds();
+        // Burn a bit of CPU.
+        let mut x = 0u64;
+        for i in 0..60_000_000u64 {
+            x = x.wrapping_add(i * 2654435761);
+        }
+        std::hint::black_box(x);
+        let b = process_cpu_seconds();
+        assert!(b >= a);
+        assert!(b - a < 30.0);
+    }
+
+    #[test]
+    fn thread_list_includes_main() {
+        let ts = thread_cpu_seconds();
+        assert!(!ts.is_empty());
+    }
+
+    #[test]
+    fn utilization_bounded() {
+        let ((), u) = measure_utilization(|| {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+        assert!(u < 1.5, "sleeping should not burn CPU: {u}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Ablation — bandwidth estimation in the increase law (§3.3–§3.4).
+//!
+//! Formula (1) picks the AIMD increase from the *estimated available
+//! bandwidth*. The alternative is a fixed increase: too small and the flow
+//! takes forever to reclaim a fat link after congestion; too large and it
+//! keeps overshooting. The estimator adapts without manual tuning — the
+//! paper's contribution (2), and the reason §3.3 can promise "90% of the
+//! available bandwidth after a single loss in 7.5 seconds" on *any* link.
+//!
+//! Method: a single UDT flow on a 1 Gb/s, 100 ms RTT dumbbell is knocked
+//! down by a 0.5 s full-rate UDP blast at t = 5 s; we measure the time from
+//! the end of the blast until the flow is back above 80% of capacity.
+
+use netsim::agents::cbr::{CbrSink, CbrSource, CbrSourceCfg};
+use netsim::agents::udt::{CcKind, UdtReceiver, UdtReceiverCfg, UdtSender, UdtSenderCfg};
+use netsim::{dumbbell, paper_queue_cap, DumbbellCfg};
+use udt_algo::{Nanos, UdtCcConfig};
+use udt_proto::SeqNo;
+
+use crate::report::Report;
+
+const BLAST_END_S: f64 = 5.5;
+
+fn run_variant(cc: CcKind, rate_bps: f64, secs: f64) -> (Vec<f64>, u64) {
+    let rtt = Nanos::from_millis(100);
+    let mut d = dumbbell(DumbbellCfg {
+        flows: 2,
+        rate_bps,
+        one_way_delay: Nanos::from_millis(50),
+        queue_cap: paper_queue_cap(rate_bps, rtt, 1500),
+    });
+    let f_udt = d.sim.add_flow();
+    let f_cbr = d.sim.add_flow();
+    let win = (4.0 * rate_bps * rtt.as_secs_f64() / 12_000.0) as u32;
+    d.sim.add_agent(
+        d.sources[0],
+        Box::new(UdtSender::new(UdtSenderCfg {
+            dst: d.sinks[0],
+            flow: f_udt,
+            mss: 1500,
+            init_seq: SeqNo::ZERO,
+            cc,
+            max_flow_win: win.max(25_600),
+            use_flow_control: true,
+            total_pkts: None,
+            start_at: Nanos::ZERO,
+        })),
+    );
+    d.sim.add_agent(
+        d.sinks[0],
+        Box::new(UdtReceiver::new(UdtReceiverCfg {
+            src: d.sources[0],
+            flow: f_udt,
+            mss: 1500,
+            init_seq: SeqNo::ZERO,
+            buffer_pkts: win.max(25_600),
+            syn: udt_algo::clock::SYN,
+        })),
+    );
+    d.sim.add_agent(
+        d.sources[1],
+        Box::new(CbrSource::new(CbrSourceCfg {
+            dst: d.sinks[1],
+            flow: f_cbr,
+            pkt_size: 1500,
+            rate_bps: rate_bps * 5.0, // full-rate blast
+            on_time: None,
+            off_time: Nanos::ZERO,
+            start_at: Nanos::from_secs(5),
+            stop_at: Nanos::from_secs_f64(BLAST_END_S),
+        })),
+    );
+    d.sim.add_agent(d.sinks[1], Box::new(CbrSink::new(f_cbr)));
+    d.sim.set_sampling(Nanos::from_millis(500));
+    d.sim.run_until(Nanos::from_secs_f64(secs));
+    let series: Vec<f64> = d
+        .sim
+        .samples()
+        .windows(2)
+        .map(|w| (w[1].delivered[f_udt.0] - w[0].delivered[f_udt.0]) as f64 * 8.0 / 0.5)
+        .collect();
+    (series, d.sim.link(d.bottleneck).stats.drops)
+}
+
+fn recovery_time(series: &[f64], target: f64) -> Option<f64> {
+    let start = (BLAST_END_S / 0.5) as usize;
+    series[start..]
+        .iter()
+        .position(|&b| b >= target)
+        .map(|i| i as f64 * 0.5)
+}
+
+/// Run.
+pub fn run() -> Report {
+    let rate = 1e9;
+    let secs = 40.0;
+    let mut rep = Report::new(
+        "abl_bwe",
+        "Increase-parameter ablation: bandwidth estimation vs fixed increase",
+        "1 Gb/s, 100 ms RTT; 0.5 s full-rate UDP blast at t=5 s; recovery time to 80% of capacity",
+    );
+    rep.row("variant          recovery-to-80%(s)   drops");
+    let variants: [(&str, CcKind); 3] = [
+        (
+            "bwe (paper)",
+            CcKind::Udt(UdtCcConfig::default()),
+        ),
+        (
+            "fixed 0.01",
+            CcKind::Udt(UdtCcConfig {
+                use_bwe: false,
+                fixed_inc_pkts: 0.01,
+                ..UdtCcConfig::default()
+            }),
+        ),
+        (
+            "fixed 10",
+            CcKind::Udt(UdtCcConfig {
+                use_bwe: false,
+                fixed_inc_pkts: 10.0,
+                ..UdtCcConfig::default()
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, cc) in variants {
+        let (series, drops) = run_variant(cc, rate, secs);
+        let rec = recovery_time(&series, 0.8 * rate);
+        rep.row(format!(
+            "{label:<16} {:>18}   {:>5}",
+            rec.map(|r| format!("{r:.1}"))
+                .unwrap_or_else(|| "never".into()),
+            drops
+        ));
+        rows.push((label, rec, drops));
+    }
+    let bwe = rows[0].1.unwrap_or(f64::INFINITY);
+    let slow = rows[1].1.unwrap_or(f64::INFINITY);
+    rep.shape(
+        "the estimator recovers far faster than a conservative fixed increase",
+        bwe + 2.0 < slow,
+        format!(
+            "{} vs {} to 80% (paper derives 7.5 s for the estimator)",
+            if bwe.is_finite() { format!("{bwe:.1} s") } else { "never".into() },
+            if slow.is_finite() { format!("{slow:.1} s") } else { "never (within 34 s)".into() }
+        ),
+    );
+    rep.shape(
+        "the estimator recovers within the paper's ~7.5 s promise",
+        bwe <= 10.0,
+        format!("recovery = {bwe:.1} s"),
+    );
+    rep.shape(
+        "the estimator does not out-drop the aggressive fixed increase",
+        rows[0].2 <= rows[2].2.saturating_add(rows[0].2 / 2 + 100),
+        format!("drops: bwe={} vs fixed-10={}", rows[0].2, rows[2].2),
+    );
+    rep
+}

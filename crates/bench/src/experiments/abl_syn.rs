@@ -1,0 +1,83 @@
+//! Ablation — the SYN constant (§3.7).
+//!
+//! "The value of 0.01 seconds used for SYN relates to the trade-off between
+//! TCP friendliness, efficiency, and stability … decrease this value \[and\]
+//! you increase efficiency, but decrease friendliness and stability."
+//! Swept here: SYN ∈ {1 ms, 10 ms, 100 ms}, measuring single-flow
+//! efficiency on a high-BDP link and the friendliness index against TCP.
+
+use netsim::agents::udt::CcKind;
+use udt_algo::{Nanos, UdtCcConfig};
+use udt_metrics::friendliness_index;
+
+use crate::report::{mbps, Report};
+use crate::scenarios::{run as run_scenario, FlowSpec, Proto, Scenario};
+
+/// SYN values swept (µs).
+pub const SYNS_US: [f64; 3] = [1_000.0, 10_000.0, 100_000.0];
+
+fn udt_with_syn(syn_us: f64) -> Proto {
+    Proto::Udt {
+        cc: CcKind::Udt(UdtCcConfig {
+            syn_us,
+            ..UdtCcConfig::default()
+        }),
+        flow_control: true,
+    }
+}
+
+/// Run.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "abl_syn",
+        "SYN interval ablation: efficiency vs TCP friendliness",
+        "efficiency: 1 flow, 1 Gb/s, 100 ms RTT, 20 s; friendliness: 2 UDT + 4 TCP vs 6 TCP, 100 Mb/s, 40 ms RTT, 40 s",
+    );
+    rep.row("SYN(ms)   efficiency(Mb/s)   friendliness T");
+    let mut eff = Vec::new();
+    let mut frd = Vec::new();
+    for &syn in &SYNS_US {
+        let e = run_scenario(&Scenario::dumbbell(
+            1e9,
+            Nanos::from_millis(100),
+            vec![FlowSpec::bulk(udt_with_syn(syn))],
+            20.0,
+        ))
+        .per_flow_bps[0];
+        let mut flows: Vec<FlowSpec> =
+            (0..2).map(|_| FlowSpec::bulk(udt_with_syn(syn))).collect();
+        flows.extend((0..4).map(|_| FlowSpec::bulk(Proto::tcp())));
+        let mixed = run_scenario(&Scenario::dumbbell(
+            1e8,
+            Nanos::from_millis(40),
+            flows,
+            40.0,
+        ));
+        let alone = run_scenario(&Scenario::dumbbell(
+            1e8,
+            Nanos::from_millis(40),
+            (0..6).map(|_| FlowSpec::bulk(Proto::tcp())).collect(),
+            40.0,
+        ));
+        let t = friendliness_index(&mixed.per_flow_bps[2..], &alone.per_flow_bps);
+        rep.row(format!(
+            "{:>7}   {:>16}   {:>13.3}",
+            syn / 1000.0,
+            mbps(e),
+            t
+        ));
+        eff.push(e);
+        frd.push(t);
+    }
+    rep.shape(
+        "shorter SYN buys efficiency on the high-BDP link",
+        eff[0] >= eff[2],
+        format!("{} (1 ms) vs {} (100 ms) Mb/s", mbps(eff[0]), mbps(eff[2])),
+    );
+    rep.shape(
+        "longer SYN is friendlier to TCP",
+        frd[2] >= frd[0],
+        format!("T: {:.3} (1 ms) vs {:.3} (100 ms)", frd[0], frd[2]),
+    );
+    rep
+}

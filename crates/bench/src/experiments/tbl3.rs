@@ -1,0 +1,77 @@
+//! Table 3 — CPU-time ratio per protocol function.
+//!
+//! The paper's VTune profile of a 970 Mb/s memory transfer: on the sending
+//! side UDP writing dominates (66.7%), then packing (5.9%), control
+//! processing (5.1%), timing (4.9%); on the receiving side UDP reading
+//! (91%), then measurement (2.7%). Reproduced with the built-in
+//! per-category scope timers ([`udt::instrument`]) around the same code
+//! regions during a loopback blast.
+
+use udt::UdtConfig;
+
+use crate::realnet::run_loopback_blast;
+use crate::report::{mbps, Report};
+
+/// Run with a configurable transfer size.
+pub fn run_with(total_bytes: u64) -> Report {
+    let mut rep = Report::new(
+        "tbl3",
+        "CPU-time ratio of functions in UDT (instrumented)",
+        format!(
+            "{} MB memory-to-memory blast over loopback",
+            total_bytes / 1_000_000
+        ),
+    );
+    let out = run_loopback_blast(UdtConfig::default(), total_bytes);
+    rep.row(format!(
+        "transfer: {} Mb/s over {:.2} s",
+        mbps(out.throughput_bps()),
+        out.secs
+    ));
+    rep.row("-- data sending side --");
+    for (name, ratio) in out.snd_instr.table() {
+        if ratio > 0.0005 {
+            rep.row(format!("{name:<36} {:>5.1}%", ratio * 100.0));
+        }
+    }
+    rep.row("-- data receiving side --");
+    for (name, ratio) in out.rcv_instr.table() {
+        if ratio > 0.0005 {
+            rep.row(format!("{name:<36} {:>5.1}%", ratio * 100.0));
+        }
+    }
+    let snd_top = out.snd_instr.table()[0];
+    rep.shape(
+        "UDP writing is the dominant sender cost (paper: 66.7%)",
+        snd_top.0 == "UDP writing" || out.snd_instr.ratio_of("UDP writing") > 0.3,
+        format!(
+            "sender top = {} at {:.1}%; UDP writing at {:.1}%",
+            snd_top.0,
+            snd_top.1 * 100.0,
+            out.snd_instr.ratio_of("UDP writing") * 100.0
+        ),
+    );
+    rep.shape(
+        "UDP reading is the dominant receiver cost (paper: 91%)",
+        out.rcv_instr.table()[0].0 == "UDP reading",
+        format!(
+            "receiver top = {} at {:.1}%",
+            out.rcv_instr.table()[0].0,
+            out.rcv_instr.table()[0].1 * 100.0
+        ),
+    );
+    rep.shape(
+        "loss processing is negligible on a clean path (paper: 0.6%)",
+        out.rcv_instr.ratio_of("Loss processing") < 0.05,
+        format!(
+            "loss processing = {:.2}%",
+            out.rcv_instr.ratio_of("Loss processing") * 100.0
+        ),
+    );
+    rep
+}
+
+/// Default entry point.
+pub fn run() -> Report {
+    run_with(300_000_000)
+}

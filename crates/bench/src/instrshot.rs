@@ -1,0 +1,66 @@
+//! Owned snapshot of a connection's instrumentation (Table 3 data).
+
+use udt::instrument::{Instrument, CATEGORY_NAMES, N_CATEGORIES};
+
+/// Nanoseconds per category, captured at a point in time.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentSnapshot {
+    /// Accumulated nanoseconds per category.
+    pub nanos: [u64; N_CATEGORIES],
+}
+
+impl InstrumentSnapshot {
+    /// Snapshot a live instrument.
+    pub fn take(i: &Instrument) -> InstrumentSnapshot {
+        InstrumentSnapshot {
+            nanos: i.snapshot(),
+        }
+    }
+
+    /// Per-category share of the total (sums to 1 unless empty).
+    pub fn ratios(&self) -> [f64; N_CATEGORIES] {
+        let total: u64 = self.nanos.iter().sum();
+        if total == 0 {
+            return [0.0; N_CATEGORIES];
+        }
+        std::array::from_fn(|i| self.nanos[i] as f64 / total as f64)
+    }
+
+    /// Rows of `(name, ratio)` sorted descending.
+    pub fn table(&self) -> Vec<(&'static str, f64)> {
+        let r = self.ratios();
+        let mut rows: Vec<(&'static str, f64)> =
+            CATEGORY_NAMES.iter().copied().zip(r).collect();
+        rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+        rows
+    }
+
+    /// Ratio for one category by name.
+    pub fn ratio_of(&self, name: &str) -> f64 {
+        let r = self.ratios();
+        CATEGORY_NAMES
+            .iter()
+            .position(|&n| n == name)
+            .map(|i| r[i])
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt::instrument::Category;
+
+    #[test]
+    fn snapshot_and_table() {
+        let i = Instrument::default();
+        i.add(Category::UdpSend, 750);
+        i.add(Category::Timing, 250);
+        let s = InstrumentSnapshot::take(&i);
+        let t = s.table();
+        assert_eq!(t[0].0, "UDP writing");
+        assert!((t[0].1 - 0.75).abs() < 1e-12);
+        assert!((s.ratio_of("Timing") - 0.25).abs() < 1e-12);
+        assert_eq!(s.ratio_of("nonexistent"), 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Experiment harness for the UDT paper reproduction.
+//!
+//! Every table and figure of the paper's evaluation maps to a module in
+//! [`experiments`], returning a [`report::Report`] with the regenerated
+//! series and a set of `SHAPE` assertions capturing the paper's qualitative
+//! claims. Thin binaries (`exp_fig2`, `exp_tbl1`, …) print single reports;
+//! `exp_all` runs the whole set and emits EXPERIMENTS.md-ready markdown.
+//!
+//! Scaling policy: simulations run at the paper's parameters where wall
+//! clock allows; where it does not (e.g. Figure 3's 400 flows × 1 Gb/s ×
+//! 100 s) the report states the scaled parameters used. Real-socket
+//! experiments run through `linkemu` at rates a loopback relay sustains
+//! comfortably; shapes, not absolute Mb/s, are the reproduction target.
+
+pub mod cpu;
+pub mod instrshot;
+pub mod realnet;
+pub mod report;
+pub mod scenarios;
+
+pub mod experiments {
+    //! One module per paper artifact.
+    pub mod abl_bwe;
+    pub mod abl_naks;
+    pub mod abl_pacing;
+    pub mod abl_sabul;
+    pub mod abl_syn;
+    pub mod cmp_protocols;
+    pub mod multibottleneck;
+    pub mod fig1;
+    pub mod fig11;
+    pub mod fig12;
+    pub mod fig13;
+    pub mod fig14;
+    pub mod fig15;
+    pub mod fig2;
+    pub mod fig3;
+    pub mod fig4;
+    pub mod fig5;
+    pub mod fig6;
+    pub mod fig7;
+    pub mod fig8;
+    pub mod fig9;
+    pub mod tbl1;
+    pub mod tbl2;
+    pub mod tbl3;
+}
+
+use report::Report;
+
+/// Every experiment, in paper order (used by `exp_all`).
+pub fn all_experiments() -> Vec<fn() -> Report> {
+    vec![
+        experiments::fig1::run,
+        experiments::fig2::run,
+        experiments::fig3::run,
+        experiments::fig4::run,
+        experiments::fig5::run,
+        experiments::fig6::run,
+        experiments::fig7::run,
+        experiments::fig8::run,
+        experiments::fig9::run,
+        experiments::tbl1::run,
+        experiments::fig11::run,
+        experiments::fig12::run,
+        experiments::fig13::run,
+        experiments::fig14::run,
+        experiments::fig15::run,
+        experiments::tbl2::run,
+        experiments::tbl3::run,
+        experiments::abl_syn::run,
+        experiments::abl_bwe::run,
+        experiments::abl_naks::run,
+        experiments::abl_sabul::run,
+        experiments::abl_pacing::run,
+        experiments::cmp_protocols::run,
+        experiments::multibottleneck::run,
+    ]
+}

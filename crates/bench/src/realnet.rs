@@ -1,0 +1,254 @@
+//! Real-socket experiment helper: run an actual UDT transfer between two
+//! endpoints in this process, through a `linkemu` emulated path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use linkemu::{LinkEmu, LinkSpec};
+use udt::{UdtConfig, UdtConnection, UdtListener};
+
+use crate::instrshot::InstrumentSnapshot;
+
+/// An emulated path (named after the paper's testbed sites).
+#[derive(Debug, Clone)]
+pub struct EmuPath {
+    /// Label for reports.
+    pub label: &'static str,
+    /// Line rate, bits/s.
+    pub rate_bps: f64,
+    /// Round-trip time.
+    pub rtt: Duration,
+    /// Random loss probability per fragment (0 for clean).
+    pub loss_prob: f64,
+    /// Path MTU.
+    pub mtu: usize,
+}
+
+impl EmuPath {
+    /// Clean path.
+    pub fn clean(label: &'static str, rate_bps: f64, rtt: Duration) -> EmuPath {
+        EmuPath {
+            label,
+            rate_bps,
+            rtt,
+            loss_prob: 0.0,
+            mtu: 65_535,
+        }
+    }
+
+    fn spec(&self, seed: u64) -> LinkSpec {
+        let mut s = LinkSpec::clean(self.rate_bps, self.rtt / 2);
+        s.loss_prob = self.loss_prob;
+        s.mtu = self.mtu;
+        s.seed = seed;
+        s
+    }
+}
+
+/// Results of one real transfer.
+#[derive(Debug)]
+pub struct TransferOut {
+    /// Bytes delivered to the receiving application.
+    pub bytes: u64,
+    /// Wall time of the transfer, seconds.
+    pub secs: f64,
+    /// Delivered-bytes samples at `sample_s` intervals (cumulative).
+    pub samples: Vec<u64>,
+    /// Sampling interval used.
+    pub sample_s: f64,
+    /// Sending-side instrumentation snapshot.
+    pub snd_instr: InstrumentSnapshot,
+    /// Receiving-side instrumentation snapshot.
+    pub rcv_instr: InstrumentSnapshot,
+    /// Process CPU seconds consumed during the transfer.
+    pub cpu_secs: f64,
+    /// Data packets sent (first transmissions).
+    pub pkts_sent: u64,
+    /// Data packets retransmitted.
+    pub pkts_retx: u64,
+}
+
+impl TransferOut {
+    /// Mean application throughput, bits/s.
+    pub fn throughput_bps(&self) -> f64 {
+        self.bytes as f64 * 8.0 / self.secs.max(1e-9)
+    }
+
+    /// Retransmissions per first transmission.
+    pub fn retransmit_ratio(&self) -> f64 {
+        if self.pkts_sent == 0 {
+            0.0
+        } else {
+            self.pkts_retx as f64 / self.pkts_sent as f64
+        }
+    }
+
+    /// Per-interval throughput series, bits/s.
+    pub fn series_bps(&self) -> Vec<f64> {
+        self.samples
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as f64 * 8.0 / self.sample_s)
+            .collect()
+    }
+}
+
+/// Stream data through an emulated `path` for `duration` (or until
+/// `total_bytes` when set), sampling receiver progress.
+pub fn run_transfer(
+    path: &EmuPath,
+    cfg: UdtConfig,
+    duration: Duration,
+    total_bytes: Option<u64>,
+    sample_s: f64,
+) -> TransferOut {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .expect("bind listener");
+    let emu = LinkEmu::start(path.spec(11), path.spec(23), listener.local_addr())
+        .expect("start linkemu");
+
+    let delivered = Arc::new(AtomicU64::new(0));
+    let rcv_snapshot: Arc<parking_lot::Mutex<Option<InstrumentSnapshot>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let server = {
+        let delivered = Arc::clone(&delivered);
+        let rcv_snapshot = Arc::clone(&rcv_snapshot);
+        std::thread::spawn(move || {
+            let conn = listener.accept().expect("accept");
+            let mut buf = vec![0u8; 1 << 16];
+            loop {
+                match conn.recv(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        delivered.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+            *rcv_snapshot.lock() = Some(InstrumentSnapshot::take(conn.instrument()));
+        })
+    };
+
+    let conn = UdtConnection::connect(emu.client_addr(), cfg).expect("connect");
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let delivered = Arc::clone(&delivered);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut samples = vec![0u64];
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_secs_f64(sample_s));
+                samples.push(delivered.load(Ordering::Relaxed));
+            }
+            samples
+        })
+    };
+
+    let cpu0 = crate::cpu::process_cpu_seconds();
+    let t0 = Instant::now();
+    let chunk = vec![0u8; 1 << 16];
+    let mut sent = 0u64;
+    loop {
+        match total_bytes {
+            Some(total) => {
+                if sent >= total {
+                    break;
+                }
+                let n = ((total - sent) as usize).min(chunk.len());
+                if conn.send(&chunk[..n]).is_err() {
+                    break; // connection broke: report what got through
+                }
+                sent += n as u64;
+            }
+            None => {
+                if t0.elapsed() >= duration {
+                    break;
+                }
+                if conn.send(&chunk).is_err() {
+                    break;
+                }
+                sent += chunk.len() as u64;
+            }
+        }
+    }
+    let snd_instr = InstrumentSnapshot::take(conn.instrument());
+    let _ = conn.close();
+    let pkts_sent = udt::ConnStats::get(&conn.stats().pkts_sent);
+    let pkts_retx = udt::ConnStats::get(&conn.stats().pkts_retransmitted);
+    let secs = t0.elapsed().as_secs_f64();
+    let cpu_secs = crate::cpu::process_cpu_seconds() - cpu0;
+    server.join().expect("server thread");
+    stop.store(true, Ordering::Relaxed);
+    let samples = sampler.join().expect("sampler");
+    let rcv_instr = rcv_snapshot.lock().take().unwrap_or_default();
+    let out = TransferOut {
+        bytes: delivered.load(Ordering::Relaxed),
+        secs,
+        samples,
+        sample_s,
+        snd_instr,
+        rcv_instr,
+        cpu_secs,
+        pkts_sent,
+        pkts_retx,
+    };
+    emu.shutdown();
+    out
+}
+
+/// A direct-loopback (no emulation) blast, for the CPU experiments.
+pub fn run_loopback_blast(cfg: UdtConfig, total_bytes: u64) -> TransferOut {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone())
+        .expect("bind listener");
+    let addr = listener.local_addr();
+    let delivered = Arc::new(AtomicU64::new(0));
+    let rcv_snapshot: Arc<parking_lot::Mutex<Option<InstrumentSnapshot>>> =
+        Arc::new(parking_lot::Mutex::new(None));
+    let server = {
+        let delivered = Arc::clone(&delivered);
+        let rcv_snapshot = Arc::clone(&rcv_snapshot);
+        std::thread::spawn(move || {
+            let conn = listener.accept().expect("accept");
+            let mut buf = vec![0u8; 1 << 16];
+            loop {
+                match conn.recv(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        delivered.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(_) => break,
+                }
+            }
+            *rcv_snapshot.lock() = Some(InstrumentSnapshot::take(conn.instrument()));
+        })
+    };
+    let conn = UdtConnection::connect(addr, cfg).expect("connect");
+    let cpu0 = crate::cpu::process_cpu_seconds();
+    let t0 = Instant::now();
+    let chunk = vec![0u8; 1 << 16];
+    let mut sent = 0u64;
+    while sent < total_bytes {
+        let n = ((total_bytes - sent) as usize).min(chunk.len());
+        conn.send(&chunk[..n]).expect("send");
+        sent += n as u64;
+    }
+    let snd_instr = InstrumentSnapshot::take(conn.instrument());
+    let _ = conn.close();
+    let pkts_sent = udt::ConnStats::get(&conn.stats().pkts_sent);
+    let pkts_retx = udt::ConnStats::get(&conn.stats().pkts_retransmitted);
+    let secs = t0.elapsed().as_secs_f64();
+    let cpu_secs = crate::cpu::process_cpu_seconds() - cpu0;
+    server.join().expect("server");
+    let rcv_instr = rcv_snapshot.lock().take().unwrap_or_default();
+    TransferOut {
+        bytes: delivered.load(Ordering::Relaxed),
+        secs,
+        samples: Vec::new(),
+        sample_s: 1.0,
+        snd_instr,
+        rcv_instr,
+        cpu_secs,
+        pkts_sent,
+        pkts_retx,
+    }
+}

@@ -1,0 +1,418 @@
+//! Userspace UDP link emulator.
+//!
+//! The paper's testbed experiments (Figures 11–15, Table 2) ran over
+//! StarLight/CA*net/SARA optical paths — 1 Gb/s with RTTs from 0.04 ms to
+//! 110 ms. This crate stands in for those links on a single machine: a UDP
+//! relay that imposes a serialization rate (token-less transmit clock, like
+//! a fixed-capacity line card), a propagation delay, a bounded DropTail
+//! buffer, and optional random loss — per direction.
+//!
+//! ```text
+//!   client ⇄ [socket A  relay  socket B] ⇄ server
+//! ```
+//!
+//! The server's address is fixed at construction; the client's address is
+//! learned from its first datagram (so ordinary connect-to-the-relay
+//! clients work unchanged). Each direction runs on its own thread with a
+//! time-ordered release queue.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Impairments for one direction of the emulated link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkSpec {
+    /// Line rate, bits/second.
+    pub rate_bps: f64,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// DropTail buffer bound, packets.
+    pub queue_pkts: usize,
+    /// Independent random loss probability (0.0 for none), applied per
+    /// IP-level fragment (see `mtu`): a datagram of `f` fragments survives
+    /// with probability `(1-p)^f`, reproducing the fragmentation loss
+    /// amplification behind the paper's Figure 15 ("segmentation collapse").
+    pub loss_prob: f64,
+    /// Path MTU, bytes. Datagrams larger than this are "fragmented": they
+    /// still arrive as one UDP datagram (loopback transport), but pay the
+    /// serialization cost of per-fragment headers and the amplified loss
+    /// probability above.
+    pub mtu: usize,
+    /// RNG seed for loss injection.
+    pub seed: u64,
+}
+
+impl LinkSpec {
+    /// A clean link of the given rate and delay with a BDP-sized buffer.
+    pub fn clean(rate_bps: f64, delay: Duration) -> LinkSpec {
+        let bdp_pkts = (rate_bps * delay.as_secs_f64() / (1500.0 * 8.0)).ceil() as usize;
+        LinkSpec {
+            rate_bps,
+            delay,
+            queue_pkts: bdp_pkts.max(100),
+            loss_prob: 0.0,
+            mtu: 65_535,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-direction counters.
+#[derive(Debug, Default)]
+pub struct DirStats {
+    /// Datagrams forwarded.
+    pub forwarded: AtomicU64,
+    /// Datagrams dropped at the DropTail buffer.
+    pub queue_drops: AtomicU64,
+    /// Datagrams dropped by random loss.
+    pub random_drops: AtomicU64,
+}
+
+/// A running emulated link.
+pub struct LinkEmu {
+    addr_a: SocketAddr,
+    addr_b: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Stats for the A→B (client→server) direction.
+    pub a_to_b: Arc<DirStats>,
+    /// Stats for the B→A (server→client) direction.
+    pub b_to_a: Arc<DirStats>,
+}
+
+struct Queued {
+    release_at: Instant,
+    to_learned_peer: bool,
+    data: Vec<u8>,
+}
+
+struct Direction {
+    /// Socket this direction receives on.
+    rx: UdpSocket,
+    /// Socket this direction transmits from.
+    tx: UdpSocket,
+    /// Fixed destination (server side), if any.
+    fixed_peer: Option<SocketAddr>,
+    /// Learned destination, shared with the opposite direction.
+    learned_peer: Arc<Mutex<Option<SocketAddr>>>,
+    /// Where this direction *learns* a peer (writes sender addresses).
+    learn_into: Option<Arc<Mutex<Option<SocketAddr>>>>,
+    spec: LinkSpec,
+    stats: Arc<DirStats>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Direction {
+    fn run(self) {
+        let mut rng = SmallRng::seed_from_u64(self.spec.seed);
+        let mut queue: VecDeque<Queued> = VecDeque::new();
+        // Virtual transmitter clock: when the "wire" frees up.
+        let mut wire_free_at = Instant::now();
+        let mut buf = vec![0u8; 65_536];
+        self.rx
+            .set_read_timeout(Some(Duration::from_micros(200)))
+            .expect("set_read_timeout");
+        while !self.stop.load(Ordering::Relaxed) {
+            // Release everything due.
+            let now = Instant::now();
+            while let Some(front) = queue.front() {
+                if front.release_at > now {
+                    break;
+                }
+                let q = queue.pop_front().expect("front");
+                let dest = if q.to_learned_peer {
+                    *self.learned_peer.lock()
+                } else {
+                    self.fixed_peer
+                };
+                if let Some(dest) = dest {
+                    let _ = self.tx.send_to(&q.data, dest);
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // Wait for input, bounded so releases stay timely.
+            match self.rx.recv_from(&mut buf) {
+                Ok((n, from)) => {
+                    if let Some(learn) = &self.learn_into {
+                        let mut slot = learn.lock();
+                        if slot.map(|p| p != from).unwrap_or(true) {
+                            *slot = Some(from);
+                        }
+                    }
+                    let fragments = n.div_ceil(self.spec.mtu).max(1);
+                    if self.spec.loss_prob > 0.0 {
+                        let survive = (1.0 - self.spec.loss_prob).powi(fragments as i32);
+                        if rng.gen::<f64>() >= survive {
+                            self.stats.random_drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    if queue.len() >= self.spec.queue_pkts {
+                        self.stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let now = Instant::now();
+                    // Per-fragment IP header overhead on the wire.
+                    let wire_bytes = n + (fragments - 1) * 28;
+                    let tx_time =
+                        Duration::from_secs_f64(wire_bytes as f64 * 8.0 / self.spec.rate_bps);
+                    wire_free_at = wire_free_at.max(now) + tx_time;
+                    queue.push_back(Queued {
+                        release_at: wire_free_at + self.spec.delay,
+                        to_learned_peer: self.fixed_peer.is_none(),
+                        data: buf[..n].to_vec(),
+                    });
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+impl LinkEmu {
+    /// Start an emulated duplex link in front of `server`. Clients talk to
+    /// [`LinkEmu::client_addr`]; the relay forwards to `server` over the
+    /// A→B impairments and returns the server's datagrams to the (learned)
+    /// client over the B→A impairments.
+    pub fn start(to_server: LinkSpec, to_client: LinkSpec, server: SocketAddr) -> io::Result<LinkEmu> {
+        let sock_a = UdpSocket::bind("127.0.0.1:0")?; // faces the client
+        let sock_b = UdpSocket::bind("127.0.0.1:0")?; // faces the server
+        let addr_a = sock_a.local_addr()?;
+        let addr_b = sock_b.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let a_to_b = Arc::new(DirStats::default());
+        let b_to_a = Arc::new(DirStats::default());
+        let client_peer = Arc::new(Mutex::new(None));
+
+        let fwd = Direction {
+            rx: sock_a.try_clone()?,
+            tx: sock_b.try_clone()?,
+            fixed_peer: Some(server),
+            learned_peer: Arc::clone(&client_peer),
+            learn_into: Some(Arc::clone(&client_peer)),
+            spec: to_server,
+            stats: Arc::clone(&a_to_b),
+            stop: Arc::clone(&stop),
+        };
+        let rev = Direction {
+            rx: sock_b,
+            tx: sock_a,
+            fixed_peer: None, // send to the learned client
+            learned_peer: client_peer,
+            learn_into: None,
+            spec: to_client,
+            stats: Arc::clone(&b_to_a),
+            stop: Arc::clone(&stop),
+        };
+        let threads = vec![
+            std::thread::Builder::new()
+                .name("linkemu-fwd".into())
+                .spawn(move || fwd.run())?,
+            std::thread::Builder::new()
+                .name("linkemu-rev".into())
+                .spawn(move || rev.run())?,
+        ];
+        Ok(LinkEmu {
+            addr_a,
+            addr_b,
+            stop,
+            threads,
+            a_to_b,
+            b_to_a,
+        })
+    }
+
+    /// Symmetric link: same impairments both ways.
+    pub fn start_symmetric(spec: LinkSpec, server: SocketAddr) -> io::Result<LinkEmu> {
+        LinkEmu::start(spec, spec, server)
+    }
+
+    /// The address clients should send to (and will receive from).
+    pub fn client_addr(&self) -> SocketAddr {
+        self.addr_a
+    }
+
+    /// The address the server will see datagrams from.
+    pub fn server_facing_addr(&self) -> SocketAddr {
+        self.addr_b
+    }
+
+    /// Stop the relay threads and wait for them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LinkEmu {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn udp() -> UdpSocket {
+        UdpSocket::bind("127.0.0.1:0").expect("bind")
+    }
+
+    #[test]
+    fn relays_datagrams_both_ways() {
+        let server = udp();
+        let emu = LinkEmu::start_symmetric(
+            LinkSpec::clean(1e9, Duration::from_millis(1)),
+            server.local_addr().unwrap(),
+        )
+        .unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        client.send(b"ping").unwrap();
+        let mut buf = [0u8; 64];
+        server
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let (n, from) = server.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        assert_eq!(from, emu.server_facing_addr());
+        server.send_to(b"pong", from).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+        emu.shutdown();
+    }
+
+    #[test]
+    fn delay_is_applied() {
+        let server = udp();
+        let emu = LinkEmu::start_symmetric(
+            LinkSpec::clean(1e9, Duration::from_millis(30)),
+            server.local_addr().unwrap(),
+        )
+        .unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        let t0 = Instant::now();
+        client.send(b"x").unwrap();
+        let mut buf = [0u8; 8];
+        server
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let (_, from) = server.recv_from(&mut buf).unwrap();
+        let one_way = t0.elapsed();
+        assert!(one_way >= Duration::from_millis(29), "one way {one_way:?}");
+        // Round trip ≈ 60 ms.
+        server.send_to(b"y", from).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        client.recv(&mut buf).unwrap();
+        let rtt = t0.elapsed();
+        assert!(rtt >= Duration::from_millis(58), "rtt {rtt:?}");
+        assert!(rtt < Duration::from_millis(500), "rtt {rtt:?}");
+        emu.shutdown();
+    }
+
+    #[test]
+    fn rate_limit_spaces_packets() {
+        let server = udp();
+        // 8 Mb/s: a 1000-byte datagram serializes in 1 ms.
+        let emu = LinkEmu::start_symmetric(
+            LinkSpec::clean(8e6, Duration::from_millis(0)),
+            server.local_addr().unwrap(),
+        )
+        .unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        let n_pkts = 20;
+        for _ in 0..n_pkts {
+            client.send(&[0u8; 1000]).unwrap();
+        }
+        server
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let t0 = Instant::now();
+        let mut buf = [0u8; 2048];
+        for _ in 0..n_pkts {
+            server.recv_from(&mut buf).unwrap();
+        }
+        let elapsed = t0.elapsed();
+        // 20 packets at 1 ms each ≈ 19 ms after the first arrives.
+        assert!(
+            elapsed >= Duration::from_millis(15),
+            "packets arrived too fast: {elapsed:?}"
+        );
+        emu.shutdown();
+    }
+
+    #[test]
+    fn droptail_bounds_burst() {
+        let server = udp();
+        let mut spec = LinkSpec::clean(1e6, Duration::from_millis(1));
+        spec.queue_pkts = 5;
+        let emu = LinkEmu::start_symmetric(spec, server.local_addr().unwrap());
+        let emu = emu.unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        for _ in 0..200 {
+            client.send(&[0u8; 1200]).unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let drops = emu.a_to_b.queue_drops.load(Ordering::Relaxed);
+        assert!(drops > 0, "expected queue drops, got none");
+        emu.shutdown();
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_proportionally() {
+        let server = udp();
+        let mut spec = LinkSpec::clean(1e9, Duration::from_millis(0));
+        spec.loss_prob = 0.5;
+        spec.seed = 42;
+        let emu = LinkEmu::start(
+            spec,
+            LinkSpec::clean(1e9, Duration::from_millis(0)),
+            server.local_addr().unwrap(),
+        )
+        .unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        // Pace the sends so the relay's socket buffer cannot overflow and
+        // shadow the loss statistics.
+        for i in 0..1000 {
+            client.send(&[0u8; 100]).unwrap();
+            if i % 20 == 19 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let dropped = emu.a_to_b.random_drops.load(Ordering::Relaxed);
+        let seen = dropped + emu.a_to_b.forwarded.load(Ordering::Relaxed);
+        assert!(seen > 900, "relay only saw {seen} of 1000 datagrams");
+        let frac = dropped as f64 / seen as f64;
+        assert!(
+            (0.4..0.6).contains(&frac),
+            "~50% should drop; got {dropped}/{seen}"
+        );
+        emu.shutdown();
+    }
+}

@@ -1,0 +1,198 @@
+//! Constant-bit-rate and bursting UDP cross-traffic.
+//!
+//! Figure 8's loss trace is produced "by injecting a bursting UDP flow into
+//! the network"; [`CbrSource`] covers both the steady and the on/off
+//! bursting case.
+
+use udt_algo::Nanos;
+
+use crate::packet::{FlowId, NodeId, Payload, SimPacket};
+use crate::sim::{Agent, Ctx};
+
+const TOK_SEND: u64 = 1;
+
+/// Configuration for a CBR / bursting source.
+#[derive(Debug, Clone, Copy)]
+pub struct CbrSourceCfg {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Flow id for accounting.
+    pub flow: FlowId,
+    /// Packet size, bytes.
+    pub pkt_size: u32,
+    /// Sending rate while "on", bits/s.
+    pub rate_bps: f64,
+    /// Burst on-duration; `None` for an always-on CBR.
+    pub on_time: Option<Nanos>,
+    /// Burst off-duration (ignored when `on_time` is `None`).
+    pub off_time: Nanos,
+    /// Start time.
+    pub start_at: Nanos,
+    /// Stop time (`Nanos::MAX`-ish for unlimited).
+    pub stop_at: Nanos,
+}
+
+/// On/off UDP source.
+pub struct CbrSource {
+    cfg: CbrSourceCfg,
+    period: Nanos,
+    sent: u64,
+}
+
+impl CbrSource {
+    /// New source from configuration.
+    pub fn new(cfg: CbrSourceCfg) -> CbrSource {
+        let period = Nanos::from_secs_f64(cfg.pkt_size as f64 * 8.0 / cfg.rate_bps);
+        CbrSource {
+            cfg,
+            period,
+            sent: 0,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Is the source in an "on" phase at time `t`?
+    fn is_on(&self, t: Nanos) -> bool {
+        match self.cfg.on_time {
+            None => true,
+            Some(on) => {
+                let cycle = on.0 + self.cfg.off_time.0;
+                if cycle == 0 {
+                    return true;
+                }
+                let phase = t.since(self.cfg.start_at).0 % cycle;
+                phase < on.0
+            }
+        }
+    }
+}
+
+impl Agent for CbrSource {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.timer_at(self.cfg.start_at, TOK_SEND);
+    }
+
+    fn on_packet(&mut self, _pkt: SimPacket, _ctx: &mut Ctx) {}
+
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx) {
+        if ctx.now >= self.cfg.stop_at {
+            return;
+        }
+        if self.is_on(ctx.now) {
+            ctx.send(SimPacket::new(
+                ctx.node,
+                self.cfg.dst,
+                self.cfg.flow,
+                self.cfg.pkt_size,
+                Payload::Raw,
+            ));
+            self.sent += 1;
+            ctx.timer_in(self.period, TOK_SEND);
+        } else {
+            // Sleep to the start of the next on-phase.
+            let cycle = self.cfg.on_time.unwrap().0 + self.cfg.off_time.0;
+            let phase = ctx.now.since(self.cfg.start_at).0 % cycle;
+            ctx.timer_in(Nanos(cycle - phase), TOK_SEND);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Counts raw packets for a flow.
+pub struct CbrSink {
+    flow: FlowId,
+    received: u64,
+}
+
+impl CbrSink {
+    /// New sink for `flow`.
+    pub fn new(flow: FlowId) -> CbrSink {
+        CbrSink { flow, received: 0 }
+    }
+
+    /// Packets received.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+}
+
+impl Agent for CbrSink {
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
+        self.received += 1;
+        ctx.deliver(self.flow, pkt.size as u64);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{dumbbell, DumbbellCfg};
+
+    #[test]
+    fn cbr_hits_configured_rate() {
+        let mut d = dumbbell(DumbbellCfg {
+            flows: 1,
+            rate_bps: 1e8,
+            one_way_delay: Nanos::from_millis(1),
+            queue_cap: 100,
+        });
+        let f = d.sim.add_flow();
+        d.sim.add_agent(
+            d.sources[0],
+            Box::new(CbrSource::new(CbrSourceCfg {
+                dst: d.sinks[0],
+                flow: f,
+                pkt_size: 1000,
+                rate_bps: 8e6, // 1000 pkts/s
+                on_time: None,
+                off_time: Nanos::ZERO,
+                start_at: Nanos::ZERO,
+                stop_at: Nanos::from_secs(100),
+            })),
+        );
+        d.sim.add_agent(d.sinks[0], Box::new(CbrSink::new(f)));
+        d.sim.run_until(Nanos::from_secs(10));
+        let bytes = d.sim.delivered(f);
+        let rate = bytes as f64 * 8.0 / 10.0;
+        assert!((rate - 8e6).abs() / 8e6 < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn bursting_source_respects_duty_cycle() {
+        let mut d = dumbbell(DumbbellCfg {
+            flows: 1,
+            rate_bps: 1e9,
+            one_way_delay: Nanos::from_millis(1),
+            queue_cap: 1000,
+        });
+        let f = d.sim.add_flow();
+        d.sim.add_agent(
+            d.sources[0],
+            Box::new(CbrSource::new(CbrSourceCfg {
+                dst: d.sinks[0],
+                flow: f,
+                pkt_size: 1000,
+                rate_bps: 8e6,
+                on_time: Some(Nanos::from_millis(100)),
+                off_time: Nanos::from_millis(100), // 50% duty cycle
+                start_at: Nanos::ZERO,
+                stop_at: Nanos::from_secs(100),
+            })),
+        );
+        d.sim.add_agent(d.sinks[0], Box::new(CbrSink::new(f)));
+        d.sim.run_until(Nanos::from_secs(10));
+        let rate = d.sim.delivered(f) as f64 * 8.0 / 10.0;
+        assert!((rate - 4e6).abs() / 4e6 < 0.03, "rate={rate}");
+    }
+}

@@ -1,0 +1,11 @@
+//! Protocol agents: the traffic that runs over the simulated network.
+
+pub mod cbr;
+pub mod tcp;
+pub mod tcpcc;
+pub mod udt;
+
+pub use cbr::{CbrSink, CbrSource, CbrSourceCfg};
+pub use tcp::{TcpSender, TcpSenderCfg, TcpSink};
+pub use tcpcc::{BicCc, HighSpeedCc, RenoCc, ScalableCc, TcpCcState, TcpCong, VegasCc};
+pub use udt::{UdtReceiver, UdtReceiverCfg, UdtSender, UdtSenderCfg};

@@ -1,0 +1,687 @@
+//! Packet-level TCP with SACK loss recovery.
+//!
+//! This is the paper's baseline ("when we refer to TCP or standard TCP, it
+//! means … TCP SACK", with "the TCP buffer size … set to at least the BDP").
+//! The model follows NS-2's Sack1 agent in spirit: segment-granularity
+//! sequence numbers, ACK-clocked transmission (bursty — no pacing, per
+//! §3.2's discussion), a SACK scoreboard with FACK-style loss marking
+//! (a hole is lost once 3 segments above it are SACKed), NewReno-style
+//! recovery bounded by `recover`, and an RTO with exponential backoff.
+//! Congestion avoidance is pluggable ([`crate::agents::tcpcc`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use udt_algo::Nanos;
+
+use crate::agents::tcpcc::{TcpCcKind, TcpCcState, TcpCong};
+use crate::packet::{FlowId, NodeId, Payload, SimPacket, TcpAck, TcpSeg};
+use crate::sim::{Agent, Ctx};
+
+const TOK_RTO: u64 = 1;
+const TOK_START: u64 = 2;
+
+/// Minimum RTO (Linux-like 200 ms).
+const MIN_RTO_US: f64 = 200_000.0;
+
+/// Disjoint, merged set of `[from, to)` ranges over segment numbers — the
+/// SACK scoreboard. Range-granular so a 5000-segment SACK block costs one
+/// map operation, not 5000 set inserts (with BDP-sized windows the latter
+/// turns the simulation quadratic).
+#[derive(Debug, Default)]
+struct RangeSet {
+    /// start → end (exclusive), non-overlapping, non-adjacent.
+    m: BTreeMap<u64, u64>,
+    count: u64,
+}
+
+impl RangeSet {
+    fn insert_range(&mut self, from: u64, to: u64) {
+        if from >= to {
+            return;
+        }
+        let (mut new_from, mut new_to) = (from, to);
+        // Absorb a predecessor that overlaps or touches.
+        if let Some((&s, &e)) = self.m.range(..=from).next_back() {
+            if e >= from {
+                if e >= to {
+                    return; // fully covered
+                }
+                new_from = s;
+                new_to = new_to.max(e);
+                self.count -= e - s;
+                self.m.remove(&s);
+            }
+        }
+        // Absorb successors swallowed or touched by the new range.
+        while let Some((&s, &e)) = self.m.range(new_from..).next() {
+            if s > new_to {
+                break;
+            }
+            new_to = new_to.max(e);
+            self.count -= e - s;
+            self.m.remove(&s);
+        }
+        self.count += new_to - new_from;
+        self.m.insert(new_from, new_to);
+    }
+
+    /// Drop everything below `upto`.
+    fn remove_below(&mut self, upto: u64) {
+        while let Some((&s, &e)) = self.m.iter().next() {
+            if e <= upto {
+                self.count -= e - s;
+                self.m.remove(&s);
+            } else if s < upto {
+                self.count -= upto - s;
+                self.m.remove(&s);
+                self.m.insert(upto, e);
+                break;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn contains(&self, v: u64) -> bool {
+        self.m
+            .range(..=v)
+            .next_back()
+            .map(|(_, &e)| v < e)
+            .unwrap_or(false)
+    }
+
+    fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct TcpSenderCfg {
+    /// Receiver node.
+    pub dst: NodeId,
+    /// Flow id shared with the sink.
+    pub flow: FlowId,
+    /// Segment size on the wire, bytes.
+    pub mss: u32,
+    /// Congestion-avoidance variant.
+    pub cc: TcpCcKind,
+    /// Receive-window cap, segments (paper: buffer ≥ BDP; default huge).
+    pub rcv_wnd_segs: f64,
+    /// Total segments to transfer (`None` = unlimited bulk).
+    pub total_segs: Option<u64>,
+    /// Start time.
+    pub start_at: Nanos,
+}
+
+impl TcpSenderCfg {
+    /// Bulk Reno/SACK flow toward `dst`.
+    pub fn bulk(dst: NodeId, flow: FlowId) -> TcpSenderCfg {
+        TcpSenderCfg {
+            dst,
+            flow,
+            mss: 1500,
+            cc: TcpCcKind::Reno,
+            rcv_wnd_segs: 1e9,
+            total_segs: None,
+            start_at: Nanos::ZERO,
+        }
+    }
+}
+
+/// The TCP sender agent.
+pub struct TcpSender {
+    cfg: TcpSenderCfg,
+    cc: Box<dyn TcpCong>,
+    st: TcpCcState,
+    /// Next never-sent segment.
+    next_seq: u64,
+    /// First unacknowledged segment.
+    snd_una: u64,
+    /// SACKed segments above `snd_una` (range-granular scoreboard).
+    sacked: RangeSet,
+    /// Segments marked lost, awaiting retransmission.
+    lost: BTreeSet<u64>,
+    /// Highest SACKed segment + 1 (FACK frontier).
+    fack: u64,
+    /// Loss-marking progress pointer (segments below are classified).
+    marked_upto: u64,
+    in_recovery: bool,
+    recover: u64,
+    dupacks: u32,
+    srtt_us: f64,
+    rttvar_us: f64,
+    rto_us: f64,
+    base_rtt_us: f64,
+    rto_deadline: Nanos,
+    consecutive_rtos: u32,
+    sent_segs: u64,
+    retx_segs: u64,
+    rtos: u64,
+}
+
+impl TcpSender {
+    /// New sender.
+    pub fn new(cfg: TcpSenderCfg) -> TcpSender {
+        TcpSender {
+            cc: cfg.cc.build(),
+            st: TcpCcState {
+                cwnd: 2.0,
+                ssthresh: 1e9,
+            },
+            next_seq: 0,
+            snd_una: 0,
+            sacked: RangeSet::default(),
+            lost: BTreeSet::new(),
+            fack: 0,
+            marked_upto: 0,
+            in_recovery: false,
+            recover: 0,
+            dupacks: 0,
+            srtt_us: 0.0,
+            rttvar_us: 0.0,
+            rto_us: 1_000_000.0,
+            base_rtt_us: f64::MAX,
+            rto_deadline: Nanos::ZERO,
+            consecutive_rtos: 0,
+            sent_segs: 0,
+            retx_segs: 0,
+            rtos: 0,
+            cfg,
+        }
+    }
+
+    /// Current congestion window, segments.
+    pub fn cwnd(&self) -> f64 {
+        self.st.cwnd
+    }
+
+    /// Segments transmitted (including retransmissions).
+    pub fn sent_segs(&self) -> u64 {
+        self.sent_segs
+    }
+
+    /// Retransmissions.
+    pub fn retx_segs(&self) -> u64 {
+        self.retx_segs
+    }
+
+    /// Retransmission timeouts taken.
+    pub fn rtos(&self) -> u64 {
+        self.rtos
+    }
+
+    /// `true` once a bounded transfer is fully acknowledged.
+    pub fn transfer_complete(&self) -> bool {
+        matches!(self.cfg.total_segs, Some(t) if self.snd_una >= t)
+    }
+
+    fn exhausted(&self) -> bool {
+        matches!(self.cfg.total_segs, Some(t) if self.next_seq >= t)
+    }
+
+    /// Conservation-of-packets estimate of in-flight segments.
+    fn pipe(&self) -> f64 {
+        let outstanding = (self.next_seq - self.snd_una) as f64;
+        outstanding - self.sacked.count() as f64 - self.lost.len() as f64
+    }
+
+    fn send_seg(&mut self, seq: u64, retx: bool, ctx: &mut Ctx) {
+        self.sent_segs += 1;
+        if retx {
+            self.retx_segs += 1;
+        }
+        let seg = TcpSeg {
+            seq,
+            ts: ctx.now.0,
+            retx,
+        };
+        ctx.send(SimPacket::new(
+            ctx.node,
+            self.cfg.dst,
+            self.cfg.flow,
+            self.cfg.mss,
+            Payload::Tcp(seg),
+        ));
+    }
+
+    /// Transmit while the window allows: lost segments first, then new data.
+    fn try_send(&mut self, ctx: &mut Ctx) {
+        let wnd = self.st.cwnd.min(self.cfg.rcv_wnd_segs);
+        let mut budget = 256; // bound per-event burst to keep events sane
+        while self.pipe() < wnd && budget > 0 {
+            budget -= 1;
+            if let Some(&seq) = self.lost.iter().next() {
+                self.lost.remove(&seq);
+                self.send_seg(seq, true, ctx);
+            } else if !self.exhausted() {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.send_seg(seq, false, ctx);
+            } else {
+                break;
+            }
+        }
+        self.arm_rto(ctx);
+    }
+
+    /// Arm the retransmission timer for the *oldest* outstanding segment:
+    /// only when no timer is pending. Re-arming on every transmission would
+    /// let a steadily-sending flow starve a lost retransmission forever.
+    fn arm_rto(&mut self, ctx: &mut Ctx) {
+        if self.snd_una == self.next_seq {
+            self.rto_deadline = Nanos::ZERO; // idle: no timer outstanding
+            return;
+        }
+        if self.rto_deadline > ctx.now {
+            return; // a timer is already pending
+        }
+        self.rto_deadline = ctx.now.plus(Nanos::from_micros(self.rto_us as u64));
+        ctx.timer_at(self.rto_deadline, TOK_RTO);
+    }
+
+    /// Restart the retransmission timer (cumulative progress = the oldest
+    /// outstanding segment changed).
+    fn rearm_rto(&mut self, ctx: &mut Ctx) {
+        self.rto_deadline = Nanos::ZERO;
+        self.arm_rto(ctx);
+    }
+
+    fn rtt_sample(&mut self, sample_us: f64) {
+        if sample_us <= 0.0 {
+            return;
+        }
+        self.base_rtt_us = self.base_rtt_us.min(sample_us);
+        if self.srtt_us == 0.0 {
+            self.srtt_us = sample_us;
+            self.rttvar_us = sample_us / 2.0;
+        } else {
+            self.rttvar_us = 0.75 * self.rttvar_us + 0.25 * (self.srtt_us - sample_us).abs();
+            self.srtt_us = 0.875 * self.srtt_us + 0.125 * sample_us;
+        }
+        self.rto_us = (self.srtt_us + 4.0 * self.rttvar_us).max(MIN_RTO_US);
+    }
+
+    /// FACK loss marking: a hole is lost once the SACK frontier is ≥ 3
+    /// segments past it. Scans only newly classified ground (amortized O(1)
+    /// per segment).
+    fn mark_losses(&mut self) {
+        if self.fack < 3 {
+            return;
+        }
+        let limit = self.fack - 3;
+        let from = self.marked_upto.max(self.snd_una);
+        for seq in from..limit {
+            if !self.sacked.contains(seq) {
+                self.lost.insert(seq);
+            }
+        }
+        self.marked_upto = self.marked_upto.max(limit);
+    }
+
+    fn on_ack(&mut self, ack: TcpAck, ctx: &mut Ctx) {
+        // SACK scoreboard update (range-granular).
+        for &(from, to) in &ack.sack {
+            self.sacked.insert_range(from.max(self.snd_una), to);
+            self.fack = self.fack.max(to);
+        }
+
+        if ack.cum > self.snd_una {
+            let newly = (ack.cum - self.snd_una) as u32;
+            self.snd_una = ack.cum;
+            self.consecutive_rtos = 0;
+            self.dupacks = 0;
+            self.rearm_rto(ctx);
+            self.sacked.remove_below(self.snd_una);
+            self.lost = self.lost.split_off(&self.snd_una);
+            self.fack = self.fack.max(self.snd_una);
+            self.marked_upto = self.marked_upto.max(self.snd_una);
+            let sample = (ctx.now.0.saturating_sub(ack.echo_ts)) as f64 / 1_000.0;
+            self.rtt_sample(sample);
+            if self.in_recovery && self.snd_una >= self.recover {
+                self.in_recovery = false;
+            }
+            if !self.in_recovery {
+                self.cc
+                    .on_ack(&mut self.st, newly, self.srtt_us, self.base_rtt_us);
+            }
+        } else {
+            self.dupacks += 1;
+        }
+
+        self.mark_losses();
+        if !self.in_recovery
+            && self.snd_una < self.next_seq
+            && (self.dupacks >= 3 || !self.lost.is_empty())
+        {
+            self.in_recovery = true;
+            self.recover = self.next_seq;
+            self.cc.on_loss(&mut self.st);
+            if self.lost.is_empty() {
+                // Classic fast retransmit of the first hole.
+                self.lost.insert(self.snd_una);
+            }
+        }
+        self.try_send(ctx);
+    }
+}
+
+impl Agent for TcpSender {
+    fn start(&mut self, ctx: &mut Ctx) {
+        ctx.timer_at(self.cfg.start_at, TOK_START);
+    }
+
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
+        if let Payload::TcpAck(ack) = pkt.payload {
+            self.on_ack(ack, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        match token {
+            TOK_START => self.try_send(ctx),
+            TOK_RTO => {
+                if ctx.now < self.rto_deadline || self.snd_una == self.next_seq {
+                    return; // stale or idle
+                }
+                self.rtos += 1;
+                self.consecutive_rtos += 1;
+                self.cc.on_rto(&mut self.st);
+                self.rto_us = (self.rto_us * 2.0).min(60e6); // Karn backoff
+                self.in_recovery = false;
+                self.dupacks = 0;
+                // Everything outstanding and un-SACKed is presumed lost.
+                self.lost.clear();
+                for s in self.snd_una..self.next_seq {
+                    if !self.sacked.contains(s) {
+                        self.lost.insert(s);
+                    }
+                }
+                self.marked_upto = self.next_seq;
+                self.try_send(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// The TCP receiver: cumulative ACK + up to 3 SACK blocks, ACK per segment.
+pub struct TcpSink {
+    src: NodeId,
+    flow: FlowId,
+    mss: u32,
+    /// Next expected segment (delivery frontier).
+    cum: u64,
+    /// Out-of-order segments held above `cum`.
+    ooo: BTreeSet<u64>,
+    received: u64,
+    delivered_bytes: u64,
+}
+
+impl TcpSink {
+    /// New sink acking toward `src`.
+    pub fn new(src: NodeId, flow: FlowId, mss: u32) -> TcpSink {
+        TcpSink {
+            src,
+            flow,
+            mss,
+            cum: 0,
+            ooo: BTreeSet::new(),
+            received: 0,
+            delivered_bytes: 0,
+        }
+    }
+
+    /// Segments accepted (first copies).
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Build up to 3 SACK blocks from the out-of-order store.
+    fn sack_blocks(&self) -> Vec<(u64, u64)> {
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for &s in &self.ooo {
+            match blocks.last_mut() {
+                Some(last) if last.1 == s => last.1 = s + 1,
+                _ => blocks.push((s, s + 1)),
+            }
+        }
+        // Most recent (highest) blocks are the most useful to the sender.
+        blocks.reverse();
+        blocks.truncate(3);
+        blocks
+    }
+}
+
+impl Agent for TcpSink {
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
+        let Payload::Tcp(seg) = pkt.payload else {
+            return;
+        };
+        if seg.seq >= self.cum && !self.ooo.contains(&seg.seq) {
+            self.received += 1;
+            if seg.seq == self.cum {
+                self.cum += 1;
+                while self.ooo.remove(&self.cum) {
+                    self.cum += 1;
+                }
+            } else {
+                self.ooo.insert(seg.seq);
+            }
+        }
+        // Account application bytes as the delivery frontier advances.
+        let frontier_bytes = self.cum * self.mss as u64;
+        ctx.deliver(self.flow, frontier_bytes.saturating_sub(self.delivered_bytes));
+        self.delivered_bytes = frontier_bytes;
+        let ack = TcpAck {
+            cum: self.cum,
+            sack: self.sack_blocks(),
+            echo_ts: seg.ts,
+        };
+        ctx.send(SimPacket::new(
+            ctx.node,
+            self.src,
+            self.flow,
+            40,
+            Payload::TcpAck(ack),
+        ));
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod rangeset_tests {
+    use super::RangeSet;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut r = RangeSet::default();
+        r.insert_range(10, 20);
+        r.insert_range(30, 40);
+        assert_eq!(r.count(), 20);
+        r.insert_range(20, 30); // bridges both
+        assert_eq!(r.count(), 30);
+        assert!(r.contains(10) && r.contains(29) && r.contains(39));
+        assert!(!r.contains(9) && !r.contains(40));
+    }
+
+    #[test]
+    fn covered_insert_is_noop() {
+        let mut r = RangeSet::default();
+        r.insert_range(0, 100);
+        r.insert_range(10, 20);
+        assert_eq!(r.count(), 100);
+    }
+
+    #[test]
+    fn empty_and_reversed_ranges_ignored() {
+        let mut r = RangeSet::default();
+        r.insert_range(5, 5);
+        r.insert_range(9, 3);
+        assert_eq!(r.count(), 0);
+        assert!(!r.contains(5));
+    }
+
+    #[test]
+    fn remove_below_trims_partially() {
+        let mut r = RangeSet::default();
+        r.insert_range(10, 20);
+        r.insert_range(30, 40);
+        r.remove_below(15);
+        assert_eq!(r.count(), 15);
+        assert!(!r.contains(14) && r.contains(15));
+        r.remove_below(35);
+        assert_eq!(r.count(), 5);
+        r.remove_below(100);
+        assert_eq!(r.count(), 0);
+    }
+
+    /// Mini-fuzz against a BTreeSet model with a seeded LCG.
+    #[test]
+    fn matches_set_model_under_random_ops() {
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as u64
+        };
+        let mut rs = RangeSet::default();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..5_000 {
+            match next() % 3 {
+                0 => {
+                    let from = next() % 500;
+                    let to = from + next() % 40;
+                    rs.insert_range(from, to);
+                    for v in from..to {
+                        model.insert(v);
+                    }
+                }
+                1 => {
+                    let upto = next() % 500;
+                    rs.remove_below(upto);
+                    model = model.split_off(&upto);
+                }
+                _ => {
+                    let v = next() % 520;
+                    assert_eq!(rs.contains(v), model.contains(&v), "contains({v})");
+                }
+            }
+            assert_eq!(rs.count() as usize, model.len(), "count diverged");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::{dumbbell, paper_queue_cap, DumbbellCfg};
+
+    fn run_tcp(rate_bps: f64, one_way_ms: u64, secs: u64, cc: TcpCcKind) -> f64 {
+        let rtt = Nanos::from_millis(2 * one_way_ms);
+        let mut d = dumbbell(DumbbellCfg {
+            flows: 1,
+            rate_bps,
+            one_way_delay: Nanos::from_millis(one_way_ms),
+            queue_cap: paper_queue_cap(rate_bps, rtt, 1500),
+        });
+        let f = d.sim.add_flow();
+        let mut cfg = TcpSenderCfg::bulk(d.sinks[0], f);
+        cfg.cc = cc;
+        d.sim.add_agent(d.sources[0], Box::new(TcpSender::new(cfg)));
+        d.sim
+            .add_agent(d.sinks[0], Box::new(TcpSink::new(d.sources[0], f, 1500)));
+        d.sim.run_until(Nanos::from_secs(secs));
+        d.sim.delivered(f) as f64 * 8.0 / secs as f64
+    }
+
+    #[test]
+    fn reno_fills_low_bdp_link() {
+        let thr = run_tcp(1e7, 5, 20, TcpCcKind::Reno);
+        assert!(
+            thr > 0.85e7,
+            "Reno should fill 10 Mb/s at 10 ms RTT; got {:.2} Mb/s",
+            thr / 1e6
+        );
+    }
+
+    #[test]
+    fn reno_struggles_at_high_bdp() {
+        // The paper's premise: standard TCP cannot fill a high-BDP pipe in
+        // bounded time (Gb/s, 100 ms → 28 minutes to recover one loss).
+        let thr = run_tcp(1e9, 50, 30, TcpCcKind::Reno);
+        assert!(
+            thr < 0.7e9,
+            "Reno unexpectedly filled 1 Gb/s at 100 ms RTT in 30 s; got {:.1} Mb/s",
+            thr / 1e6
+        );
+    }
+
+    #[test]
+    fn highspeed_beats_reno_at_high_bdp() {
+        let reno = run_tcp(6e8, 50, 30, TcpCcKind::Reno);
+        let hs = run_tcp(6e8, 50, 30, TcpCcKind::HighSpeed);
+        assert!(
+            hs > reno,
+            "HighSpeed ({:.1} Mb/s) should beat Reno ({:.1} Mb/s) at high BDP",
+            hs / 1e6,
+            reno / 1e6
+        );
+    }
+
+    #[test]
+    fn bounded_transfer_completes_under_loss() {
+        let mut d = dumbbell(DumbbellCfg {
+            flows: 1,
+            rate_bps: 1e7,
+            one_way_delay: Nanos::from_millis(5),
+            queue_cap: 10,
+        });
+        let f = d.sim.add_flow();
+        let mut cfg = TcpSenderCfg::bulk(d.sinks[0], f);
+        cfg.total_segs = Some(2_000);
+        let s = d.sim.add_agent(d.sources[0], Box::new(TcpSender::new(cfg)));
+        d.sim
+            .add_agent(d.sinks[0], Box::new(TcpSink::new(d.sources[0], f, 1500)));
+        d.sim.run_until(Nanos::from_secs(60));
+        let snd = d.sim.agent_as::<TcpSender>(s);
+        assert!(snd.transfer_complete(), "transfer incomplete");
+        assert_eq!(d.sim.delivered(f), 2_000 * 1500);
+    }
+
+    #[test]
+    fn rtt_bias_favors_short_flows() {
+        // Two Reno flows, 10 ms vs 100 ms RTT, sharing one bottleneck:
+        // the short-RTT flow should win disproportionately (the paper's
+        // "RTT bias" that UDT's constant SYN removes).
+        use crate::topo::two_branch;
+        let mut t = two_branch(
+            1e8,
+            &[Nanos::from_millis(5), Nanos::from_millis(50)],
+            paper_queue_cap(1e8, Nanos::from_millis(100), 1500),
+        );
+        let mut flows = Vec::new();
+        for i in 0..2 {
+            let f = t.sim.add_flow();
+            flows.push(f);
+            let cfg = TcpSenderCfg::bulk(t.sinks[i], f);
+            t.sim.add_agent(t.sources[i], Box::new(TcpSender::new(cfg)));
+            t.sim
+                .add_agent(t.sinks[i], Box::new(TcpSink::new(t.sources[i], f, 1500)));
+        }
+        t.sim.run_until(Nanos::from_secs(30));
+        let short = t.sim.delivered(flows[0]) as f64;
+        let long = t.sim.delivered(flows[1]) as f64;
+        assert!(
+            short > 2.0 * long,
+            "short-RTT TCP should dominate: short={short} long={long}"
+        );
+    }
+}

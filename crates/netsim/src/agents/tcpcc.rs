@@ -1,0 +1,407 @@
+//! Pluggable TCP congestion avoidance.
+//!
+//! The paper's baseline is "standard TCP", i.e. **TCP SACK** with Reno
+//! dynamics; §5.2 compares against **Scalable TCP**, **HighSpeed TCP**,
+//! **BIC TCP** and the delay-based family (**Vegas** here, standing in for
+//! FAST's delay-reactive behaviour). All variants plug into the same SACK
+//! sender ([`crate::agents::tcp::TcpSender`]) through this trait, mirroring
+//! how NS-2 separates `TcpAgent` from its window-update rules.
+
+/// Mutable congestion state owned by the sender, updated by the variant.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpCcState {
+    /// Congestion window, segments.
+    pub cwnd: f64,
+    /// Slow-start threshold, segments.
+    pub ssthresh: f64,
+}
+
+/// A TCP congestion-avoidance variant.
+pub trait TcpCong: Send {
+    /// `newly_acked` segments were cumulatively acknowledged (not SACKed
+    /// earlier). `rtt_us`/`base_rtt_us` feed delay-based variants.
+    fn on_ack(&mut self, s: &mut TcpCcState, newly_acked: u32, rtt_us: f64, base_rtt_us: f64);
+    /// Fast-retransmit loss (entering recovery).
+    fn on_loss(&mut self, s: &mut TcpCcState);
+    /// Retransmission timeout.
+    fn on_rto(&mut self, s: &mut TcpCcState) {
+        s.ssthresh = (s.cwnd / 2.0).max(2.0);
+        s.cwnd = 1.0;
+    }
+    /// Variant name for traces.
+    fn name(&self) -> &'static str;
+}
+
+fn slow_start(s: &mut TcpCcState, acked: u32) -> bool {
+    if s.cwnd < s.ssthresh {
+        s.cwnd += acked as f64;
+        if s.cwnd > s.ssthresh {
+            s.cwnd = s.ssthresh;
+        }
+        true
+    } else {
+        false
+    }
+}
+
+/// Classic Reno/NewReno dynamics (the congestion avoidance of TCP SACK).
+#[derive(Debug, Default)]
+pub struct RenoCc;
+
+impl TcpCong for RenoCc {
+    fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
+        if !slow_start(s, acked) {
+            s.cwnd += acked as f64 / s.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut TcpCcState) {
+        s.ssthresh = (s.cwnd / 2.0).max(2.0);
+        s.cwnd = s.ssthresh;
+    }
+
+    fn name(&self) -> &'static str {
+        "reno-sack"
+    }
+}
+
+/// Scalable TCP (Kelly): `cwnd += 0.01` per ACKed segment, ×0.875 on loss.
+/// MIMD in disguise — the per-ACK additive term is proportional to rate.
+#[derive(Debug, Default)]
+pub struct ScalableCc;
+
+impl TcpCong for ScalableCc {
+    fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
+        if !slow_start(s, acked) {
+            s.cwnd += 0.01 * acked as f64;
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut TcpCcState) {
+        s.cwnd = (s.cwnd * 0.875).max(2.0);
+        s.ssthresh = s.cwnd;
+    }
+
+    fn name(&self) -> &'static str {
+        "scalable"
+    }
+}
+
+/// HighSpeed TCP (RFC 3649): `a(w)`/`b(w)` response functions that grow
+/// the increase and shrink the decrease as the window exceeds 38 segments.
+#[derive(Debug, Default)]
+pub struct HighSpeedCc;
+
+impl HighSpeedCc {
+    const LOW_W: f64 = 38.0;
+    const HIGH_W: f64 = 83_000.0;
+    const HIGH_B: f64 = 0.1;
+
+    /// Decrease factor `b(w)`.
+    pub fn b(w: f64) -> f64 {
+        if w <= Self::LOW_W {
+            return 0.5;
+        }
+        let w = w.min(Self::HIGH_W);
+        (Self::HIGH_B - 0.5) * (w.ln() - Self::LOW_W.ln())
+            / (Self::HIGH_W.ln() - Self::LOW_W.ln())
+            + 0.5
+    }
+
+    /// Increase `a(w)` per RTT, from the RFC's response function
+    /// `p(w) = 0.078 / w^1.2`.
+    pub fn a(w: f64) -> f64 {
+        if w <= Self::LOW_W {
+            return 1.0;
+        }
+        let w = w.min(Self::HIGH_W);
+        let p = 0.078 / w.powf(1.2);
+        let b = Self::b(w);
+        (w * w * p * 2.0 * b / (2.0 - b)).max(1.0)
+    }
+}
+
+impl TcpCong for HighSpeedCc {
+    fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
+        if !slow_start(s, acked) {
+            s.cwnd += Self::a(s.cwnd) * acked as f64 / s.cwnd;
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut TcpCcState) {
+        s.cwnd = (s.cwnd * (1.0 - Self::b(s.cwnd))).max(2.0);
+        s.ssthresh = s.cwnd;
+    }
+
+    fn name(&self) -> &'static str {
+        "highspeed"
+    }
+}
+
+/// BIC TCP: binary-search window increase toward the last loss point,
+/// additive bounds `S_min`/`S_max`, β = 0.8, fast convergence.
+#[derive(Debug)]
+pub struct BicCc {
+    w_max: f64,
+}
+
+impl BicCc {
+    const LOW_WINDOW: f64 = 14.0;
+    const S_MAX: f64 = 32.0;
+    const S_MIN: f64 = 0.01;
+    const BETA: f64 = 0.8;
+
+    /// Fresh controller.
+    pub fn new() -> BicCc {
+        BicCc { w_max: f64::MAX }
+    }
+
+    fn increment(&self, cwnd: f64) -> f64 {
+        if self.w_max == f64::MAX || cwnd >= self.w_max {
+            // Max probing beyond the last known maximum: ramp slowly first.
+            let delta = if self.w_max == f64::MAX {
+                Self::S_MAX
+            } else {
+                cwnd - self.w_max + Self::S_MIN
+            };
+            delta.clamp(Self::S_MIN, Self::S_MAX)
+        } else {
+            // Binary search toward w_max.
+            let dist = (self.w_max - cwnd) / 2.0;
+            dist.clamp(Self::S_MIN, Self::S_MAX)
+        }
+    }
+}
+
+impl Default for BicCc {
+    fn default() -> BicCc {
+        BicCc::new()
+    }
+}
+
+impl TcpCong for BicCc {
+    fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
+        if slow_start(s, acked) {
+            return;
+        }
+        if s.cwnd < Self::LOW_WINDOW {
+            s.cwnd += acked as f64 / s.cwnd; // Reno region
+            return;
+        }
+        s.cwnd += self.increment(s.cwnd) * acked as f64 / s.cwnd;
+    }
+
+    fn on_loss(&mut self, s: &mut TcpCcState) {
+        if s.cwnd < self.w_max {
+            // Fast convergence: release bandwidth for newer flows.
+            self.w_max = s.cwnd * (2.0 - Self::BETA) / 2.0;
+        } else {
+            self.w_max = s.cwnd;
+        }
+        s.cwnd = (s.cwnd * Self::BETA).max(2.0);
+        s.ssthresh = s.cwnd;
+    }
+
+    fn name(&self) -> &'static str {
+        "bic"
+    }
+}
+
+/// TCP Vegas: delay-based, once-per-RTT ±1 adjustment holding the number of
+/// queued segments between α and β. Stands in for the delay-reactive family
+/// (FAST) discussed in §5.2.
+#[derive(Debug)]
+pub struct VegasCc {
+    alpha: f64,
+    beta: f64,
+    acked_this_rtt: f64,
+}
+
+impl VegasCc {
+    /// Standard α = 1, β = 3.
+    pub fn new() -> VegasCc {
+        VegasCc {
+            alpha: 1.0,
+            beta: 3.0,
+            acked_this_rtt: 0.0,
+        }
+    }
+}
+
+impl Default for VegasCc {
+    fn default() -> VegasCc {
+        VegasCc::new()
+    }
+}
+
+impl TcpCong for VegasCc {
+    fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, rtt_us: f64, base_rtt_us: f64) {
+        if rtt_us <= 0.0 || base_rtt_us <= 0.0 {
+            slow_start(s, acked);
+            return;
+        }
+        self.acked_this_rtt += acked as f64;
+        if self.acked_this_rtt < s.cwnd {
+            return; // adjust once per window's worth of ACKs ≈ once per RTT
+        }
+        self.acked_this_rtt = 0.0;
+        // diff = segments sitting in queues.
+        let diff = s.cwnd * (rtt_us - base_rtt_us) / rtt_us;
+        if s.cwnd < s.ssthresh {
+            // Vegas slow start: stop doubling once the queue builds.
+            if diff > self.alpha {
+                s.ssthresh = s.cwnd;
+            } else {
+                s.cwnd *= 2.0;
+            }
+            return;
+        }
+        if diff < self.alpha {
+            s.cwnd += 1.0;
+        } else if diff > self.beta {
+            s.cwnd = (s.cwnd - 1.0).max(2.0);
+        }
+    }
+
+    fn on_loss(&mut self, s: &mut TcpCcState) {
+        s.ssthresh = (s.cwnd / 2.0).max(2.0);
+        s.cwnd = s.ssthresh;
+    }
+
+    fn name(&self) -> &'static str {
+        "vegas"
+    }
+}
+
+/// Selector used by experiment configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpCcKind {
+    /// Reno dynamics + SACK recovery ("standard TCP" in the paper).
+    Reno,
+    /// HighSpeed TCP (RFC 3649).
+    HighSpeed,
+    /// Scalable TCP.
+    Scalable,
+    /// BIC TCP.
+    Bic,
+    /// TCP Vegas.
+    Vegas,
+}
+
+impl TcpCcKind {
+    /// Instantiate the controller.
+    pub fn build(self) -> Box<dyn TcpCong> {
+        match self {
+            TcpCcKind::Reno => Box::new(RenoCc),
+            TcpCcKind::HighSpeed => Box::new(HighSpeedCc),
+            TcpCcKind::Scalable => Box::new(ScalableCc),
+            TcpCcKind::Bic => Box::new(BicCc::new()),
+            TcpCcKind::Vegas => Box::new(VegasCc::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(cwnd: f64, ssthresh: f64) -> TcpCcState {
+        TcpCcState { cwnd, ssthresh }
+    }
+
+    #[test]
+    fn reno_additive_increase_halving_decrease() {
+        let mut cc = RenoCc;
+        let mut s = st(10.0, 5.0);
+        cc.on_ack(&mut s, 1, 0.0, 0.0);
+        assert!((s.cwnd - 10.1).abs() < 1e-9);
+        cc.on_loss(&mut s);
+        assert!((s.cwnd - 5.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reno_slow_start_doubles() {
+        let mut cc = RenoCc;
+        let mut s = st(2.0, 100.0);
+        cc.on_ack(&mut s, 2, 0.0, 0.0);
+        assert!((s.cwnd - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scalable_is_rate_proportional() {
+        let mut cc = ScalableCc;
+        let mut small = st(100.0, 10.0);
+        let mut large = st(10_000.0, 10.0);
+        cc.on_ack(&mut small, 100, 0.0, 0.0);
+        cc.on_ack(&mut large, 10_000, 0.0, 0.0);
+        // Same *relative* growth per window of ACKs: 1%.
+        assert!((small.cwnd / 100.0 - large.cwnd / 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn highspeed_tables_match_rfc_anchors() {
+        // RFC 3649: at w = 38 a = 1, b = 0.5; at w = 83000 b = 0.1.
+        assert!((HighSpeedCc::a(38.0) - 1.0).abs() < 1e-9);
+        assert!((HighSpeedCc::b(38.0) - 0.5).abs() < 1e-9);
+        assert!((HighSpeedCc::b(83_000.0) - 0.1).abs() < 1e-6);
+        // Monotone: bigger windows, bigger increases, smaller decreases.
+        assert!(HighSpeedCc::a(10_000.0) > HighSpeedCc::a(100.0));
+        assert!(HighSpeedCc::b(10_000.0) < HighSpeedCc::b(100.0));
+    }
+
+    #[test]
+    fn bic_binary_search_converges_to_wmax() {
+        let mut cc = BicCc::new();
+        let mut s = st(1000.0, 1.0);
+        cc.on_loss(&mut s); // sets w_max = 1000, cwnd = 800
+        assert!((s.cwnd - 800.0).abs() < 1e-9);
+        for _ in 0..2_000 {
+            let acked = s.cwnd as u32;
+            cc.on_ack(&mut s, acked, 0.0, 0.0);
+        }
+        assert!(s.cwnd >= 995.0, "should approach w_max; cwnd={}", s.cwnd);
+    }
+
+    #[test]
+    fn bic_increment_bounded() {
+        let cc = BicCc { w_max: 10_000.0 };
+        assert!(cc.increment(100.0) <= BicCc::S_MAX);
+        assert!(cc.increment(9_999.999) >= BicCc::S_MIN);
+    }
+
+    #[test]
+    fn vegas_holds_queue_between_alpha_beta() {
+        let mut cc = VegasCc::new();
+        let mut s = st(100.0, 1.0); // CA mode
+        // Queue ~0 → increase.
+        cc.on_ack(&mut s, 100, 10_000.0, 10_000.0);
+        assert!((s.cwnd - 101.0).abs() < 1e-9);
+        // Heavy queueing (diff = cwnd/2 >> β) → decrease.
+        let mut s2 = st(100.0, 1.0);
+        cc.on_ack(&mut s2, 100, 20_000.0, 10_000.0);
+        assert!((s2.cwnd - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rto_resets_to_one_segment() {
+        let mut cc = RenoCc;
+        let mut s = st(64.0, 32.0);
+        cc.on_rto(&mut s);
+        assert_eq!(s.cwnd, 1.0);
+        assert_eq!(s.ssthresh, 32.0);
+    }
+
+    #[test]
+    fn all_kinds_build() {
+        for k in [
+            TcpCcKind::Reno,
+            TcpCcKind::HighSpeed,
+            TcpCcKind::Scalable,
+            TcpCcKind::Bic,
+            TcpCcKind::Vegas,
+        ] {
+            let cc = k.build();
+            assert!(!cc.name().is_empty());
+        }
+    }
+}

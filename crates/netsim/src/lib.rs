@@ -1,0 +1,36 @@
+//! A discrete-event packet network simulator — the repository's NS-2
+//! substitute (see DESIGN.md).
+//!
+//! The paper evaluates UDT's congestion-control *dynamics* (fairness,
+//! stability, friendliness, RTT independence — Figures 2–8) in NS-2. This
+//! crate provides the pieces those experiments need:
+//!
+//! * [`sim`] — the event-driven core: [`sim::Simulator`], the
+//!   [`sim::Agent`] trait and its action context.
+//! * [`link`] — fixed-rate links with serialization + propagation delay and
+//!   DropTail queues.
+//! * [`topo`] — topology builders: dumbbell, the paper's two-branch
+//!   (Figure 1) shape, and the `max(100, BDP)` queue-sizing rule.
+//! * [`packet`] — simulated packets; UDT traffic carries the real
+//!   `udt-proto` packet types so the simulated endpoints exercise the same
+//!   `udt-algo` state machines as the socket implementation.
+//! * [`agents`] — protocol endpoints: UDT (and SABUL via the pluggable
+//!   rate controller), TCP with SACK loss recovery and swappable
+//!   congestion avoidance (Reno/SACK, HighSpeed, Scalable, BIC, Vegas),
+//!   and CBR/bursting cross-traffic sources.
+
+pub mod agents;
+pub mod link;
+pub mod packet;
+pub mod sim;
+#[cfg(test)]
+mod sim_tests;
+pub mod topo;
+
+pub use link::{Link, LinkStats};
+pub use packet::{AgentId, FlowId, LinkId, NodeId, Payload, SimPacket};
+pub use sim::{Agent, Ctx, Sample, Simulator};
+pub use topo::{
+    dumbbell, paper_queue_cap, parking_lot, two_branch, Dumbbell, DumbbellCfg, ParkingLot,
+    TopoBuilder, TwoBranch,
+};

@@ -1,0 +1,178 @@
+//! Simplex links with serialization delay, propagation delay and a
+//! DropTail queue — the queueing model used by every simulation figure in
+//! the paper ("DropTail queue is used and the queue size is set to
+//! max{100, BDP}").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use udt_algo::Nanos;
+
+use crate::packet::{NodeId, SimPacket};
+
+/// Per-link counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_pkts: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped at the queue tail.
+    pub drops: u64,
+    /// Packets dropped by random (physical-path) loss.
+    pub random_drops: u64,
+    /// Maximum queue depth observed (packets).
+    pub max_queue: usize,
+}
+
+/// A simplex link: fixed rate, fixed propagation delay, DropTail queue
+/// bounded in packets.
+#[derive(Debug)]
+pub struct Link {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Capacity in bits/second.
+    pub rate_bps: f64,
+    /// Propagation delay.
+    pub delay: Nanos,
+    /// Queue bound in packets (DropTail).
+    pub queue_cap: usize,
+    queue: std::collections::VecDeque<SimPacket>,
+    /// `true` while a packet is being serialized onto the wire.
+    pub busy: bool,
+    /// Counters.
+    pub stats: LinkStats,
+    /// Random per-packet loss probability (physical-path loss; §2.2 notes
+    /// such loss on real links is part of why TCP cannot fill high-BDP
+    /// paths). 0.0 = clean.
+    loss_prob: f64,
+    rng: SmallRng,
+}
+
+impl Link {
+    /// New idle link.
+    pub fn new(from: NodeId, to: NodeId, rate_bps: f64, delay: Nanos, queue_cap: usize) -> Link {
+        assert!(rate_bps > 0.0, "link rate must be positive");
+        Link {
+            from,
+            to,
+            rate_bps,
+            delay,
+            queue_cap,
+            queue: std::collections::VecDeque::new(),
+            busy: false,
+            stats: LinkStats::default(),
+            loss_prob: 0.0,
+            rng: SmallRng::seed_from_u64(0x11AC),
+        }
+    }
+
+    /// Enable random per-packet loss on this link.
+    pub fn set_random_loss(&mut self, prob: f64, seed: u64) {
+        self.loss_prob = prob;
+        self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Serialization time for `size` bytes at this link's rate.
+    pub fn tx_time(&self, size: u32) -> Nanos {
+        Nanos::from_secs_f64(size as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// Offer a packet. Returns the packet to start transmitting immediately
+    /// (link was idle), or queues/drops it (DropTail) otherwise.
+    pub fn offer(&mut self, pkt: SimPacket) -> Option<SimPacket> {
+        if self.loss_prob > 0.0 && self.rng.gen::<f64>() < self.loss_prob {
+            self.stats.random_drops += 1;
+            return None;
+        }
+        if !self.busy {
+            self.busy = true;
+            Some(pkt)
+        } else if self.queue.len() < self.queue_cap {
+            self.queue.push_back(pkt);
+            self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+            None
+        } else {
+            self.stats.drops += 1;
+            None
+        }
+    }
+
+    /// The transmitter finished the current packet; account it and pull the
+    /// next one from the queue (link stays busy if one is returned).
+    pub fn tx_done(&mut self, finished_size: u32) -> Option<SimPacket> {
+        debug_assert!(self.busy, "tx_done on idle link");
+        self.stats.tx_pkts += 1;
+        self.stats.tx_bytes += finished_size as u64;
+        match self.queue.pop_front() {
+            Some(next) => Some(next),
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Current queue depth in packets.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, Payload};
+
+    fn pkt(size: u32) -> SimPacket {
+        SimPacket::new(NodeId(0), NodeId(1), FlowId(0), size, Payload::Raw)
+    }
+
+    fn link(cap: usize) -> Link {
+        Link::new(NodeId(0), NodeId(1), 1e9, Nanos::from_millis(1), cap)
+    }
+
+    #[test]
+    fn tx_time_matches_rate() {
+        let l = link(10);
+        // 1500 B at 1 Gb/s = 12 µs.
+        assert_eq!(l.tx_time(1500), Nanos::from_micros(12));
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut l = link(10);
+        assert!(l.offer(pkt(100)).is_some());
+        assert!(l.busy);
+    }
+
+    #[test]
+    fn busy_link_queues_then_drops() {
+        let mut l = link(2);
+        assert!(l.offer(pkt(1)).is_some());
+        assert!(l.offer(pkt(2)).is_none());
+        assert!(l.offer(pkt(3)).is_none());
+        assert_eq!(l.queue_len(), 2);
+        assert!(l.offer(pkt(4)).is_none()); // dropped
+        assert_eq!(l.stats.drops, 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn tx_done_drains_queue_in_order() {
+        let mut l = link(4);
+        l.offer(pkt(1));
+        l.offer(pkt(2));
+        l.offer(pkt(3));
+        let nxt = l.tx_done(1).unwrap();
+        assert_eq!(nxt.size, 2);
+        assert!(l.busy);
+        let nxt = l.tx_done(2).unwrap();
+        assert_eq!(nxt.size, 3);
+        assert!(l.tx_done(3).is_none());
+        assert!(!l.busy);
+        assert_eq!(l.stats.tx_pkts, 3);
+        assert_eq!(l.stats.tx_bytes, 6);
+    }
+}

@@ -1,0 +1,85 @@
+//! Simulated packets and protocol payloads.
+
+use udt_proto::Packet as UdtPacket;
+
+/// Node identifier within a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Simplex link identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(pub usize);
+
+/// Agent identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentId(pub usize);
+
+/// Flow identifier for accounting (assigned by experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowId(pub usize);
+
+/// TCP segment header (packet-level TCP model; sequence numbers count
+/// MSS-sized segments, which is the granularity NS-2's TCP agents use too).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpSeg {
+    /// Segment sequence number (0-based, no wrap in simulation).
+    pub seq: u64,
+    /// Sender timestamp (ns) echoed by the ACK, for RTT sampling.
+    pub ts: u64,
+    /// Retransmission flag (for traces only).
+    pub retx: bool,
+}
+
+/// TCP acknowledgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpAck {
+    /// Cumulative ACK: all segments below this are received.
+    pub cum: u64,
+    /// Up to three SACK blocks `[from, to)` above the cumulative point.
+    pub sack: Vec<(u64, u64)>,
+    /// Echoed timestamp of the segment that triggered this ACK.
+    pub echo_ts: u64,
+}
+
+/// What a simulated packet carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// A UDT packet (data or control), using the real wire types so the
+    /// simulated endpoints run the same `udt-algo` state machines as the
+    /// socket implementation.
+    Udt(UdtPacket),
+    /// TCP data segment.
+    Tcp(TcpSeg),
+    /// TCP acknowledgement.
+    TcpAck(TcpAck),
+    /// Opaque bulk (CBR / bursting UDP cross-traffic).
+    Raw,
+}
+
+/// A packet in flight in the simulator.
+#[derive(Debug, Clone)]
+pub struct SimPacket {
+    /// Origin node.
+    pub src: NodeId,
+    /// Destination node (routing key).
+    pub dst: NodeId,
+    /// Flow for accounting.
+    pub flow: FlowId,
+    /// Total wire size in bytes (drives serialization delay).
+    pub size: u32,
+    /// Protocol payload.
+    pub payload: Payload,
+}
+
+impl SimPacket {
+    /// Convenience constructor.
+    pub fn new(src: NodeId, dst: NodeId, flow: FlowId, size: u32, payload: Payload) -> SimPacket {
+        SimPacket {
+            src,
+            dst,
+            flow,
+            size,
+            payload,
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Simulator`] owns a topology (nodes + simplex [`Link`]s with static
+//! routes), a set of protocol [`Agent`]s (at most one per node), and a
+//! time-ordered event heap. Three event kinds exist: a link transmitter
+//! freeing up, a packet arriving at the far end of a link, and an agent
+//! timer. Agents never touch the simulator directly — they emit actions
+//! through a [`Ctx`], which keeps the borrow story trivial and makes every
+//! run deterministic (ties broken by schedule order).
+
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use udt_algo::Nanos;
+
+use crate::link::Link;
+use crate::packet::{AgentId, FlowId, LinkId, NodeId, SimPacket};
+
+/// A protocol endpoint (or traffic source/sink) attached to a node.
+pub trait Agent: 'static {
+    /// Called once when the simulation starts.
+    fn start(&mut self, _ctx: &mut Ctx) {}
+    /// A packet destined to this agent's node arrived.
+    fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx);
+    /// A timer scheduled through [`Ctx::timer_at`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+    /// Downcast support so experiments can read agent state after a run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Action collector handed to agents.
+pub struct Ctx {
+    /// Current simulation time.
+    pub now: Nanos,
+    /// The node this agent sits on.
+    pub node: NodeId,
+    /// The agent's own id.
+    pub agent: AgentId,
+    actions: Vec<Action>,
+}
+
+enum Action {
+    Send(SimPacket),
+    TimerAt(Nanos, u64),
+    Deliver(FlowId, u64),
+}
+
+impl Ctx {
+    /// Send a packet into the network from this node.
+    pub fn send(&mut self, pkt: SimPacket) {
+        self.actions.push(Action::Send(pkt));
+    }
+
+    /// Schedule [`Agent::on_timer`] with `token` at absolute time `at`
+    /// (clamped to now if in the past). Timers cannot be cancelled; agents
+    /// ignore stale fires by tracking their intended deadline.
+    pub fn timer_at(&mut self, at: Nanos, token: u64) {
+        self.actions.push(Action::TimerAt(at.max(self.now), token));
+    }
+
+    /// Schedule a timer `delay` from now.
+    pub fn timer_in(&mut self, delay: Nanos, token: u64) {
+        self.actions.push(Action::TimerAt(self.now.plus(delay), token));
+    }
+
+    /// Account `bytes` of application-level data delivered for `flow`
+    /// (drives all throughput figures).
+    pub fn deliver(&mut self, flow: FlowId, bytes: u64) {
+        self.actions.push(Action::Deliver(flow, bytes));
+    }
+}
+
+#[derive(Debug)]
+enum EventKind {
+    TxFree { link: LinkId, size: u32 },
+    Arrive { link: LinkId },
+    Timer { agent: AgentId, token: u64 },
+}
+
+struct Event {
+    time: Nanos,
+    seq: u64,
+    kind: EventKind,
+    /// Packet payload for `Arrive` (kept out of the enum so the heap entry
+    /// stays movable without matching).
+    pkt: Option<SimPacket>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// One periodic sample of per-flow delivered bytes.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Sample timestamp.
+    pub time: Nanos,
+    /// Cumulative delivered bytes per flow at `time`.
+    pub delivered: Vec<u64>,
+}
+
+/// The simulator.
+pub struct Simulator {
+    now: Nanos,
+    events: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    links: Vec<Link>,
+    /// `routes[node][dst] = outgoing link`, `None` if unreachable.
+    routes: Vec<Vec<Option<LinkId>>>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_node: Vec<NodeId>,
+    node_agent: Vec<Option<AgentId>>,
+    flow_delivered: Vec<u64>,
+    sample_interval: Option<Nanos>,
+    next_sample: Nanos,
+    samples: Vec<Sample>,
+    started: bool,
+}
+
+impl Simulator {
+    pub(crate) fn from_parts(links: Vec<Link>, routes: Vec<Vec<Option<LinkId>>>) -> Simulator {
+        let n_nodes = routes.len();
+        Simulator {
+            now: Nanos::ZERO,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            links,
+            routes,
+            agents: Vec::new(),
+            agent_node: Vec::new(),
+            node_agent: vec![None; n_nodes],
+            flow_delivered: Vec::new(),
+            sample_interval: None,
+            next_sample: Nanos::ZERO,
+            samples: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Attach an agent to a node (one agent per node).
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        assert!(
+            self.node_agent[node.0].is_none(),
+            "node {node:?} already has an agent"
+        );
+        let id = AgentId(self.agents.len());
+        self.agents.push(Some(agent));
+        self.agent_node.push(node);
+        self.node_agent[node.0] = Some(id);
+        id
+    }
+
+    /// Register a flow for delivered-bytes accounting; returns its id.
+    pub fn add_flow(&mut self) -> FlowId {
+        self.flow_delivered.push(0);
+        FlowId(self.flow_delivered.len() - 1)
+    }
+
+    /// Enable periodic sampling of per-flow delivered bytes.
+    pub fn set_sampling(&mut self, interval: Nanos) {
+        self.sample_interval = Some(interval);
+        self.next_sample = interval;
+    }
+
+    /// Cumulative application bytes delivered for `flow`.
+    pub fn delivered(&self, flow: FlowId) -> u64 {
+        self.flow_delivered[flow.0]
+    }
+
+    /// Periodic samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Link state (for drop/queue statistics).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0]
+    }
+
+    /// Mutable link access (configure random loss before running).
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.0]
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Borrow an agent downcast to its concrete type.
+    pub fn agent_as<T: 'static>(&self, id: AgentId) -> &T {
+        self.agents[id.0]
+            .as_ref()
+            .expect("agent busy")
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    fn schedule(&mut self, time: Nanos, kind: EventKind, pkt: Option<SimPacket>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq,
+            kind,
+            pkt,
+        }));
+    }
+
+    /// Route + enqueue a packet leaving `node`.
+    fn dispatch(&mut self, node: NodeId, pkt: SimPacket) {
+        if pkt.dst == node {
+            // Loopback: deliver immediately (zero-cost local path).
+            self.deliver_to_agent(node, pkt);
+            return;
+        }
+        let Some(link_id) = self.routes[node.0][pkt.dst.0] else {
+            panic!("no route from {node:?} to {:?}", pkt.dst);
+        };
+        self.enqueue_on_link(link_id, pkt);
+    }
+
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: SimPacket) {
+        let link = &mut self.links[link_id.0];
+        if let Some(p) = link.offer(pkt) {
+            let tx = link.tx_time(p.size);
+            let delay = link.delay;
+            let size = p.size;
+            self.schedule(self.now.plus(tx), EventKind::TxFree { link: link_id, size }, None);
+            self.schedule(
+                self.now.plus(tx).plus(delay),
+                EventKind::Arrive { link: link_id },
+                Some(p),
+            );
+        }
+    }
+
+    fn deliver_to_agent(&mut self, node: NodeId, pkt: SimPacket) {
+        let Some(agent_id) = self.node_agent[node.0] else {
+            return; // sink-less node: packet evaporates (counted nowhere)
+        };
+        self.with_agent(agent_id, |agent, ctx| agent.on_packet(pkt, ctx));
+    }
+
+    /// Take-call-putback so the agent can emit actions without aliasing.
+    fn with_agent<F: FnOnce(&mut dyn Agent, &mut Ctx)>(&mut self, id: AgentId, f: F) {
+        let mut agent = self.agents[id.0].take().expect("re-entrant agent call");
+        let mut ctx = Ctx {
+            now: self.now,
+            node: self.agent_node[id.0],
+            agent: id,
+            actions: Vec::new(),
+        };
+        f(agent.as_mut(), &mut ctx);
+        self.agents[id.0] = Some(agent);
+        let node = self.agent_node[id.0];
+        for action in ctx.actions {
+            match action {
+                Action::Send(pkt) => self.dispatch(node, pkt),
+                Action::TimerAt(at, token) => {
+                    self.schedule(at, EventKind::Timer { agent: id, token }, None)
+                }
+                Action::Deliver(flow, bytes) => {
+                    self.flow_delivered[flow.0] += bytes;
+                }
+            }
+        }
+    }
+
+    /// Call every agent's `start` hook (idempotent).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.agents.len() {
+            self.with_agent(AgentId(i), |agent, ctx| agent.start(ctx));
+        }
+    }
+
+    /// Run until simulated time `until` (inclusive of events at `until`).
+    pub fn run_until(&mut self, until: Nanos) {
+        self.start();
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.time > until {
+                break;
+            }
+            // Emit any due samples before advancing past them.
+            if let Some(interval) = self.sample_interval {
+                while self.next_sample <= ev.time && self.next_sample <= until {
+                    self.samples.push(Sample {
+                        time: self.next_sample,
+                        delivered: self.flow_delivered.clone(),
+                    });
+                    self.next_sample = self.next_sample.plus(interval);
+                }
+            }
+            let Reverse(ev) = self.events.pop().expect("peeked");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::TxFree { link, size } => {
+                    if let Some(next) = self.links[link.0].tx_done(size) {
+                        let l = &self.links[link.0];
+                        let tx = l.tx_time(next.size);
+                        let delay = l.delay;
+                        let nsize = next.size;
+                        self.schedule(
+                            self.now.plus(tx),
+                            EventKind::TxFree { link, size: nsize },
+                            None,
+                        );
+                        self.schedule(
+                            self.now.plus(tx).plus(delay),
+                            EventKind::Arrive { link },
+                            Some(next),
+                        );
+                    }
+                }
+                EventKind::Arrive { link } => {
+                    let pkt = ev.pkt.expect("arrive without packet");
+                    let node = self.links[link.0].to;
+                    if pkt.dst == node {
+                        self.deliver_to_agent(node, pkt);
+                    } else {
+                        // Transit node: forward along the static route.
+                        let Some(next_link) = self.routes[node.0][pkt.dst.0] else {
+                            panic!("no route at {node:?} for {:?}", pkt.dst);
+                        };
+                        self.enqueue_on_link(next_link, pkt);
+                    }
+                }
+                EventKind::Timer { agent, token } => {
+                    self.with_agent(agent, |a, ctx| a.on_timer(token, ctx));
+                }
+            }
+        }
+        // Flush trailing samples up to `until` even if no events remain.
+        if let Some(interval) = self.sample_interval {
+            while self.next_sample <= until {
+                self.samples.push(Sample {
+                    time: self.next_sample,
+                    delivered: self.flow_delivered.clone(),
+                });
+                self.next_sample = self.next_sample.plus(interval);
+            }
+        }
+        self.now = self.now.max(until);
+    }
+}

@@ -1,0 +1,124 @@
+//! Model-based property tests: the appendix loss list must behave exactly
+//! like a reference `BTreeSet<u32>` of lost sequence numbers under arbitrary
+//! operation sequences, including near the sequence-number wrap point.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use udt_algo::losslist::LossList;
+use udt_proto::{SeqNo, SEQ_MAX};
+
+const CAP: usize = 256;
+/// Keep all touched sequence numbers within an addressable span.
+const DOMAIN: u32 = 200;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u32),
+    Remove(u32),
+    RemoveUpto(u32),
+    PopFirst,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..DOMAIN, 0..8u32).prop_map(|(s, l)| Op::Insert(s, (s + l).min(DOMAIN - 1))),
+        (0..DOMAIN).prop_map(Op::Remove),
+        (0..DOMAIN).prop_map(Op::RemoveUpto),
+        Just(Op::PopFirst),
+    ]
+}
+
+/// Run an op sequence with every sequence number offset by `base`, checking
+/// the loss list against the model after every operation.
+fn run_model(ops: &[Op], base: u32) {
+    let mut ll = LossList::new(CAP);
+    let mut model: BTreeSet<u32> = BTreeSet::new();
+    let sq = |v: u32| SeqNo::new(base.wrapping_add(v) & SEQ_MAX);
+
+    for op in ops {
+        match *op {
+            Op::Insert(from, to) => {
+                let added = ll.insert(sq(from), sq(to));
+                let mut model_added = 0;
+                for v in from..=to {
+                    if model.insert(v) {
+                        model_added += 1;
+                    }
+                }
+                assert_eq!(added, model_added, "insert({from},{to}) count mismatch");
+            }
+            Op::Remove(v) => {
+                let removed = ll.remove(sq(v));
+                assert_eq!(removed, model.remove(&v), "remove({v}) mismatch");
+            }
+            Op::RemoveUpto(v) => {
+                let removed = ll.remove_upto(sq(v));
+                let keep: BTreeSet<u32> = model.iter().copied().filter(|&x| x > v).collect();
+                let model_removed = (model.len() - keep.len()) as u32;
+                model = keep;
+                assert_eq!(removed, model_removed, "remove_upto({v}) mismatch");
+            }
+            Op::PopFirst => {
+                let got = ll.pop_first().map(|s| s.raw());
+                let want = model.iter().next().copied();
+                if let Some(w) = want {
+                    model.remove(&w);
+                }
+                assert_eq!(got, want.map(|w| (base.wrapping_add(w)) & SEQ_MAX));
+            }
+        }
+        // Global invariants after every op.
+        assert_eq!(ll.len(), model.len(), "length diverged");
+        assert_eq!(ll.is_empty(), model.is_empty());
+        assert_eq!(
+            ll.first().map(|s| s.raw()),
+            model
+                .iter()
+                .next()
+                .map(|&w| (base.wrapping_add(w)) & SEQ_MAX)
+        );
+        assert_eq!(ll.overflows(), 0, "ops inside the span must never overflow");
+        // Flattened contents must match exactly.
+        let got: Vec<u32> = ll
+            .ranges()
+            .iter()
+            .flat_map(|r| r.iter().map(|s| s.raw()))
+            .collect();
+        let want: Vec<u32> = model
+            .iter()
+            .map(|&w| (base.wrapping_add(w)) & SEQ_MAX)
+            .collect();
+        assert_eq!(got, want, "contents diverged");
+        // Ranges must be maximal: no two adjacent/overlapping nodes.
+        let ranges = ll.ranges();
+        for w in ranges.windows(2) {
+            assert!(
+                w[0].to.next().lt_seq(w[1].from),
+                "ranges {w:?} should have been coalesced"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn loss_list_matches_model(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        run_model(&ops, 0);
+    }
+
+    #[test]
+    fn loss_list_matches_model_across_wrap(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        // Base chosen so the operated span straddles the 2^31 wrap point.
+        run_model(&ops, SEQ_MAX - DOMAIN / 2);
+    }
+
+    #[test]
+    fn loss_list_matches_model_random_base(
+        ops in prop::collection::vec(op_strategy(), 1..60),
+        base in 0u32..SEQ_MAX,
+    ) {
+        run_model(&ops, base);
+    }
+}

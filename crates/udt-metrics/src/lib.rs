@@ -1,0 +1,231 @@
+//! Evaluation metrics used by the paper's figures.
+//!
+//! * [`jain_index`] — Jain's fairness index (Figure 2).
+//! * [`stability_index`] — the paper's §3.6 oscillation measure (Figure 4).
+//! * [`friendliness_index`] — the §3.7 TCP-friendliness measure (Figure 5).
+//! * [`ThroughputSeries`] — converts cumulative delivered-byte samples into
+//!   per-interval throughput series, the common currency of all of them.
+
+/// Jain's fairness index over per-flow throughputs:
+/// `J = (Σxᵢ)² / (n · Σxᵢ²)`. 1.0 is perfectly fair; `1/n` is a single
+/// flow hogging everything. Empty or all-zero inputs yield 0.
+pub fn jain_index(throughputs: &[f64]) -> f64 {
+    if throughputs.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = throughputs.iter().sum();
+    let sq_sum: f64 = throughputs.iter().map(|x| x * x).sum();
+    if sq_sum == 0.0 {
+        return 0.0;
+    }
+    sum * sum / (throughputs.len() as f64 * sq_sum)
+}
+
+/// The paper's stability index (§3.6):
+///
+/// ```text
+/// S = (1/n) Σᵢ [ (1/(m−1)) Σₖ (xᵢ(k) − x̄ᵢ)² ]^½ / x̄ᵢ
+/// ```
+///
+/// i.e. the mean, over flows, of the coefficient of variation of each
+/// flow's throughput samples. 0 is perfectly stable. Flows with zero mean
+/// contribute 0 (they carried nothing; oscillation is undefined).
+///
+/// `samples[i]` holds the per-interval throughput samples of flow `i`.
+pub fn stability_index(samples: &[Vec<f64>]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for flow in samples {
+        if flow.len() < 2 {
+            continue;
+        }
+        let mean = flow.iter().sum::<f64>() / flow.len() as f64;
+        if mean <= 0.0 {
+            continue;
+        }
+        let var = flow.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (flow.len() - 1) as f64;
+        acc += var.sqrt() / mean;
+    }
+    acc / samples.len() as f64
+}
+
+/// The paper's TCP-friendliness index (§3.7):
+///
+/// ```text
+/// T = (1/n) Σᵢ xᵢ  /  [ (1/(m+n)) Σᵢ yᵢ ]
+/// ```
+///
+/// where `x` are the throughputs of the `n` TCP flows while competing with
+/// `m` UDT flows, and `y` are the throughputs of `m + n` TCP flows run
+/// alone under the same configuration (their mean is the fair share).
+/// `T = 1` is ideal; `T > 1` means the new protocol is *too* friendly;
+/// `T < 1` means it overruns TCP.
+pub fn friendliness_index(tcp_with_udt: &[f64], tcp_alone: &[f64]) -> f64 {
+    if tcp_with_udt.is_empty() || tcp_alone.is_empty() {
+        return 0.0;
+    }
+    let mean_with = tcp_with_udt.iter().sum::<f64>() / tcp_with_udt.len() as f64;
+    let fair_share = tcp_alone.iter().sum::<f64>() / tcp_alone.len() as f64;
+    if fair_share == 0.0 {
+        return 0.0;
+    }
+    mean_with / fair_share
+}
+
+/// Convert cumulative byte samples (time, bytes) into per-interval
+/// throughput samples in bits/second.
+#[derive(Debug, Clone)]
+pub struct ThroughputSeries {
+    /// Per-interval throughput, bits/second.
+    pub bps: Vec<f64>,
+    /// Interval length, seconds.
+    pub interval_s: f64,
+}
+
+impl ThroughputSeries {
+    /// From cumulative delivered-byte samples at a fixed interval.
+    pub fn from_cumulative(cumulative_bytes: &[u64], interval_s: f64) -> ThroughputSeries {
+        assert!(interval_s > 0.0);
+        let bps = cumulative_bytes
+            .windows(2)
+            .map(|w| (w[1].saturating_sub(w[0])) as f64 * 8.0 / interval_s)
+            .collect();
+        ThroughputSeries { bps, interval_s }
+    }
+
+    /// Mean throughput over the series.
+    pub fn mean(&self) -> f64 {
+        if self.bps.is_empty() {
+            0.0
+        } else {
+            self.bps.iter().sum::<f64>() / self.bps.len() as f64
+        }
+    }
+
+    /// Sample standard deviation of the series.
+    pub fn stddev(&self) -> f64 {
+        if self.bps.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self
+            .bps
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / (self.bps.len() - 1) as f64)
+            .sqrt()
+    }
+
+    /// Drop the first `n` samples (warm-up trimming).
+    pub fn skip_warmup(mut self, n: usize) -> ThroughputSeries {
+        self.bps.drain(..n.min(self.bps.len()));
+        self
+    }
+}
+
+/// Mean of a slice (convenience for experiment code).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation of a slice.
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfect_fairness() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_single_hog() {
+        // One of n flows takes everything → J = 1/n.
+        assert!((jain_index(&[10.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_scale_invariant() {
+        let a = jain_index(&[1.0, 2.0, 3.0]);
+        let b = jain_index(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_degenerate_inputs() {
+        assert_eq!(jain_index(&[]), 0.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn stability_constant_is_zero() {
+        let s = stability_index(&[vec![5.0; 10], vec![3.0; 10]]);
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_oscillation_positive_and_ordered() {
+        let mild = stability_index(&[vec![5.0, 5.5, 4.5, 5.0, 5.5, 4.5]]);
+        let wild = stability_index(&[vec![1.0, 9.0, 1.0, 9.0, 1.0, 9.0]]);
+        assert!(mild > 0.0);
+        assert!(wild > mild);
+    }
+
+    #[test]
+    fn friendliness_equal_share_is_one() {
+        // 10 TCP flows get 6 each next to UDT; alone, 15 flows get 6 each.
+        let with_udt = vec![6.0; 10];
+        let alone = vec![6.0; 15];
+        assert!((friendliness_index(&with_udt, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn friendliness_overrun_below_one() {
+        let with_udt = vec![2.0; 10];
+        let alone = vec![6.0; 15];
+        assert!(friendliness_index(&with_udt, &alone) < 0.5);
+    }
+
+    #[test]
+    fn throughput_series_from_cumulative() {
+        // 1000 bytes per 0.5 s → 16 kb/s.
+        let s = ThroughputSeries::from_cumulative(&[0, 1000, 2000, 3000], 0.5);
+        assert_eq!(s.bps.len(), 3);
+        for &b in &s.bps {
+            assert!((b - 16_000.0).abs() < 1e-9);
+        }
+        assert!((s.mean() - 16_000.0).abs() < 1e-9);
+        assert!(s.stddev() < 1e-9);
+    }
+
+    #[test]
+    fn skip_warmup_trims_front() {
+        let s = ThroughputSeries::from_cumulative(&[0, 0, 0, 1000, 2000], 1.0)
+            .skip_warmup(2);
+        assert_eq!(s.bps.len(), 2);
+        assert!(s.bps.iter().all(|&b| b > 0.0));
+    }
+
+    #[test]
+    fn mean_stddev_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[2.0, 4.0]) - std::f64::consts::SQRT_2).abs() < 1e-9);
+    }
+}

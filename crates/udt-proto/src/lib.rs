@@ -1,0 +1,29 @@
+//! Wire format for the UDT protocol (SC'04 revision).
+//!
+//! UDT is an application-level transport layered on UDP. Every UDP datagram
+//! carries exactly one UDT packet, which is either a *data* packet or a
+//! *control* packet; the two are distinguished by the most significant bit of
+//! the first 32-bit word (`0` = data, `1` = control). All multi-byte fields
+//! are big-endian on the wire.
+//!
+//! The modules here are pure data + codecs and carry no protocol logic:
+//!
+//! * [`seqno`] — 31-bit packet sequence numbers with wraparound-safe
+//!   comparison and distance (§6 of the paper: packet-based sequencing).
+//! * [`packet`] — the data-packet header.
+//! * [`ctrl`] — control packet types (handshake, ACK, ACK2, NAK, keep-alive,
+//!   shutdown).
+//! * [`nak`] — the compressed loss-list encoding from the paper's appendix
+//!   (flag bit marks the start of a `[from, to]` range).
+//! * [`wire`] — encode/decode between [`Packet`] and byte buffers.
+
+pub mod ctrl;
+pub mod nak;
+pub mod packet;
+pub mod seqno;
+pub mod wire;
+
+pub use ctrl::{AckData, ControlPacket, HandshakeData, HandshakeReqType};
+pub use packet::{DataPacket, Packet, PacketKind};
+pub use seqno::{SeqNo, SeqRange, SEQ_MAX, SEQ_SPACE, SEQ_TH};
+pub use wire::{decode, encode, encoded_len, WireError, CTRL_HEADER_LEN, DATA_HEADER_LEN};

@@ -1,0 +1,151 @@
+//! Compressed loss-list encoding (paper appendix).
+//!
+//! A NAK carries the sequence numbers of lost packets. Because congestion
+//! loss is bursty (Figure 8 shows single loss events of 3000+ packets),
+//! listing every number would itself congest the reverse path. The appendix
+//! compresses runs: *"If the flag bit of a sequence number is 1, then all
+//! the numbers from the current one to the next one are lost; otherwise, the
+//! sequence number itself is a lost sequence number."*
+//!
+//! So the list `0x80000003, 0x00000005, 0x00000012` decodes to the losses
+//! `3,4,5` and `18`.
+
+use crate::seqno::{SeqNo, SeqRange};
+
+/// Flag bit marking the first element of a two-word range.
+pub const RANGE_FLAG: u32 = 0x8000_0000;
+
+/// Encode loss ranges into the compressed 32-bit word list.
+///
+/// Single losses cost one word; runs cost two. Ranges are emitted in the
+/// order given (the protocol sends them oldest-first).
+pub fn encode_loss_list(ranges: &[SeqRange]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(ranges.len() * 2);
+    for r in ranges {
+        if r.is_single() {
+            out.push(r.from.raw());
+        } else {
+            out.push(r.from.raw() | RANGE_FLAG);
+            out.push(r.to.raw());
+        }
+    }
+    out
+}
+
+/// Error decoding a compressed loss list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NakDecodeError {
+    /// A range-start word was the last word of the list.
+    TruncatedRange,
+    /// A range's end preceded its start in sequence order.
+    ReversedRange,
+    /// A range-end word had the flag bit set.
+    FlaggedRangeEnd,
+}
+
+impl std::fmt::Display for NakDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NakDecodeError::TruncatedRange => write!(f, "loss list ends inside a range"),
+            NakDecodeError::ReversedRange => write!(f, "loss range end precedes start"),
+            NakDecodeError::FlaggedRangeEnd => write!(f, "loss range end carries the range flag"),
+        }
+    }
+}
+
+impl std::error::Error for NakDecodeError {}
+
+/// Decode the compressed word list back into loss ranges.
+pub fn decode_loss_list(words: &[u32]) -> Result<Vec<SeqRange>, NakDecodeError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < words.len() {
+        let w = words[i];
+        if w & RANGE_FLAG != 0 {
+            let from = SeqNo::new(w);
+            let Some(&end) = words.get(i + 1) else {
+                return Err(NakDecodeError::TruncatedRange);
+            };
+            if end & RANGE_FLAG != 0 {
+                return Err(NakDecodeError::FlaggedRangeEnd);
+            }
+            let to = SeqNo::new(end);
+            if !from.le_seq(to) {
+                return Err(NakDecodeError::ReversedRange);
+            }
+            out.push(SeqRange::new(from, to));
+            i += 2;
+        } else {
+            out.push(SeqRange::single(SeqNo::new(w)));
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: u32, b: u32) -> SeqRange {
+        SeqRange::new(SeqNo::new(a), SeqNo::new(b))
+    }
+
+    #[test]
+    fn paper_appendix_example() {
+        // 0x80000003, 0x00000006(?) — the appendix example (OCR-garbled in
+        // our copy) encodes losses 3..=5 and a single 18 as three words.
+        let ranges = vec![r(3, 5), SeqRange::single(SeqNo::new(18))];
+        let words = encode_loss_list(&ranges);
+        assert_eq!(words, vec![0x8000_0003, 5, 18]);
+        assert_eq!(decode_loss_list(&words).unwrap(), ranges);
+    }
+
+    #[test]
+    fn single_losses_cost_one_word() {
+        let ranges = vec![SeqRange::single(SeqNo::new(1)), SeqRange::single(SeqNo::new(4))];
+        assert_eq!(encode_loss_list(&ranges), vec![1, 4]);
+    }
+
+    #[test]
+    fn roundtrip_mixed() {
+        let ranges = vec![r(10, 20), SeqRange::single(SeqNo::new(25)), r(30, 30), r(100, 4000)];
+        let decoded = decode_loss_list(&encode_loss_list(&ranges)).unwrap();
+        // r(30,30) normalises to a single on decode — compare coverage.
+        let flat = |rs: &[SeqRange]| -> Vec<u32> {
+            rs.iter().flat_map(|r| r.iter().map(|s| s.raw())).collect()
+        };
+        assert_eq!(flat(&decoded), flat(&ranges));
+    }
+
+    #[test]
+    fn truncated_range_rejected() {
+        assert_eq!(
+            decode_loss_list(&[0x8000_0001]),
+            Err(NakDecodeError::TruncatedRange)
+        );
+    }
+
+    #[test]
+    fn reversed_range_rejected() {
+        assert_eq!(
+            decode_loss_list(&[0x8000_0009, 3]),
+            Err(NakDecodeError::ReversedRange)
+        );
+    }
+
+    #[test]
+    fn flagged_end_rejected() {
+        assert_eq!(
+            decode_loss_list(&[0x8000_0001, 0x8000_0002]),
+            Err(NakDecodeError::FlaggedRangeEnd)
+        );
+    }
+
+    #[test]
+    fn wraparound_range_roundtrips() {
+        let ranges = vec![r(crate::seqno::SEQ_MAX - 1, 2)];
+        let decoded = decode_loss_list(&encode_loss_list(&ranges)).unwrap();
+        assert_eq!(decoded, ranges);
+    }
+}

@@ -1,0 +1,265 @@
+//! 31-bit packet sequence numbers.
+//!
+//! The paper (§6, "a packet-based scheme is more suitable") sequences
+//! *packets*, not bytes, precisely to push the wrap horizon out: a 31-bit
+//! packet space at 1 Gb/s with 1500-byte packets wraps roughly every
+//! 7.1 hours instead of TCP's 17 seconds. The most significant bit of the
+//! 32-bit field is reserved as the data/control flag on the wire (and as the
+//! range flag inside NAK loss lists), leaving 2^31 usable values.
+//!
+//! Comparisons are wraparound-safe under the standard assumption that two
+//! live sequence numbers are never more than half the space (`SEQ_TH =
+//! 0x3FFF_FFFF`) apart.
+
+/// Number of distinct sequence values (`2^31`).
+pub const SEQ_SPACE: u32 = 0x8000_0000;
+/// Largest sequence value.
+pub const SEQ_MAX: u32 = 0x7FFF_FFFF;
+/// Wraparound comparison threshold: half the sequence space.
+pub const SEQ_TH: u32 = 0x3FFF_FFFF;
+
+/// A 31-bit packet sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeqNo(u32);
+
+impl SeqNo {
+    /// The zero sequence number.
+    pub const ZERO: SeqNo = SeqNo(0);
+
+    /// Creates a sequence number, masking the input into the 31-bit space.
+    #[inline]
+    pub const fn new(v: u32) -> SeqNo {
+        SeqNo(v & SEQ_MAX)
+    }
+
+    /// Raw 31-bit value.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The next sequence number, wrapping at the top of the space.
+    #[inline]
+    #[must_use]
+    pub const fn next(self) -> SeqNo {
+        SeqNo((self.0 + 1) & SEQ_MAX)
+    }
+
+    /// The previous sequence number, wrapping below zero.
+    #[inline]
+    #[must_use]
+    pub const fn prev(self) -> SeqNo {
+        SeqNo(self.0.wrapping_sub(1) & SEQ_MAX)
+    }
+
+    /// Sequence number `n` steps forward (wrapping). `n` may exceed the
+    /// space; it is reduced modulo `SEQ_SPACE`.
+    #[inline]
+    #[must_use]
+    pub const fn add(self, n: u32) -> SeqNo {
+        SeqNo((self.0.wrapping_add(n)) & SEQ_MAX)
+    }
+
+    /// Sequence number `n` steps backward (wrapping).
+    #[inline]
+    #[must_use]
+    pub const fn sub(self, n: u32) -> SeqNo {
+        SeqNo(self.0.wrapping_sub(n) & SEQ_MAX)
+    }
+
+    /// Wraparound-safe comparison: negative if `self` precedes `other`,
+    /// positive if it follows, zero if equal. Mirrors UDT's `seqcmp`.
+    ///
+    /// Valid when the true distance between the two numbers is below
+    /// [`SEQ_TH`]; beyond that the ordering flips (by design — that is what
+    /// makes wraparound work).
+    #[inline]
+    pub fn cmp_seq(self, other: SeqNo) -> i32 {
+        let (a, b) = (self.0 as i64, other.0 as i64);
+        if (a - b).abs() < SEQ_TH as i64 {
+            (a - b) as i32
+        } else {
+            (b - a) as i32
+        }
+    }
+
+    /// `true` if `self` strictly precedes `other` in sequence order.
+    #[inline]
+    pub fn lt_seq(self, other: SeqNo) -> bool {
+        self.cmp_seq(other) < 0
+    }
+
+    /// `true` if `self` precedes or equals `other`.
+    #[inline]
+    pub fn le_seq(self, other: SeqNo) -> bool {
+        self.cmp_seq(other) <= 0
+    }
+
+    /// Signed distance from `self` to `other` (how many `next()` steps reach
+    /// `other`; negative if `other` is behind). Mirrors UDT's `seqoff`.
+    #[inline]
+    pub fn offset_to(self, other: SeqNo) -> i32 {
+        let (a, b) = (self.0 as i64, other.0 as i64);
+        let d = b - a;
+        if d.abs() < SEQ_TH as i64 {
+            d as i32
+        } else if d < 0 {
+            (d + SEQ_SPACE as i64) as i32
+        } else {
+            (d - SEQ_SPACE as i64) as i32
+        }
+    }
+
+    /// Number of packets in the inclusive range `self..=other`, assuming
+    /// `other` does not precede `self`. Mirrors UDT's `seqlen`.
+    #[inline]
+    pub fn len_to(self, other: SeqNo) -> u32 {
+        let off = self.offset_to(other);
+        debug_assert!(off >= 0, "len_to called with reversed range");
+        off as u32 + 1
+    }
+}
+
+impl From<u32> for SeqNo {
+    fn from(v: u32) -> SeqNo {
+        SeqNo::new(v)
+    }
+}
+
+impl std::fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An inclusive range of lost sequence numbers `[from, to]`.
+///
+/// The paper's loss machinery (NAK reports and loss lists) always works on
+/// ranges because congestion loss is bursty (Figure 8): a single loss event
+/// on a 1 Gb/s link can cover thousands of consecutive packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqRange {
+    /// First lost sequence number.
+    pub from: SeqNo,
+    /// Last lost sequence number (inclusive; equals `from` for a single loss).
+    pub to: SeqNo,
+}
+
+impl SeqRange {
+    /// A single lost packet.
+    #[inline]
+    pub fn single(s: SeqNo) -> SeqRange {
+        SeqRange { from: s, to: s }
+    }
+
+    /// An inclusive range; `from` must not follow `to`.
+    #[inline]
+    pub fn new(from: SeqNo, to: SeqNo) -> SeqRange {
+        debug_assert!(from.le_seq(to), "reversed SeqRange {from}..{to}");
+        SeqRange { from, to }
+    }
+
+    /// Number of sequence numbers covered.
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.from.len_to(self.to)
+    }
+
+    /// `true` if the range covers exactly one sequence number.
+    #[inline]
+    pub fn is_single(&self) -> bool {
+        self.from == self.to
+    }
+
+    /// Always `false`: a `SeqRange` covers at least one number.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `true` if `s` falls inside the range.
+    #[inline]
+    pub fn contains(&self, s: SeqNo) -> bool {
+        self.from.le_seq(s) && s.le_seq(self.to)
+    }
+
+    /// Iterate the covered sequence numbers in order.
+    pub fn iter(&self) -> impl Iterator<Item = SeqNo> {
+        let from = self.from;
+        (0..self.len()).map(move |i| from.add(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_masks_flag_bit() {
+        assert_eq!(SeqNo::new(0xFFFF_FFFF).raw(), SEQ_MAX);
+        assert_eq!(SeqNo::new(SEQ_SPACE).raw(), 0);
+    }
+
+    #[test]
+    fn next_wraps_at_max() {
+        assert_eq!(SeqNo::new(SEQ_MAX).next(), SeqNo::ZERO);
+        assert_eq!(SeqNo::ZERO.prev(), SeqNo::new(SEQ_MAX));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let s = SeqNo::new(SEQ_MAX - 2);
+        assert_eq!(s.add(5).sub(5), s);
+        assert_eq!(s.add(5).raw(), 2);
+    }
+
+    #[test]
+    fn cmp_plain() {
+        assert!(SeqNo::new(5).lt_seq(SeqNo::new(9)));
+        assert!(!SeqNo::new(9).lt_seq(SeqNo::new(5)));
+        assert_eq!(SeqNo::new(7).cmp_seq(SeqNo::new(7)), 0);
+    }
+
+    #[test]
+    fn cmp_across_wrap() {
+        let hi = SeqNo::new(SEQ_MAX);
+        let lo = SeqNo::new(3);
+        // 3 comes "after" SEQ_MAX across the wrap boundary.
+        assert!(hi.lt_seq(lo));
+        assert!(hi.cmp_seq(lo) < 0);
+        assert!(lo.cmp_seq(hi) > 0);
+    }
+
+    #[test]
+    fn offset_plain_and_wrapped() {
+        assert_eq!(SeqNo::new(10).offset_to(SeqNo::new(14)), 4);
+        assert_eq!(SeqNo::new(14).offset_to(SeqNo::new(10)), -4);
+        let hi = SeqNo::new(SEQ_MAX - 1);
+        let lo = SeqNo::new(2);
+        assert_eq!(hi.offset_to(lo), 4);
+        assert_eq!(lo.offset_to(hi), -4);
+    }
+
+    #[test]
+    fn len_to_inclusive() {
+        assert_eq!(SeqNo::new(5).len_to(SeqNo::new(5)), 1);
+        assert_eq!(SeqNo::new(5).len_to(SeqNo::new(9)), 5);
+        assert_eq!(SeqNo::new(SEQ_MAX).len_to(SeqNo::new(0)), 2);
+    }
+
+    #[test]
+    fn range_contains_across_wrap() {
+        let r = SeqRange::new(SeqNo::new(SEQ_MAX - 1), SeqNo::new(1));
+        assert!(r.contains(SeqNo::new(SEQ_MAX)));
+        assert!(r.contains(SeqNo::new(0)));
+        assert!(!r.contains(SeqNo::new(2)));
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn range_iter_order() {
+        let r = SeqRange::new(SeqNo::new(SEQ_MAX), SeqNo::new(1));
+        let v: Vec<u32> = r.iter().map(|s| s.raw()).collect();
+        assert_eq!(v, vec![SEQ_MAX, 0, 1]);
+    }
+}

@@ -1,0 +1,85 @@
+//! `udtcat` — netcat for UDT: pipe stdin across the network, or a remote
+//! stream to stdout. Composes with the `sendfile`/`recvfile` spirit of
+//! §4.7 for ad-hoc bulk moves:
+//!
+//! ```sh
+//! # receiver
+//! udtcat listen 0.0.0.0:9000 > dump.tar
+//!
+//! # sender
+//! udtcat connect 192.0.2.1:9000 < dump.tar
+//! ```
+
+use std::io::{Read, Write};
+use std::net::SocketAddr;
+
+use udt::{UdtConfig, UdtConnection, UdtListener};
+
+fn usage() -> ! {
+    eprintln!("usage:\n  udtcat listen <bind-addr>   # remote stream → stdout\n  udtcat connect <addr>       # stdin → remote");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr: SocketAddr = match (args.first().map(String::as_str), args.get(1)) {
+        (Some("listen"), Some(a)) | (Some("connect"), Some(a)) => a.parse().unwrap_or_else(|e| {
+            eprintln!("bad address: {e}");
+            std::process::exit(2);
+        }),
+        _ => usage(),
+    };
+    match args[0].as_str() {
+        "listen" => listen(addr),
+        "connect" => connect(addr),
+        _ => usage(),
+    }
+}
+
+fn listen(addr: SocketAddr) {
+    let listener = UdtListener::bind(addr, UdtConfig::default()).expect("bind");
+    eprintln!("udtcat: listening on {}", listener.local_addr());
+    let conn = listener.accept().expect("accept");
+    eprintln!("udtcat: connection from {}", conn.peer_addr());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut buf = vec![0u8; 1 << 16];
+    let mut total = 0u64;
+    loop {
+        match conn.recv(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                out.write_all(&buf[..n]).expect("stdout");
+                total += n as u64;
+            }
+            Err(e) => {
+                eprintln!("udtcat: recv error: {e}");
+                break;
+            }
+        }
+    }
+    out.flush().ok();
+    eprintln!("udtcat: received {total} bytes");
+}
+
+fn connect(addr: SocketAddr) {
+    let conn = UdtConnection::connect(addr, UdtConfig::default()).expect("connect");
+    eprintln!("udtcat: connected to {}", conn.peer_addr());
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut buf = vec![0u8; 1 << 16];
+    let mut total = 0u64;
+    loop {
+        let n = input.read(&mut buf).expect("stdin");
+        if n == 0 {
+            break;
+        }
+        if conn.send(&buf[..n]).is_err() {
+            eprintln!("udtcat: connection broke");
+            break;
+        }
+        total += n as u64;
+    }
+    conn.close().expect("close");
+    eprintln!("udtcat: sent {total} bytes");
+}

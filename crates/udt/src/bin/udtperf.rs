@@ -1,0 +1,161 @@
+//! `udtperf` — iperf-style throughput measurement over UDT.
+//!
+//! ```sh
+//! # on the receiving host
+//! udtperf server 0.0.0.0:9000
+//!
+//! # on the sending host
+//! udtperf client 192.0.2.1:9000 --secs 10 --mss 1500
+//! ```
+//!
+//! The client streams zeros for the requested duration and prints a
+//! per-second report from the connection's performance monitor (rate, RTT,
+//! congestion state, loss), then a summary — the numbers of the paper's
+//! Figure 11, for your own network.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use udt::{throughput_between, UdtConfig, UdtConnection, UdtListener};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  udtperf server <bind-addr>\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("server") => {
+            let addr: SocketAddr = args.get(1).unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
+                eprintln!("bad address: {e}");
+                std::process::exit(2);
+            });
+            server(addr);
+        }
+        Some("client") => {
+            let addr: SocketAddr = args.get(1).unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
+                eprintln!("bad address: {e}");
+                std::process::exit(2);
+            });
+            let secs = parse_flag(&args, "--secs").unwrap_or(10);
+            let mss = parse_flag(&args, "--mss").unwrap_or(1500) as u32;
+            let buf = parse_flag(&args, "--buf").unwrap_or(8192) as u32;
+            client(addr, secs, mss, buf);
+        }
+        _ => usage(),
+    }
+}
+
+fn server(addr: SocketAddr) {
+    let listener = UdtListener::bind(addr, UdtConfig::default()).expect("bind");
+    eprintln!("udtperf: listening on {}", listener.local_addr());
+    loop {
+        let conn = match listener.accept() {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                return;
+            }
+        };
+        eprintln!("accepted {}", conn.peer_addr());
+        std::thread::spawn(move || {
+            let mut buf = vec![0u8; 1 << 16];
+            let t0 = Instant::now();
+            let mut total = 0u64;
+            loop {
+                match conn.recv(&mut buf) {
+                    Ok(0) => break,
+                    Ok(n) => total += n as u64,
+                    Err(e) => {
+                        eprintln!("recv error: {e}");
+                        break;
+                    }
+                }
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            eprintln!(
+                "received {:.1} MB in {:.2}s = {:.2} Mb/s from {}",
+                total as f64 / 1e6,
+                secs,
+                total as f64 * 8.0 / secs / 1e6,
+                conn.peer_addr()
+            );
+        });
+    }
+}
+
+fn client(addr: SocketAddr, secs: u64, mss: u32, buf_pkts: u32) {
+    let cfg = UdtConfig {
+        mss,
+        snd_buf_pkts: buf_pkts,
+        rcv_buf_pkts: buf_pkts,
+        ..UdtConfig::default()
+    };
+    let conn = Arc::new(UdtConnection::connect(addr, cfg).expect("connect"));
+    eprintln!(
+        "udtperf: connected {} → {} (mss {})",
+        conn.local_addr(),
+        conn.peer_addr(),
+        conn.config().mss
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let reporter = {
+        let conn = Arc::clone(&conn);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            println!("  t(s)     rate(Mb/s)   rtt(ms)   cwnd    period(µs)   retx   naks");
+            let mut prev = conn.perfmon();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_secs(1));
+                let now = conn.perfmon();
+                let (sent_bps, _) = throughput_between(&prev, &now);
+                println!(
+                    "{:>6.1}   {:>10.1}   {:>7.2}   {:>5.0}   {:>10.2}   {:>4}   {:>4}",
+                    prev.taken_at.elapsed().as_secs_f64(),
+                    sent_bps / 1e6,
+                    now.rtt_us / 1000.0,
+                    now.cwnd_pkts,
+                    now.pkt_snd_period_us,
+                    now.pkts_retransmitted,
+                    now.naks.1
+                );
+                prev = now;
+            }
+        })
+    };
+    let chunk = vec![0u8; 1 << 16];
+    let t0 = Instant::now();
+    let mut sent = 0u64;
+    while t0.elapsed() < Duration::from_secs(secs) {
+        if conn.send(&chunk).is_err() {
+            eprintln!("connection broke");
+            break;
+        }
+        sent += chunk.len() as u64;
+    }
+    let _ = conn.close();
+    stop.store(true, Ordering::Relaxed);
+    let _ = reporter.join();
+    let wall = t0.elapsed().as_secs_f64();
+    let p = conn.perfmon();
+    println!(
+        "---\nsent {:.1} MB in {:.2}s = {:.2} Mb/s; retransmit ratio {:.3}; final RTT {:.2} ms",
+        sent as f64 / 1e6,
+        wall,
+        sent as f64 * 8.0 / wall / 1e6,
+        p.retransmit_ratio(),
+        p.rtt_us / 1000.0
+    );
+}

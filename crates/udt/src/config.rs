@@ -1,0 +1,102 @@
+//! Connection configuration.
+
+use std::time::Duration;
+
+use udt_algo::UdtCcConfig;
+
+/// Congestion-control choice (§7: the implementation is structured so that
+/// alternate control algorithms can be tested).
+#[derive(Debug, Clone)]
+pub enum CcChoice {
+    /// UDT's bandwidth-estimating AIMD (the paper's contribution).
+    Udt(UdtCcConfig),
+    /// SABUL's MIMD predecessor (baseline).
+    Sabul {
+        /// Multiplicative rate gain per SYN.
+        alpha: f64,
+    },
+}
+
+impl Default for CcChoice {
+    fn default() -> CcChoice {
+        CcChoice::Udt(UdtCcConfig::default())
+    }
+}
+
+/// Tunables for a UDT endpoint. The defaults reproduce the paper's setup
+/// (1500-byte MSS, 0.01 s SYN, generous windows).
+#[derive(Debug, Clone)]
+pub struct UdtConfig {
+    /// Maximum segment size: total UDP payload bytes per data packet
+    /// (protocol header + application payload). §6/Figure 15: the optimum
+    /// equals the path MTU. Negotiated down to the peer's value.
+    pub mss: u32,
+    /// Send buffer capacity, packets.
+    pub snd_buf_pkts: u32,
+    /// Receive buffer capacity, packets (this bounds the flow window).
+    pub rcv_buf_pkts: u32,
+    /// Congestion controller.
+    pub cc: CcChoice,
+    /// Handshake overall timeout.
+    pub connect_timeout: Duration,
+    /// Handshake retransmission interval.
+    pub handshake_retry: Duration,
+    /// How long `close` may wait flushing unacknowledged data.
+    pub linger: Duration,
+    /// Spin window of the high-precision send timer (§4.5): the thread
+    /// sleeps until deadline − spin, then busy-waits. Larger values burn
+    /// more CPU for tighter pacing.
+    pub timer_spin: Duration,
+    /// Declare the peer dead after this many consecutive EXP expirations.
+    pub max_exp_count: u32,
+    /// Force the initial data sequence number instead of randomizing it.
+    /// Testing hook: lets integration tests exercise sequence wraparound
+    /// deterministically.
+    pub force_init_seq: Option<u32>,
+}
+
+impl Default for UdtConfig {
+    fn default() -> UdtConfig {
+        UdtConfig {
+            mss: 1500,
+            snd_buf_pkts: 8192,
+            rcv_buf_pkts: 8192,
+            cc: CcChoice::default(),
+            connect_timeout: Duration::from_secs(5),
+            handshake_retry: Duration::from_millis(100),
+            linger: Duration::from_secs(10),
+            timer_spin: Duration::from_micros(200),
+            max_exp_count: 16,
+            force_init_seq: None,
+        }
+    }
+}
+
+impl UdtConfig {
+    /// Application payload bytes per full data packet.
+    pub fn payload_size(&self) -> usize {
+        self.mss as usize - udt_proto::DATA_HEADER_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_paper_values() {
+        let c = UdtConfig::default();
+        assert_eq!(c.mss, 1500);
+        assert_eq!(c.payload_size(), 1488);
+        assert!(matches!(c.cc, CcChoice::Udt(_)));
+    }
+
+    #[test]
+    fn payload_respects_custom_mss() {
+        let c = UdtConfig {
+            mss: 9000,
+            ..UdtConfig::default()
+        };
+        assert_eq!(c.payload_size(), 9000 - 12);
+    }
+}

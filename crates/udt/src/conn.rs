@@ -1,0 +1,824 @@
+//! Connection core: shared state, the sender thread, the receiver thread,
+//! and the public [`UdtConnection`] API.
+//!
+//! The architecture follows §4.8 of the paper: *"Each UDT entity has both a
+//! sender and a receiver, which are two threads for packet sending and
+//! receiving… The sender is only responsible for sending data packets
+//! according to the limit of flow control and rate control. It always sends
+//! the lost packets with higher priority. The receiver checks the ACK, NAK,
+//! SYN, and EXP timers… checked after each time-bounded UDP receiving call.
+//! Both data and control packets are processed in the receiver, which also
+//! sends out control packets."*
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{Receiver, RecvTimeoutError};
+use parking_lot::{Condvar, Mutex};
+
+use udt_algo::ackwindow::AckWindow;
+use udt_algo::clock::SYN;
+use udt_algo::timerctl::{nak_base_interval, ExpBackoff};
+use udt_algo::{
+    CcContext, FlowWindow, Nanos, PktTimeWindow, RateControl, RcvLossList, RttEstimator, SabulCc,
+    SndLossList, UdtCc, PROBE_INTERVAL,
+};
+use udt_proto::ctrl::{AckData, ControlBody, ControlPacket};
+use udt_proto::{DataPacket, Packet, SeqNo, SeqRange};
+
+use crate::buffer::{InsertOutcome, RcvBuffer, SndBuffer};
+use crate::config::{CcChoice, UdtConfig};
+use crate::error::{Result, UdtError};
+use crate::instrument::{Category, Instrument};
+use crate::mux::{Mux, MuxMsg};
+use crate::stats::ConnStats;
+use crate::timing::EpochClock;
+
+/// Connection lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum State {
+    /// Established, both directions open.
+    Connected = 0,
+    /// Local close requested: flushing.
+    Closing = 1,
+    /// Fully closed (locally closed or peer shutdown processed).
+    Closed = 2,
+    /// Peer unresponsive past the EXP escalation limit.
+    Broken = 3,
+}
+
+impl State {
+    fn from_u8(v: u8) -> State {
+        match v {
+            0 => State::Connected,
+            1 => State::Closing,
+            2 => State::Closed,
+            _ => State::Broken,
+        }
+    }
+}
+
+/// Sender-side protocol state (one lock).
+pub(crate) struct SndCtl {
+    pub buffer: SndBuffer,
+    pub loss: SndLossList,
+    pub cc: Box<dyn RateControl>,
+    pub rtt: RttEstimator,
+    /// Window advertised by the peer in ACKs (packets).
+    pub peer_window: u32,
+    /// Smoothed link-capacity estimate from ACKs, pkts/s.
+    pub bandwidth_pps: f64,
+    /// Smoothed arrival-speed report from ACKs, pkts/s.
+    pub recv_rate_pps: f64,
+    pub snd_una: SeqNo,
+    pub next_new: SeqNo,
+    pub curr_seq: SeqNo,
+    pub exp: ExpBackoff,
+    pub last_rsp: Nanos,
+}
+
+/// Receiver-side protocol state (one lock).
+pub(crate) struct RcvCtl {
+    pub buffer: RcvBuffer,
+    pub loss: RcvLossList,
+    pub history: PktTimeWindow,
+    pub rtt: RttEstimator,
+    pub ackw: AckWindow,
+    pub flow: FlowWindow,
+    /// Largest received sequence number.
+    pub lrsn: SeqNo,
+    pub ack_seq: u32,
+    pub last_ack_sent: SeqNo,
+    /// Peer sent Shutdown: deliver what remains, then EOF.
+    pub eof: bool,
+    /// Per-event gap sizes (Figure 8 trace).
+    pub loss_events: Vec<u32>,
+}
+
+/// State shared by the two protocol threads and the application handle.
+pub(crate) struct Shared {
+    pub cfg: UdtConfig,
+    pub local_id: u32,
+    pub peer_id: u32,
+    pub peer_addr: SocketAddr,
+    pub clock: EpochClock,
+    pub mux: Arc<Mux>,
+    pub snd: Mutex<SndCtl>,
+    pub snd_cv: Condvar,
+    pub rcv: Mutex<RcvCtl>,
+    pub rcv_cv: Condvar,
+    state: AtomicU8,
+    pub stats: ConnStats,
+    pub instr: Arc<Instrument>,
+    /// EWMA of the wall-clock cost of one UDP send, nanoseconds (§4.4).
+    pub send_cost_ns: AtomicU64,
+}
+
+impl Shared {
+    pub fn state(&self) -> State {
+        State::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    pub fn set_state(&self, s: State) {
+        self.state.store(s as u8, Ordering::Release);
+        // Wake everyone blocked on either side.
+        self.snd_cv.notify_all();
+        self.rcv_cv.notify_all();
+    }
+
+    fn cc_ctx(&self, s: &SndCtl, now: Nanos) -> CcContext {
+        CcContext {
+            now,
+            rtt_us: s.rtt.rtt_us(),
+            bandwidth_pps: s.bandwidth_pps,
+            recv_rate_pps: s.recv_rate_pps,
+            mss: self.cfg.mss,
+            max_cwnd: s.peer_window.max(16) as f64,
+            snd_curr_seq: s.curr_seq,
+            min_snd_period_us: self.send_cost_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
+        }
+    }
+
+    fn send_ctrl(&self, body: ControlBody, now: Nanos) {
+        let pkt = Packet::Control(ControlPacket {
+            timestamp_us: (now.as_micros() & 0xFFFF_FFFF) as u32,
+            conn_id: self.peer_id,
+            body,
+        });
+        let _ = self.mux.send(&pkt, self.peer_addr, &self.instr);
+    }
+}
+
+fn build_cc(choice: &CcChoice, init_seq: SeqNo) -> Box<dyn RateControl> {
+    match choice {
+        CcChoice::Udt(cfg) => Box::new(UdtCc::new(init_seq, cfg.clone())),
+        CcChoice::Sabul { alpha } => Box::new(SabulCc::new(init_seq, *alpha)),
+    }
+}
+
+/// An established UDT connection.
+///
+/// All methods are callable from any thread; `send`/`recv` are the
+/// stream-oriented application interface, `sendfile`/`recvfile` live in
+/// [`crate::file`].
+pub struct UdtConnection {
+    pub(crate) sh: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl UdtConnection {
+    /// Create the shared state and spawn the protocol threads. Used by
+    /// both `connect` and `accept` (see [`crate::socket`]).
+    #[allow(clippy::too_many_arguments)] // the two call sites read clearly
+    pub(crate) fn establish(
+        mux: Arc<Mux>,
+        cfg: UdtConfig,
+        local_id: u32,
+        peer_id: u32,
+        peer_addr: SocketAddr,
+        snd_init: SeqNo,
+        rcv_init: SeqNo,
+        rx: Receiver<MuxMsg>,
+    ) -> UdtConnection {
+        let payload = cfg.payload_size();
+        let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
+        let sh = Arc::new(Shared {
+            snd: Mutex::new(SndCtl {
+                buffer: SndBuffer::new(cfg.snd_buf_pkts as usize, payload),
+                loss: SndLossList::new(loss_cap),
+                cc: build_cc(&cfg.cc, snd_init),
+                rtt: RttEstimator::new(Nanos::from_millis(100)),
+                peer_window: 16,
+                bandwidth_pps: 0.0,
+                recv_rate_pps: 0.0,
+                snd_una: snd_init,
+                next_new: snd_init,
+                curr_seq: snd_init.prev(),
+                exp: ExpBackoff::new(),
+                last_rsp: Nanos::ZERO,
+            }),
+            snd_cv: Condvar::new(),
+            rcv: Mutex::new(RcvCtl {
+                buffer: RcvBuffer::new(cfg.rcv_buf_pkts as usize, rcv_init),
+                loss: RcvLossList::new(loss_cap),
+                history: PktTimeWindow::new(),
+                rtt: RttEstimator::new(Nanos::from_millis(100)),
+                ackw: AckWindow::default(),
+                flow: FlowWindow::new(cfg.rcv_buf_pkts),
+                lrsn: rcv_init.prev(),
+                ack_seq: 0,
+                last_ack_sent: rcv_init,
+                eof: false,
+                loss_events: Vec::new(),
+            }),
+            rcv_cv: Condvar::new(),
+            state: AtomicU8::new(State::Connected as u8),
+            stats: ConnStats::default(),
+            instr: Instrument::new(),
+            send_cost_ns: AtomicU64::new(0),
+            clock: EpochClock::start(),
+            cfg,
+            local_id,
+            peer_id,
+            peer_addr,
+            mux,
+        });
+        let mut threads = Vec::new();
+        {
+            let sh2 = Arc::clone(&sh);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("udt-snd-{local_id}"))
+                    .spawn(move || sender_loop(sh2))
+                    .expect("spawn sender"),
+            );
+        }
+        {
+            let sh2 = Arc::clone(&sh);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("udt-rcv-{local_id}"))
+                    .spawn(move || receiver_loop(sh2, rx))
+                    .expect("spawn receiver"),
+            );
+        }
+        UdtConnection {
+            sh,
+            threads: Mutex::new(threads),
+        }
+    }
+
+    /// The peer's socket address.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.sh.peer_addr
+    }
+
+    /// The local UDP address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.sh.mux.local_addr()
+    }
+
+    /// Connection statistics.
+    pub fn stats(&self) -> &ConnStats {
+        &self.sh.stats
+    }
+
+    /// CPU-time instrumentation (Table 3 categories).
+    pub fn instrument(&self) -> &Instrument {
+        &self.sh.instr
+    }
+
+    /// The negotiated configuration.
+    pub fn config(&self) -> &UdtConfig {
+        &self.sh.cfg
+    }
+
+    /// Per-event loss sizes observed by the receiver (Figure 8).
+    pub fn loss_event_sizes(&self) -> Vec<u32> {
+        self.sh.rcv.lock().loss_events.clone()
+    }
+
+    /// Current sending period in microseconds (rate-control observable).
+    pub fn pkt_snd_period_us(&self) -> f64 {
+        self.sh.snd.lock().cc.pkt_snd_period_us()
+    }
+
+    /// Queue `data` for reliable in-order delivery. Blocks while the send
+    /// buffer is full; returns once every byte is buffered.
+    pub fn send(&self, data: &[u8]) -> Result<()> {
+        let sh = &self.sh;
+        let mut written = 0;
+        while written < data.len() {
+            let mut s = sh.snd.lock();
+            match sh.state() {
+                State::Connected => {}
+                State::Broken => return Err(UdtError::Broken),
+                _ => return Err(UdtError::NotConnected),
+            }
+            let n = {
+                let _t = sh.instr.scope(Category::AppInteraction);
+                s.buffer.append(&data[written..])
+            };
+            if n == 0 {
+                sh.snd_cv.wait_for(&mut s, Duration::from_millis(100));
+                continue;
+            }
+            written += n;
+            ConnStats::inc(&sh.stats.bytes_sent, n as u64);
+            drop(s);
+            sh.snd_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Receive in-order data. Blocks until data is available; returns
+    /// `Ok(0)` at end-of-stream (the peer closed after flushing).
+    pub fn recv(&self, buf: &mut [u8]) -> Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        let sh = &self.sh;
+        loop {
+            let mut r = sh.rcv.lock();
+            let frontier = r.loss.first().unwrap_or_else(|| r.lrsn.next());
+            let n = {
+                let _t = sh.instr.scope(Category::AppInteraction);
+                r.buffer.read(buf, frontier)
+            };
+            if n > 0 {
+                ConnStats::inc(&sh.stats.bytes_delivered, n as u64);
+                return Ok(n);
+            }
+            if r.eof {
+                return Ok(0);
+            }
+            match sh.state() {
+                State::Connected => {}
+                State::Broken => return Err(UdtError::Broken),
+                _ => return Ok(0),
+            }
+            sh.rcv_cv.wait_for(&mut r, Duration::from_millis(100));
+        }
+    }
+
+    /// Receive exactly `buf.len()` bytes (helper for record-oriented apps).
+    /// Returns `Err(NotConnected)` if EOF interrupts the record.
+    pub fn recv_exact(&self, buf: &mut [u8]) -> Result<()> {
+        let mut got = 0;
+        while got < buf.len() {
+            let n = self.recv(&mut buf[got..])?;
+            if n == 0 {
+                return Err(UdtError::NotConnected);
+            }
+            got += n;
+        }
+        Ok(())
+    }
+
+    /// Bytes currently unacknowledged or unsent in the send buffer.
+    pub fn unflushed_pkts(&self) -> usize {
+        self.sh.snd.lock().buffer.len_pkts()
+    }
+
+    /// Flush and close. Blocks (up to the configured linger) until the
+    /// peer has acknowledged everything, then sends Shutdown.
+    pub fn close(&self) -> Result<()> {
+        let sh = &self.sh;
+        if matches!(sh.state(), State::Closed | State::Broken) {
+            self.join_threads();
+            return Ok(());
+        }
+        sh.set_state(State::Closing);
+        let deadline = Instant::now() + sh.cfg.linger;
+        let flushed = loop {
+            let mut s = sh.snd.lock();
+            if s.buffer.is_empty() {
+                break true;
+            }
+            match sh.state() {
+                State::Broken => break false,
+                // Peer shut down cleanly while we were flushing: it read
+                // what it wanted; nothing further can be acknowledged.
+                State::Closed => break true,
+                _ => {}
+            }
+            if Instant::now() >= deadline {
+                break false;
+            }
+            sh.snd_cv.wait_for(&mut s, Duration::from_millis(50));
+        };
+        let now = sh.clock.now();
+        // Emit one final ACK so the peer's send side settles before it sees
+        // our Shutdown (the ACK timer may not have fired yet).
+        send_periodic_ack(sh, now);
+        // Shutdown is fire-and-forget; send a few for loss tolerance.
+        for _ in 0..3 {
+            sh.send_ctrl(ControlBody::Shutdown, now);
+        }
+        sh.set_state(State::Closed);
+        self.join_threads();
+        sh.mux.unregister(sh.local_id);
+        if flushed {
+            Ok(())
+        } else {
+            Err(UdtError::FlushTimeout)
+        }
+    }
+
+    fn join_threads(&self) {
+        let mut ts = self.threads.lock();
+        for t in ts.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for UdtConnection {
+    fn drop(&mut self) {
+        if !matches!(self.sh.state(), State::Closed | State::Broken) {
+            let _ = self.close();
+        } else {
+            self.join_threads();
+            self.sh.mux.unregister(self.sh.local_id);
+        }
+    }
+}
+
+/// Pick the next packet: loss list first, then new data within the window
+/// (§4.8). Returns `(seq, payload, is_retransmission)`.
+fn pick_packet(s: &mut SndCtl) -> Option<(SeqNo, Bytes, bool)> {
+    while let Some(seq) = s.loss.pop_first() {
+        let off = s.snd_una.offset_to(seq);
+        if off < 0 {
+            continue; // stale entry below the ACK point
+        }
+        if let Some(payload) = s.buffer.get(off as usize) {
+            return Some((seq, payload, true));
+        }
+    }
+    let window = (s.cc.cwnd() as u32).min(s.peer_window).max(2);
+    let in_flight = s.snd_una.offset_to(s.next_new);
+    if in_flight >= window as i32 {
+        return None;
+    }
+    let payload = s.buffer.get(in_flight as usize)?;
+    let seq = s.next_new;
+    s.next_new = s.next_new.next();
+    Some((seq, payload, false))
+}
+
+fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
+    let now = sh.clock.now();
+    {
+        let mut s = sh.snd.lock();
+        if s.snd_una.offset_to(seq) > s.snd_una.offset_to(s.curr_seq) {
+            s.curr_seq = seq;
+        }
+    }
+    let pkt = Packet::Data(DataPacket {
+        seq,
+        timestamp_us: (now.as_micros() & 0xFFFF_FFFF) as u32,
+        conn_id: sh.peer_id,
+        payload,
+    });
+    if let Ok(cost) = sh.mux.send(&pkt, sh.peer_addr, &sh.instr) {
+        // §4.4: feed the measured send cost back as the period floor.
+        let old = sh.send_cost_ns.load(Ordering::Relaxed);
+        let new = if old == 0 { cost } else { (old * 7 + cost) / 8 };
+        sh.send_cost_ns.store(new, Ordering::Relaxed);
+    }
+    if retx {
+        ConnStats::inc(&sh.stats.pkts_retransmitted, 1);
+    } else {
+        ConnStats::inc(&sh.stats.pkts_sent, 1);
+    }
+}
+
+/// The sender thread: pace data packets by the rate controller's period,
+/// loss list first, bounded by the flow window.
+pub(crate) fn sender_loop(sh: Arc<Shared>) {
+    let spin = sh.cfg.timer_spin;
+    let mut next_time = Instant::now();
+    loop {
+        match sh.state() {
+            State::Closed | State::Broken => return,
+            _ => {}
+        }
+        {
+            // Only the spin burns CPU; the sleep is idle time (Table 3
+            // books CPU cost, not wall time).
+            let (_overshoot, spun) = crate::timing::precise_sleep_until_timed(next_time, spin);
+            sh.instr.add(Category::Timing, spun.as_nanos() as u64);
+        }
+        let picked = {
+            let mut s = sh.snd.lock();
+            if s.cc.take_freeze() {
+                // §3.3: skip one SYN after a decrease to drain the queue.
+                next_time = Instant::now() + SYN.into();
+                continue;
+            }
+            let p = pick_packet(&mut s);
+            if p.is_none() {
+                if sh.state() == State::Closing && s.buffer.is_empty() {
+                    // Flushed: nothing left to do; close() finishes up.
+                    sh.snd_cv.notify_all();
+                }
+                // Wait for data / window space / ACK progress.
+                sh.snd_cv.wait_for(&mut s, Duration::from_millis(10));
+                next_time = Instant::now();
+                continue;
+            }
+            p
+        };
+        let (seq, payload, retx) = picked.expect("checked above");
+        transmit(&sh, seq, payload, retx);
+        if seq.raw() % PROBE_INTERVAL == 0 {
+            // §3.4: send the probe pair's second packet back-to-back.
+            let follow = {
+                let mut s = sh.snd.lock();
+                pick_packet(&mut s)
+            };
+            if let Some((seq2, payload2, retx2)) = follow {
+                transmit(&sh, seq2, payload2, retx2);
+            }
+        }
+        let period_us = {
+            let s = sh.snd.lock();
+            s.cc.pkt_snd_period_us()
+        };
+        // Drift-free pacing with a no-catch-up floor.
+        next_time += Duration::from_secs_f64(period_us / 1e6);
+        let now_i = Instant::now();
+        if next_time < now_i {
+            next_time = now_i;
+        }
+    }
+}
+
+/// The receiver thread: bounded receive, then the ACK / NAK / EXP timer
+/// checks (§4.8).
+pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxMsg>) {
+    let mut next_ack = sh.clock.now().plus(SYN);
+    let mut next_nak = sh.clock.now().plus(SYN);
+    loop {
+        match sh.state() {
+            State::Closed | State::Broken => return,
+            _ => {}
+        }
+        // Book receive time only when something actually arrived; blocked
+        // waits are idle, not CPU (the Table 3 profile is CPU time).
+        let t_recv = Instant::now();
+        match rx.recv_timeout(Duration::from_micros(500)) {
+            Ok((pkt, _from)) => {
+                sh.instr
+                    .add(Category::UdpRecv, t_recv.elapsed().as_nanos() as u64);
+                process_packet(&sh, pkt);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+        let now = sh.clock.now();
+        if now >= next_ack {
+            send_periodic_ack(&sh, now);
+            next_ack = now.plus(SYN);
+        }
+        if now >= next_nak {
+            let base = resend_naks(&sh, now);
+            next_nak = now.plus(base.max(SYN));
+        }
+        check_exp(&sh, now);
+    }
+}
+
+fn process_packet(sh: &Shared, pkt: Packet) {
+    let now = sh.clock.now();
+    // Any sign of life from the peer resets the EXP escalation.
+    {
+        let mut s = sh.snd.lock();
+        s.exp.reset();
+        s.last_rsp = now;
+    }
+    match pkt {
+        Packet::Data(d) => handle_data(sh, d, now),
+        Packet::Control(c) => {
+            let _t = sh.instr.scope(Category::Control);
+            match c.body {
+                ControlBody::Ack { ack_seq, data } => handle_ack(sh, ack_seq, data, now),
+                ControlBody::Nak(ranges) => handle_nak(sh, &ranges, now),
+                ControlBody::Ack2 { ack_seq } => {
+                    let mut r = sh.rcv.lock();
+                    if let Some((sample, _)) = r.ackw.acknowledge(ack_seq, now) {
+                        let _m = sh.instr.scope(Category::Measurement);
+                        r.rtt.update(sample);
+                    }
+                }
+                ControlBody::Shutdown => {
+                    {
+                        let mut r = sh.rcv.lock();
+                        r.eof = true;
+                    }
+                    sh.set_state(State::Closed);
+                }
+                ControlBody::KeepAlive | ControlBody::Handshake(_) => {}
+            }
+        }
+    }
+}
+
+fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
+    let mut r = sh.rcv.lock();
+    {
+        let _m = sh.instr.scope(Category::Measurement);
+        r.history.on_pkt_arrival(now);
+        if d.seq.raw().is_multiple_of(PROBE_INTERVAL) {
+            r.history.on_probe1_arrival(now);
+        } else if d.seq.raw() % PROBE_INTERVAL == 1 {
+            r.history.on_probe2_arrival(now);
+        }
+    }
+    let off = r.lrsn.offset_to(d.seq);
+    if off > 0 {
+        if off > 1 {
+            // Gap detected: record the loss event and NAK immediately.
+            let _l = sh.instr.scope(Category::Loss);
+            let from = r.lrsn.next();
+            let to = d.seq.prev();
+            let added = r.loss.insert_at(from, to, now);
+            if added > 0 {
+                r.loss_events.push(added);
+                ConnStats::inc(&sh.stats.loss_events, 1);
+                ConnStats::inc(&sh.stats.pkts_lost, added as u64);
+                ConnStats::inc(&sh.stats.naks_sent, 1);
+                sh.send_ctrl(ControlBody::Nak(vec![SeqRange::new(from, to)]), now);
+            }
+        }
+        r.lrsn = d.seq;
+    } else {
+        // Retransmission (or duplicate): clear it from the loss list.
+        let _l = sh.instr.scope(Category::Loss);
+        r.loss.remove(d.seq);
+    }
+    let stored = {
+        let _u = sh.instr.scope(Category::Unpacking);
+        r.buffer.insert(d.seq, d.payload)
+    };
+    match stored {
+        InsertOutcome::Stored => ConnStats::inc(&sh.stats.pkts_received, 1),
+        InsertOutcome::Duplicate | InsertOutcome::OutOfWindow => {
+            ConnStats::inc(&sh.stats.pkts_duplicate, 1)
+        }
+    }
+    drop(r);
+    sh.rcv_cv.notify_all();
+}
+
+fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
+    ConnStats::inc(&sh.stats.acks_received, 1);
+    {
+        let mut s = sh.snd.lock();
+        let ack = data.rcv_next;
+        if s.snd_una.lt_seq(ack) {
+            let n = s.snd_una.offset_to(ack);
+            {
+                let _t = sh.instr.scope(Category::Packing);
+                s.buffer.ack(n as usize);
+            }
+            s.snd_una = ack;
+            let _l = sh.instr.scope(Category::Loss);
+            s.loss.remove_upto(ack.prev());
+        }
+        if let (Some(rtt), Some(var)) = (data.rtt_us, data.rtt_var_us) {
+            s.rtt.absorb_peer(rtt, var);
+        }
+        if let Some(w) = data.avail_buf_pkts {
+            s.peer_window = w.max(2);
+        }
+        if let Some(rr) = data.recv_rate_pps {
+            if rr > 0 {
+                s.recv_rate_pps = if s.recv_rate_pps > 0.0 {
+                    (s.recv_rate_pps * 7.0 + rr as f64) / 8.0
+                } else {
+                    rr as f64
+                };
+            }
+        }
+        if let Some(bw) = data.link_cap_pps {
+            if bw > 0 {
+                s.bandwidth_pps = if s.bandwidth_pps > 0.0 {
+                    (s.bandwidth_pps * 7.0 + bw as f64) / 8.0
+                } else {
+                    bw as f64
+                };
+            }
+        }
+        let ctx = sh.cc_ctx(&s, now);
+        s.cc.on_ack(data.rcv_next, &ctx);
+    }
+    sh.snd_cv.notify_all();
+    if !data.is_light() {
+        sh.send_ctrl(ControlBody::Ack2 { ack_seq }, now);
+    }
+}
+
+fn handle_nak(sh: &Shared, ranges: &[SeqRange], now: Nanos) {
+    ConnStats::inc(&sh.stats.naks_received, 1);
+    let mut s = sh.snd.lock();
+    let ctx = sh.cc_ctx(&s, now);
+    s.cc.on_loss(ranges, &ctx);
+    {
+        let _l = sh.instr.scope(Category::Loss);
+        for r in ranges {
+            let from = if r.from.lt_seq(s.snd_una) {
+                s.snd_una
+            } else {
+                r.from
+            };
+            if from.le_seq(r.to) {
+                s.loss.insert(from, r.to);
+            }
+        }
+    }
+    drop(s);
+    sh.snd_cv.notify_all();
+}
+
+fn send_periodic_ack(sh: &Shared, now: Nanos) {
+    let mut guard = sh.rcv.lock();
+    let r = &mut *guard; // split-borrow the fields through the guard
+    let ack_no = r.loss.first().unwrap_or_else(|| r.lrsn.next());
+    if ack_no == r.last_ack_sent {
+        return; // nothing new; the SYN timer keeps ticking
+    }
+    {
+        let _m = sh.instr.scope(Category::Measurement);
+        r.flow.update(&r.history, &r.rtt);
+    }
+    let held = r.buffer.held_pkts(r.lrsn);
+    let avail = (r.buffer.cap_pkts() as u32).saturating_sub(held);
+    r.ack_seq = r.ack_seq.wrapping_add(1);
+    let data = AckData::full(
+        ack_no,
+        r.rtt.rtt_us() as u32,
+        r.rtt.rtt_var_us() as u32,
+        r.flow.advertised(avail),
+        r.history.pkt_recv_speed() as u32,
+        r.history.bandwidth() as u32,
+    );
+    let ack_seq = r.ack_seq;
+    r.ackw.store(ack_seq, ack_no, now);
+    r.last_ack_sent = ack_no;
+    drop(guard);
+    ConnStats::inc(&sh.stats.acks_sent, 1);
+    sh.send_ctrl(
+        ControlBody::Ack {
+            ack_seq,
+            data,
+        },
+        now,
+    );
+}
+
+/// Returns the NAK base interval so the caller can pace the next check.
+fn resend_naks(sh: &Shared, now: Nanos) -> Nanos {
+    let mut r = sh.rcv.lock();
+    let base = nak_base_interval(r.rtt.rtt_us(), r.rtt.rtt_var_us());
+    if r.loss.is_empty() {
+        return base;
+    }
+    let due = {
+        let _l = sh.instr.scope(Category::Loss);
+        r.loss.due_reports(now, base, 64)
+    };
+    drop(r);
+    if !due.is_empty() {
+        ConnStats::inc(&sh.stats.naks_sent, 1);
+        sh.send_ctrl(ControlBody::Nak(due), now);
+    }
+    base
+}
+
+fn check_exp(sh: &Shared, now: Nanos) {
+    let mut s = sh.snd.lock();
+    let has_outstanding = s.snd_una.lt_seq(s.next_new);
+    let interval = s.exp.interval(s.rtt.rtt_us(), s.rtt.rtt_var_us());
+    if now.since(s.last_rsp) <= interval {
+        return;
+    }
+    s.exp.on_expired();
+    ConnStats::inc(&sh.stats.exp_timeouts, 1);
+    if has_outstanding {
+        // Data in flight and the peer is silent: escalate, eventually break.
+        if s.exp.count() >= sh.cfg.max_exp_count {
+            drop(s);
+            sh.set_state(State::Broken);
+            return;
+        }
+        let ctx = sh.cc_ctx(&s, now);
+        s.cc.on_timeout(&ctx);
+        // Re-queue in-flight data for repair if no loss is pending.
+        if s.loss.is_empty() {
+            let (from, to) = (s.snd_una, s.next_new.prev());
+            s.loss.insert(from, to);
+        }
+        drop(s);
+        sh.snd_cv.notify_all();
+    } else {
+        // Idle: probe the peer (keep-alives refresh the peer's EXP state
+        // just as ours is refreshed by any arrival). A *live* idle peer
+        // keep-alives back and our count hovers near 1; if the peer has
+        // stayed silent through the entire backoff ladder, it is gone —
+        // without this, one side dying leaves the other's recv() hanging
+        // forever.
+        if s.exp.count() >= sh.cfg.max_exp_count {
+            drop(s);
+            sh.set_state(State::Broken);
+            return;
+        }
+        drop(s);
+        sh.send_ctrl(ControlBody::KeepAlive, now);
+    }
+}

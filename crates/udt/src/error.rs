@@ -1,0 +1,77 @@
+//! Error type for the UDT library.
+
+use std::io;
+
+/// Errors surfaced by the public API.
+#[derive(Debug)]
+pub enum UdtError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The connection handshake did not complete in time.
+    ConnectTimeout,
+    /// Operation on a connection that is closed or broken.
+    NotConnected,
+    /// The peer stopped responding (EXP timeout escalation, §3.5).
+    Broken,
+    /// Close could not flush all outstanding data in time.
+    FlushTimeout,
+    /// A file operation failed during sendfile/recvfile.
+    File(io::Error),
+}
+
+impl std::fmt::Display for UdtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UdtError::Io(e) => write!(f, "socket error: {e}"),
+            UdtError::ConnectTimeout => write!(f, "connection handshake timed out"),
+            UdtError::NotConnected => write!(f, "connection is closed"),
+            UdtError::Broken => write!(f, "peer stopped responding"),
+            UdtError::FlushTimeout => write!(f, "close timed out flushing unacknowledged data"),
+            UdtError::File(e) => write!(f, "file error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UdtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UdtError::Io(e) | UdtError::File(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for UdtError {
+    fn from(e: io::Error) -> UdtError {
+        UdtError::Io(e)
+    }
+}
+
+/// Library result alias.
+pub type Result<T> = std::result::Result<T, UdtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<UdtError> = vec![
+            UdtError::ConnectTimeout,
+            UdtError::NotConnected,
+            UdtError::Broken,
+            UdtError::FlushTimeout,
+            UdtError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            UdtError::File(io::Error::new(io::ErrorKind::NotFound, "y")),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_conversion() {
+        let e: UdtError = io::Error::new(io::ErrorKind::AddrInUse, "busy").into();
+        assert!(matches!(e, UdtError::Io(_)));
+    }
+}

@@ -1,0 +1,226 @@
+//! UDP demultiplexer: one socket, many connections.
+//!
+//! Every UDT packet carries a destination connection id; a single demux
+//! thread reads the socket and routes decoded packets to per-connection
+//! queues (handshake requests, which carry id 0, go to the listener
+//! queue). Sends go straight out through the shared socket from any
+//! thread. This mirrors how the released UDT library lets many connections
+//! share one UDP port.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::{Bytes, BytesMut};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+use udt_proto::{decode, encode, Packet};
+
+use crate::instrument::{Category, Instrument};
+
+/// A routed inbound packet.
+pub(crate) type MuxMsg = (Packet, SocketAddr);
+
+pub(crate) struct Mux {
+    socket: UdpSocket,
+    local_addr: SocketAddr,
+    conns: Mutex<HashMap<u32, Sender<MuxMsg>>>,
+    listener: Mutex<Option<Sender<MuxMsg>>>,
+    stop: AtomicBool,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Mux {
+    /// Bind a socket and start the demux thread.
+    pub fn bind(addr: SocketAddr) -> io::Result<Arc<Mux>> {
+        let socket = UdpSocket::bind(addr)?;
+        let local_addr = socket.local_addr()?;
+        socket.set_read_timeout(Some(Duration::from_millis(100)))?;
+        let mux = Arc::new(Mux {
+            socket,
+            local_addr,
+            conns: Mutex::new(HashMap::new()),
+            listener: Mutex::new(None),
+            stop: AtomicBool::new(false),
+            thread: Mutex::new(None),
+        });
+        let weak = Arc::downgrade(&mux);
+        let rx = mux.socket.try_clone()?;
+        let handle = std::thread::Builder::new()
+            .name("udt-mux".into())
+            .spawn(move || {
+                let mut buf = vec![0u8; 65_536];
+                loop {
+                    let Some(mux) = weak.upgrade() else { return };
+                    if mux.stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match rx.recv_from(&mut buf) {
+                        Ok((n, from)) => {
+                            let datagram = Bytes::copy_from_slice(&buf[..n]);
+                            let Ok(pkt) = decode(datagram) else {
+                                continue; // malformed datagram: drop
+                            };
+                            mux.route(pkt, from);
+                        }
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut => {}
+                        Err(_) => return,
+                    }
+                }
+            })?;
+        *mux.thread.lock() = Some(handle);
+        Ok(mux)
+    }
+
+    fn route(&self, pkt: Packet, from: SocketAddr) {
+        let id = pkt.conn_id();
+        if id == 0 {
+            // Handshake traffic addressed to no connection: the listener's.
+            if let Some(l) = self.listener.lock().as_ref() {
+                let _ = l.try_send((pkt, from));
+            }
+            return;
+        }
+        let conns = self.conns.lock();
+        if let Some(tx) = conns.get(&id) {
+            // Bounded queues: shedding under overload beats unbounded RAM.
+            let _ = tx.try_send((pkt, from));
+        }
+    }
+
+    /// Local socket address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Register the listener queue (handshake requests land here).
+    pub fn set_listener(&self) -> Receiver<MuxMsg> {
+        let (tx, rx) = crossbeam::channel::bounded(256);
+        *self.listener.lock() = Some(tx);
+        rx
+    }
+
+    /// Register a connection queue under `local_id`.
+    pub fn register(&self, local_id: u32, depth: usize) -> Receiver<MuxMsg> {
+        let (tx, rx) = crossbeam::channel::bounded(depth);
+        self.conns.lock().insert(local_id, tx);
+        rx
+    }
+
+    /// Remove a connection queue.
+    pub fn unregister(&self, local_id: u32) {
+        self.conns.lock().remove(&local_id);
+    }
+
+    /// Encode and send one packet. Returns the wall-clock cost in
+    /// nanoseconds (fed back into §4.4's minimum-period correction).
+    pub fn send(&self, pkt: &Packet, to: SocketAddr, instr: &Instrument) -> io::Result<u64> {
+        thread_local! {
+            static BUF: std::cell::RefCell<BytesMut> = std::cell::RefCell::new(BytesMut::with_capacity(65_536));
+        }
+        BUF.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.clear();
+            {
+                let _t = instr.scope(Category::Packing);
+                encode(pkt, &mut buf);
+            }
+            let t0 = std::time::Instant::now();
+            let res = {
+                let _t = instr.scope(Category::UdpSend);
+                self.socket.send_to(&buf, to)
+            };
+            res.map(|_| t0.elapsed().as_nanos() as u64)
+        })
+    }
+
+    /// Ask the demux thread to exit (it also exits when the last Arc
+    /// drops).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Mux {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.thread.lock().take() {
+            // The final Arc can be dropped *by the demux thread itself*
+            // (it briefly upgrades its Weak); joining ourselves would
+            // deadlock, so let the thread wind down on its own then.
+            if h.thread().id() != std::thread::current().id() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_proto::ctrl::ControlPacket;
+
+    #[test]
+    fn routes_by_conn_id() {
+        let a = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let b = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let q7 = b.register(7, 64);
+        let q9 = b.register(9, 64);
+        let instr = Instrument::default();
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(7)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(9)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        let (p7, from7) = q7.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(p7.conn_id(), 7);
+        assert_eq!(from7, a.local_addr());
+        let (p9, _) = q9.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(p9.conn_id(), 9);
+        assert!(q7.try_recv().is_err(), "no cross-routing");
+    }
+
+    #[test]
+    fn listener_gets_id_zero() {
+        let a = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let b = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let lq = b.set_listener();
+        let instr = Instrument::default();
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(0)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        let (pkt, _) = lq.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(pkt.conn_id(), 0);
+    }
+
+    #[test]
+    fn unregister_stops_routing() {
+        let a = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let b = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let q = b.register(5, 64);
+        b.unregister(5);
+        let instr = Instrument::default();
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(5)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        assert!(q.recv_timeout(Duration::from_millis(300)).is_err());
+    }
+}

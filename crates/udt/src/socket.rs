@@ -1,0 +1,365 @@
+//! Connection establishment: [`UdtListener`] and [`UdtConnection::connect`].
+//!
+//! The handshake is a two-message exchange over UDP (§4.7-era UDT):
+//!
+//! 1. the client sends a Handshake *request* (destination id 0) carrying
+//!    its protocol version, initial sequence number, proposed MSS, maximum
+//!    flow window, and its local socket id; it retransmits until answered;
+//! 2. the server replies with a Handshake *response* addressed to the
+//!    client's id, carrying the server's own initial sequence number,
+//!    socket id, and the negotiated (minimum) MSS and window.
+//!
+//! Both sides then run the same data-plane threads. Duplicate requests
+//! (response loss) are answered idempotently from a small cache.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use rand::Rng;
+
+use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeReqType};
+use udt_proto::{Packet, SeqNo, SEQ_MAX};
+
+use crate::config::UdtConfig;
+use crate::conn::UdtConnection;
+use crate::error::{Result, UdtError};
+use crate::instrument::Instrument;
+use crate::mux::Mux;
+
+/// UDT protocol version implemented (the SC'04 revision).
+pub const UDT_VERSION: u32 = 2;
+
+/// Global socket-id allocator (non-zero; id 0 addresses listeners).
+static NEXT_ID: AtomicU32 = AtomicU32::new(0);
+
+fn gen_socket_id() -> u32 {
+    let base = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    // Salt with randomness so ids don't collide across processes.
+    let salt: u32 = rand::thread_rng().gen_range(1..0x0100_0000);
+    (salt.wrapping_mul(2654435761).wrapping_add(base)) | 1
+}
+
+fn gen_init_seq() -> SeqNo {
+    SeqNo::new(rand::thread_rng().gen_range(0..=SEQ_MAX))
+}
+
+/// Depth of each connection's inbound packet queue.
+const CONN_QUEUE_DEPTH: usize = 8192;
+
+impl UdtConnection {
+    /// Connect to a UDT listener at `server`.
+    pub fn connect(server: SocketAddr, cfg: UdtConfig) -> Result<UdtConnection> {
+        let bind_addr: SocketAddr = if server.is_ipv4() {
+            "0.0.0.0:0".parse().expect("addr")
+        } else {
+            "[::]:0".parse().expect("addr")
+        };
+        let mux = Mux::bind(bind_addr)?;
+        let local_id = gen_socket_id();
+        let rx = mux.register(local_id, CONN_QUEUE_DEPTH);
+        let init_seq = cfg
+            .force_init_seq
+            .map(SeqNo::new)
+            .unwrap_or_else(gen_init_seq);
+        let req = Packet::Control(ControlPacket {
+            timestamp_us: 0,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: UDT_VERSION,
+                req_type: HandshakeReqType::Request,
+                init_seq,
+                mss: cfg.mss,
+                max_flow_win: cfg.rcv_buf_pkts,
+                socket_id: local_id,
+            }),
+        });
+        let instr = Instrument::default();
+        let deadline = Instant::now() + cfg.connect_timeout;
+        loop {
+            mux.send(&req, server, &instr)?;
+            match rx.recv_timeout(cfg.handshake_retry) {
+                Ok((Packet::Control(c), from)) => {
+                    if let ControlBody::Handshake(h) = c.body {
+                        if h.req_type == HandshakeReqType::Response {
+                            let negotiated = UdtConfig {
+                                mss: cfg.mss.min(h.mss),
+                                ..cfg
+                            };
+                            return Ok(UdtConnection::establish(
+                                mux,
+                                negotiated,
+                                local_id,
+                                h.socket_id,
+                                from,
+                                init_seq,
+                                h.init_seq,
+                                rx,
+                            ));
+                        }
+                    }
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return Err(UdtError::NotConnected),
+            }
+            if Instant::now() >= deadline {
+                return Err(UdtError::ConnectTimeout);
+            }
+        }
+    }
+}
+
+/// A UDT listener: accepts connections on one UDP port. All accepted
+/// connections share the port (demultiplexed by connection id).
+pub struct UdtListener {
+    mux: Arc<Mux>,
+    accepted: Receiver<UdtConnection>,
+    stop: Arc<AtomicBool>,
+    service: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl UdtListener {
+    /// Bind a listener.
+    pub fn bind(addr: SocketAddr, cfg: UdtConfig) -> Result<UdtListener> {
+        let mux = Mux::bind(addr)?;
+        let hs_queue = mux.set_listener();
+        let (tx, rx) = crossbeam::channel::bounded(64);
+        let stop = Arc::new(AtomicBool::new(false));
+        let service = {
+            let mux = Arc::clone(&mux);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("udt-listen".into())
+                .spawn(move || listener_service(mux, cfg, hs_queue, tx, stop))?
+        };
+        Ok(UdtListener {
+            mux,
+            accepted: rx,
+            stop,
+            service: Mutex::new(Some(service)),
+        })
+    }
+
+    /// The bound local address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.mux.local_addr()
+    }
+
+    /// Block until a connection is established.
+    pub fn accept(&self) -> Result<UdtConnection> {
+        self.accepted
+            .recv()
+            .map_err(|_| UdtError::NotConnected)
+    }
+
+    /// Accept with a timeout.
+    pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<UdtConnection>> {
+        match self.accepted.recv_timeout(timeout) {
+            Ok(c) => Ok(Some(c)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(UdtError::NotConnected),
+        }
+    }
+}
+
+impl Drop for UdtListener {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.mux.shutdown();
+        if let Some(h) = self.service.lock().take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn listener_service(
+    mux: Arc<Mux>,
+    cfg: UdtConfig,
+    hs_queue: Receiver<(Packet, SocketAddr)>,
+    accepted: Sender<UdtConnection>,
+    stop: Arc<AtomicBool>,
+) {
+    let instr = Instrument::default();
+    // Idempotent-response cache: (client addr, client id) → response.
+    let mut established: HashMap<(SocketAddr, u32), Packet> = HashMap::new();
+    while !stop.load(Ordering::Relaxed) {
+        let (pkt, from) = match hs_queue.recv_timeout(Duration::from_millis(100)) {
+            Ok(m) => m,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let Packet::Control(c) = pkt else { continue };
+        let ControlBody::Handshake(h) = c.body else {
+            continue;
+        };
+        if h.req_type != HandshakeReqType::Request || h.version != UDT_VERSION {
+            continue;
+        }
+        let key = (from, h.socket_id);
+        if let Some(resp) = established.get(&key) {
+            let _ = mux.send(resp, from, &instr);
+            continue;
+        }
+        let local_id = gen_socket_id();
+        let our_init = cfg
+            .force_init_seq
+            .map(SeqNo::new)
+            .unwrap_or_else(gen_init_seq);
+        let negotiated_mss = cfg.mss.min(h.mss);
+        let resp = Packet::Control(ControlPacket {
+            timestamp_us: 0,
+            conn_id: h.socket_id,
+            body: ControlBody::Handshake(HandshakeData {
+                version: UDT_VERSION,
+                req_type: HandshakeReqType::Response,
+                init_seq: our_init,
+                mss: negotiated_mss,
+                max_flow_win: cfg.rcv_buf_pkts,
+                socket_id: local_id,
+            }),
+        });
+        let rx = mux.register(local_id, CONN_QUEUE_DEPTH);
+        let conn_cfg = UdtConfig {
+            mss: negotiated_mss,
+            ..cfg.clone()
+        };
+        let conn = UdtConnection::establish(
+            Arc::clone(&mux),
+            conn_cfg,
+            local_id,
+            h.socket_id,
+            from,
+            our_init,
+            h.init_seq,
+            rx,
+        );
+        let _ = mux.send(&resp, from, &instr);
+        established.insert(key, resp);
+        if accepted.send(conn).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn socket_ids_are_nonzero_and_distinct() {
+        let a = gen_socket_id();
+        let b = gen_socket_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn connect_times_out_without_server() {
+        let cfg = UdtConfig {
+            connect_timeout: Duration::from_millis(300),
+            handshake_retry: Duration::from_millis(50),
+            ..UdtConfig::default()
+        };
+        // An ephemeral UDP port with nothing listening on UDT.
+        let err = UdtConnection::connect("127.0.0.1:9".parse().unwrap(), cfg);
+        assert!(matches!(err, Err(UdtError::ConnectTimeout)));
+    }
+
+    #[test]
+    fn loopback_connect_and_echo() {
+        let listener =
+            UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let mut buf = vec![0u8; 1 << 16];
+            let mut total = Vec::new();
+            loop {
+                let n = conn.recv(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                total.extend_from_slice(&buf[..n]);
+            }
+            total
+        });
+        let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        conn.send(&payload).unwrap();
+        conn.close().unwrap();
+        let got = server.join().unwrap();
+        assert_eq!(got.len(), payload.len());
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn mss_negotiates_to_minimum() {
+        let listener = UdtListener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            UdtConfig {
+                mss: 9000,
+                ..UdtConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let handle = std::thread::spawn(move || listener.accept().unwrap());
+        let conn = UdtConnection::connect(
+            addr,
+            UdtConfig {
+                mss: 1400,
+                ..UdtConfig::default()
+            },
+        )
+        .unwrap();
+        let server_conn = handle.join().unwrap();
+        assert_eq!(conn.config().mss, 1400);
+        assert_eq!(server_conn.config().mss, 1400);
+        conn.close().unwrap();
+    }
+
+    #[test]
+    fn multiple_connections_share_listener_port() {
+        let listener =
+            UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || {
+            let mut sums = Vec::new();
+            for _ in 0..3 {
+                let conn = listener.accept().unwrap();
+                let mut buf = vec![0u8; 4096];
+                let mut sum = 0u64;
+                loop {
+                    let n = conn.recv(&mut buf).unwrap();
+                    if n == 0 {
+                        break;
+                    }
+                    sum += buf[..n].iter().map(|&b| b as u64).sum::<u64>();
+                }
+                sums.push(sum);
+            }
+            sums
+        });
+        let mut want = Vec::new();
+        let mut clients = Vec::new();
+        for k in 1..=3u8 {
+            let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+            let data = vec![k; 10_000];
+            want.push(10_000u64 * k as u64);
+            conn.send(&data).unwrap();
+            clients.push(conn);
+        }
+        for c in clients {
+            c.close().unwrap();
+        }
+        let mut got = server.join().unwrap();
+        got.sort_unstable();
+        assert_eq!(got, want);
+    }
+}

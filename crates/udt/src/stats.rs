@@ -1,0 +1,62 @@
+//! Per-connection counters, exposed for experiments and monitoring.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cumulative connection statistics (all counters are monotone).
+#[derive(Debug, Default)]
+pub struct ConnStats {
+    /// Data packets sent (first transmissions).
+    pub pkts_sent: AtomicU64,
+    /// Data packets retransmitted.
+    pub pkts_retransmitted: AtomicU64,
+    /// Data packets received (first copies).
+    pub pkts_received: AtomicU64,
+    /// Duplicate data packets discarded.
+    pub pkts_duplicate: AtomicU64,
+    /// Application payload bytes sent (first transmissions).
+    pub bytes_sent: AtomicU64,
+    /// Application payload bytes delivered in order to the application.
+    pub bytes_delivered: AtomicU64,
+    /// ACK control packets sent.
+    pub acks_sent: AtomicU64,
+    /// ACK control packets received.
+    pub acks_received: AtomicU64,
+    /// NAK control packets sent.
+    pub naks_sent: AtomicU64,
+    /// NAK control packets received.
+    pub naks_received: AtomicU64,
+    /// Loss events detected at the receiver (gap detections).
+    pub loss_events: AtomicU64,
+    /// Lost packets detected at the receiver (sum of gap sizes).
+    pub pkts_lost: AtomicU64,
+    /// EXP timeouts taken.
+    pub exp_timeouts: AtomicU64,
+}
+
+impl ConnStats {
+    /// Bump a counter.
+    #[inline]
+    pub fn inc(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn get(counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ConnStats::default();
+        ConnStats::inc(&s.pkts_sent, 3);
+        ConnStats::inc(&s.pkts_sent, 2);
+        assert_eq!(ConnStats::get(&s.pkts_sent), 5);
+        assert_eq!(ConnStats::get(&s.pkts_received), 0);
+    }
+}

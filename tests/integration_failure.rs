@@ -1,0 +1,144 @@
+//! Failure-injection tests: peers that vanish, garbage datagrams, version
+//! mismatches. A transport that only works when both sides behave is not a
+//! transport.
+
+use std::net::UdpSocket;
+use std::time::{Duration, Instant};
+
+use bytes::{Bytes, BytesMut};
+use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeReqType};
+use udt_proto::{decode, encode, Packet, SeqNo};
+
+use udt::{UdtConfig, UdtError, UdtListener};
+
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn handshake_req(socket_id: u32) -> Vec<u8> {
+    let pkt = Packet::Control(ControlPacket {
+        timestamp_us: 0,
+        conn_id: 0,
+        body: ControlBody::Handshake(HandshakeData {
+            version: 2,
+            req_type: HandshakeReqType::Request,
+            init_seq: SeqNo::new(100),
+            mss: 1500,
+            max_flow_win: 8192,
+            socket_id,
+        }),
+    });
+    let mut buf = BytesMut::new();
+    encode(&pkt, &mut buf);
+    buf.to_vec()
+}
+
+#[test]
+fn silent_peer_breaks_server_recv() {
+    let _s = serial();
+    // A fast EXP ladder so the test completes quickly.
+    let cfg = UdtConfig {
+        max_exp_count: 4,
+        ..UdtConfig::default()
+    };
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg).unwrap();
+    let addr = listener.local_addr();
+
+    // Fake client: handshake by hand, then go silent forever.
+    let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+    raw.send_to(&handshake_req(777), addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+    let mut buf = [0u8; 2048];
+    let (n, _) = raw.recv_from(&mut buf).unwrap();
+    let resp = decode(Bytes::copy_from_slice(&buf[..n])).unwrap();
+    assert!(matches!(
+        resp,
+        Packet::Control(ControlPacket {
+            body: ControlBody::Handshake(HandshakeData {
+                req_type: HandshakeReqType::Response,
+                ..
+            }),
+            ..
+        })
+    ));
+
+    let conn = listener.accept().unwrap();
+    let t0 = Instant::now();
+    let mut out = [0u8; 64];
+    // The server's recv must not hang forever on a vanished peer.
+    let res = conn.recv(&mut out);
+    assert!(
+        matches!(res, Err(UdtError::Broken)),
+        "expected Broken, got {res:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "took {:?} to detect the dead peer",
+        t0.elapsed()
+    );
+}
+
+#[test]
+fn garbage_datagrams_are_ignored() {
+    let _s = serial();
+    let listener =
+        UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+    let addr = listener.local_addr();
+    // Throw junk at the listener port: short frames, random bytes, claimed
+    // control types that don't exist.
+    let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+    raw.send_to(&[], addr).ok();
+    raw.send_to(&[1, 2, 3], addr).unwrap();
+    raw.send_to(&[0xFF; 64], addr).unwrap();
+    raw.send_to(&[0x80, 0x7F, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0], addr)
+        .unwrap();
+    // A real client must still be able to connect and transfer.
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut buf = [0u8; 256];
+        let n = conn.recv(&mut buf).unwrap();
+        buf[..n].to_vec()
+    });
+    let conn =
+        udt::UdtConnection::connect(addr, UdtConfig::default()).expect("connect after junk");
+    conn.send(b"still alive").unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), b"still alive");
+}
+
+#[test]
+fn wrong_version_handshake_is_rejected() {
+    let _s = serial();
+    let listener =
+        UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+    let addr = listener.local_addr();
+    let pkt = Packet::Control(ControlPacket {
+        timestamp_us: 0,
+        conn_id: 0,
+        body: ControlBody::Handshake(HandshakeData {
+            version: 99, // future protocol
+            req_type: HandshakeReqType::Request,
+            init_seq: SeqNo::new(1),
+            mss: 1500,
+            max_flow_win: 8192,
+            socket_id: 555,
+        }),
+    });
+    let mut buf = BytesMut::new();
+    encode(&pkt, &mut buf);
+    let raw = UdpSocket::bind("127.0.0.1:0").unwrap();
+    raw.send_to(&buf, addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    let mut rbuf = [0u8; 256];
+    assert!(
+        raw.recv_from(&mut rbuf).is_err(),
+        "listener answered a version-99 handshake"
+    );
+    // Listener must not have produced a connection either.
+    assert!(listener
+        .accept_timeout(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
+}

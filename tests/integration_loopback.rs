@@ -1,0 +1,241 @@
+//! Cross-crate integration: real UDT sockets over clean loopback.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use udt::{ConnStats, UdtConfig, UdtConnection, UdtError, UdtListener};
+
+fn cfg() -> UdtConfig {
+    UdtConfig::default()
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(2654435761) >> 11) as u8 ^ salt)
+        .collect()
+}
+
+fn echo_server(listener: UdtListener) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let conn = listener.accept().expect("accept");
+        let mut buf = vec![0u8; 1 << 16];
+        let mut out = Vec::new();
+        loop {
+            let n = conn.recv(&mut buf).expect("recv");
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        out
+    })
+}
+
+#[test]
+fn large_transfer_is_byte_exact() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let server = echo_server(listener);
+    let conn = UdtConnection::connect(addr, cfg()).unwrap();
+    let data = pattern(3_000_000, 7);
+    conn.send(&data).unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), data);
+}
+
+#[test]
+fn many_small_sends_preserve_order() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let server = echo_server(listener);
+    let conn = UdtConnection::connect(addr, cfg()).unwrap();
+    let mut want = Vec::new();
+    for i in 0..2_000u32 {
+        let msg = format!("message-{i};");
+        conn.send(msg.as_bytes()).unwrap();
+        want.extend_from_slice(msg.as_bytes());
+    }
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), want);
+}
+
+#[test]
+fn duplex_transfer_both_directions() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let up = pattern(400_000, 1);
+    let down = pattern(500_000, 2);
+    let down2 = down.clone();
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        // Send downstream while reading upstream.
+        let down = down2;
+        let writer = {
+            let conn = std::sync::Arc::new(conn);
+            let c2 = std::sync::Arc::clone(&conn);
+            let h = std::thread::spawn(move || c2.send(&down).unwrap());
+            (conn, h)
+        };
+        let (conn, h) = writer;
+        let mut got = Vec::new();
+        let mut buf = vec![0u8; 1 << 16];
+        while got.len() < 400_000 {
+            let n = conn.recv(&mut buf).unwrap();
+            assert!(n > 0, "premature EOF");
+            got.extend_from_slice(&buf[..n]);
+        }
+        h.join().unwrap();
+        got
+    });
+    let conn = UdtConnection::connect(addr, cfg()).unwrap();
+    let c = Arc::new(conn);
+    let c2 = Arc::clone(&c);
+    let up2 = up.clone();
+    let writer = std::thread::spawn(move || c2.send(&up2).unwrap());
+    let mut got = Vec::new();
+    let mut buf = vec![0u8; 1 << 16];
+    while got.len() < 500_000 {
+        let n = c.recv(&mut buf).unwrap();
+        assert!(n > 0, "premature EOF");
+        got.extend_from_slice(&buf[..n]);
+    }
+    writer.join().unwrap();
+    assert_eq!(got, down);
+    let up_got = server.join().unwrap();
+    assert_eq!(up_got, up);
+    c.close().unwrap();
+}
+
+#[test]
+fn small_buffers_still_deliver_everything() {
+    // Tiny windows force constant flow-control blocking.
+    let small = UdtConfig {
+        snd_buf_pkts: 32,
+        rcv_buf_pkts: 32,
+        ..UdtConfig::default()
+    };
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), small.clone()).unwrap();
+    let addr = listener.local_addr();
+    let server = echo_server(listener);
+    let conn = UdtConnection::connect(addr, small).unwrap();
+    let data = pattern(500_000, 3);
+    conn.send(&data).unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), data);
+}
+
+#[test]
+fn eof_semantics_after_close() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut buf = [0u8; 64];
+        let n = conn.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"bye");
+        // After the peer closes, recv must return 0 — repeatedly.
+        assert_eq!(conn.recv(&mut buf).unwrap(), 0);
+        assert_eq!(conn.recv(&mut buf).unwrap(), 0);
+    });
+    let conn = UdtConnection::connect(addr, cfg()).unwrap();
+    conn.send(b"bye").unwrap();
+    conn.close().unwrap();
+    server.join().unwrap();
+    // Sending after close errors.
+    assert!(matches!(
+        conn.send(b"more"),
+        Err(UdtError::NotConnected) | Err(UdtError::Broken)
+    ));
+}
+
+#[test]
+fn concurrent_connections_do_not_interfere() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let n_conns = 4;
+    let total_ok = Arc::new(AtomicUsize::new(0));
+    let server = {
+        let total_ok = Arc::clone(&total_ok);
+        std::thread::spawn(move || {
+            let mut handles = Vec::new();
+            for _ in 0..n_conns {
+                let conn = listener.accept().unwrap();
+                let total_ok = Arc::clone(&total_ok);
+                handles.push(std::thread::spawn(move || {
+                    let mut buf = vec![0u8; 1 << 16];
+                    let mut got = Vec::new();
+                    loop {
+                        let n = conn.recv(&mut buf).unwrap();
+                        if n == 0 {
+                            break;
+                        }
+                        got.extend_from_slice(&buf[..n]);
+                    }
+                    total_ok.fetch_add(1, Ordering::Relaxed);
+                    got
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+    };
+    let mut clients = Vec::new();
+    for k in 0..n_conns {
+        let addr = addr;
+        clients.push(std::thread::spawn(move || {
+            let conn = UdtConnection::connect(addr, cfg()).unwrap();
+            let data = pattern(200_000, 0x10 + k as u8);
+            conn.send(&data).unwrap();
+            conn.close().unwrap();
+            data
+        }));
+    }
+    let sent: Vec<Vec<u8>> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let received = server.join().unwrap();
+    assert_eq!(received.len(), n_conns);
+    assert_eq!(total_ok.load(Ordering::Relaxed), n_conns);
+    // Each received stream matches exactly one sent stream.
+    for got in &received {
+        assert!(
+            sent.iter().any(|s| s == got),
+            "a received stream matches no sent stream (cross-connection mixing?)"
+        );
+    }
+}
+
+#[test]
+fn stats_reflect_the_transfer() {
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg()).unwrap();
+    let addr = listener.local_addr();
+    let server = echo_server(listener);
+    let conn = UdtConnection::connect(addr, cfg()).unwrap();
+    let data = pattern(1_000_000, 9);
+    conn.send(&data).unwrap();
+    let stats = conn.stats();
+    // Bytes are counted when buffered; packets when transmitted.
+    assert_eq!(ConnStats::get(&stats.bytes_sent), data.len() as u64);
+    conn.close().unwrap();
+    server.join().unwrap();
+    let pkts = ConnStats::get(&stats.pkts_sent);
+    let payload = conn.config().payload_size() as u64;
+    assert!(pkts >= data.len() as u64 / payload);
+    assert!(ConnStats::get(&stats.acks_received) > 0, "no ACKs seen");
+}
+
+#[test]
+fn jumbo_mss_works_on_loopback() {
+    let jumbo = UdtConfig {
+        mss: 9000,
+        ..UdtConfig::default()
+    };
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), jumbo.clone()).unwrap();
+    let addr = listener.local_addr();
+    let server = echo_server(listener);
+    let conn = UdtConnection::connect(addr, jumbo).unwrap();
+    assert_eq!(conn.config().mss, 9000);
+    let data = pattern(2_000_000, 4);
+    conn.send(&data).unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), data);
+}

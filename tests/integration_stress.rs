@@ -1,0 +1,133 @@
+//! Heavier end-to-end stress: sustained transfers, rapid connection
+//! churn, and application-limited (bursty) senders. Serialized — each case
+//! saturates a small host on its own.
+
+use std::time::Duration;
+
+use udt::{UdtConfig, UdtConnection, UdtListener};
+
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn pattern(len: usize, salt: u8) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((i as u32).wrapping_mul(0x01000193) >> 7) as u8 ^ salt)
+        .collect()
+}
+
+#[test]
+fn connection_churn() {
+    let _s = serial();
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let mut totals = Vec::new();
+        for _ in 0..12 {
+            let conn = listener.accept().unwrap();
+            let mut buf = vec![0u8; 8192];
+            let mut total = 0usize;
+            loop {
+                let n = conn.recv(&mut buf).unwrap();
+                if n == 0 {
+                    break;
+                }
+                total += n;
+            }
+            totals.push(total);
+        }
+        totals
+    });
+    for k in 0..12 {
+        let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+        let data = pattern(10_000 + k * 1_000, k as u8);
+        conn.send(&data).unwrap();
+        conn.close().unwrap();
+    }
+    let totals = server.join().unwrap();
+    let mut want: Vec<usize> = (0..12).map(|k| 10_000 + k * 1_000).collect();
+    let mut got = totals.clone();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn bursty_application_sender() {
+    // An application that sends in bursts with idle gaps: the arrival-speed
+    // median filter must not crater the flow window during the gaps (the
+    // paper's explicit reason for the median over the mean, §3.2).
+    let _s = serial();
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut buf = vec![0u8; 1 << 16];
+        let mut total = 0u64;
+        loop {
+            let n = conn.recv(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            total += n as u64;
+        }
+        total
+    });
+    let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+    let burst = pattern(500_000, 0xB0);
+    let mut sent = 0u64;
+    for _ in 0..6 {
+        conn.send(&burst).unwrap();
+        sent += burst.len() as u64;
+        std::thread::sleep(Duration::from_millis(150)); // idle gap
+    }
+    // After the idle gaps, a final large burst must still move briskly.
+    let t0 = std::time::Instant::now();
+    conn.send(&burst).unwrap();
+    sent += burst.len() as u64;
+    conn.close().unwrap();
+    let last_burst_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(server.join().unwrap(), sent);
+    assert!(
+        last_burst_secs < 5.0,
+        "post-idle burst took {last_burst_secs:.1}s — window collapsed during idle?"
+    );
+}
+
+#[test]
+fn sustained_transfer_with_slow_reader() {
+    // A reader that drains slowly forces flow control to bound the sender
+    // the whole way; nothing may be lost and memory must stay bounded
+    // (the receive buffer is the bound).
+    let _s = serial();
+    let cfg = UdtConfig {
+        rcv_buf_pkts: 256,
+        snd_buf_pkts: 256,
+        ..UdtConfig::default()
+    };
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone()).unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut buf = vec![0u8; 2048];
+        let mut out = Vec::new();
+        loop {
+            let n = conn.recv(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+            if out.len() % 65_536 < 2048 {
+                std::thread::sleep(Duration::from_millis(1)); // dawdle
+            }
+        }
+        out
+    });
+    let conn = UdtConnection::connect(addr, cfg).unwrap();
+    let data = pattern(1_500_000, 0x51);
+    conn.send(&data).unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), data);
+}
