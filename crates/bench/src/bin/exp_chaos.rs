@@ -1,0 +1,8 @@
+//! Regenerate the chaos burst-loss ablation. See DESIGN.md for the experiment index.
+fn main() {
+    let report = bench::experiments::chaos::run();
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Chaos ablation — throughput vs burst-loss severity.
+//!
+//! The udt-chaos subsystem exists to answer questions the paper's clean
+//! dumbbells cannot: how does UDT's loss-driven AIMD degrade when loss is
+//! *bursty* (Gilbert–Elliott) rather than uniform? This ablation sweeps the
+//! bad-state loss rate `p_bad` of a GE channel on the bottleneck and
+//! measures delivered throughput for a single bulk flow. Two properties are
+//! asserted: severity monotonically costs throughput, and the schedule is
+//! deterministic — the same scenario seed reproduces the identical run.
+
+use netsim::agents::udt::{attach_udt_flow, UdtSenderCfg};
+use netsim::{dumbbell, paper_queue_cap, DumbbellCfg};
+use udt_algo::Nanos;
+use udt_chaos::scenario::{presets, Direction};
+
+use crate::report::{mbps, Report};
+
+const SEED: u64 = 0x0C0A_0500;
+const SECS: u64 = 10;
+
+/// One seeded run; returns (delivered bytes, chaos drops at the bottleneck).
+fn run_once(p_bad: f64) -> (u64, u64) {
+    let rate = 1e8;
+    let rtt = Nanos::from_millis(40);
+    let mut d = dumbbell(DumbbellCfg {
+        flows: 1,
+        rate_bps: rate,
+        one_way_delay: Nanos(rtt.0 / 2),
+        queue_cap: paper_queue_cap(rate, rtt, 1500),
+    });
+    if p_bad > 0.0 {
+        let chain = presets::bursty_loss(SEED, p_bad).build(Direction::Forward);
+        d.sim.link_mut(d.bottleneck).set_impairments(chain);
+    }
+    let f = d.sim.add_flow();
+    attach_udt_flow(&mut d.sim, d.sources[0], d.sinks[0], UdtSenderCfg::bulk(d.sinks[0], f));
+    d.sim.run_until(Nanos::from_secs(SECS));
+    (d.sim.delivered(f), d.sim.link(d.bottleneck).stats.chaos_drops)
+}
+
+/// Run.
+pub fn run() -> Report {
+    let mut rep = Report::new(
+        "exp_chaos",
+        "Chaos ablation: throughput vs Gilbert–Elliott burst-loss severity",
+        "1 flow, 100 Mb/s, 40 ms RTT dumbbell; GE channel on the bottleneck, \
+         bad-state loss swept; 10 s per point, fixed scenario seed",
+    );
+    rep.row("p_bad   throughput     chaos-drops");
+    let severities = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut results = Vec::new();
+    for &p in &severities {
+        let (delivered, drops) = run_once(p);
+        let bps = delivered as f64 * 8.0 / SECS as f64;
+        rep.row(format!("{p:<7.1} {:<14} {drops:>11}", mbps(bps)));
+        results.push((p, delivered, drops));
+    }
+    let clean = results[0].1;
+    let worst = results.last().unwrap().1;
+    rep.shape(
+        "burst loss costs throughput at every severity step",
+        results.windows(2).all(|w| w[1].1 < w[0].1),
+        format!(
+            "delivered: {}",
+            results
+                .iter()
+                .map(|r| r.1.to_string())
+                .collect::<Vec<_>>()
+                .join(" > ")
+        ),
+    );
+    rep.shape(
+        "injected drops grow with severity",
+        results.windows(2).all(|w| w[1].2 >= w[0].2) && results.last().unwrap().2 > 0,
+        format!("drops: {:?}", results.iter().map(|r| r.2).collect::<Vec<_>>()),
+    );
+    rep.shape(
+        "the transfer survives even 50% bad-state loss (no stall)",
+        worst > 500_000,
+        format!("worst-case delivered {worst} B (clean {clean} B)"),
+    );
+    let (again, _) = run_once(0.4);
+    rep.shape(
+        "the scenario seed reproduces the run exactly",
+        again == results[4].1,
+        format!("{again} == {}", results[4].1),
+    );
+    rep
+}

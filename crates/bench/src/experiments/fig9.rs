@@ -24,11 +24,11 @@ pub fn synthetic_events(n_events: usize, seed: u64) -> Vec<(u32, u32)> {
     let mut events = Vec::with_capacity(n_events);
     let mut seq = 0u32;
     for _ in 0..n_events {
-        seq += rng.gen_range(50..2_000); // delivered stretch
+        seq += rng.gen_range(50..2_000u32); // delivered stretch
         let run = if rng.gen_bool(0.3) {
-            rng.gen_range(200..3_000)
+            rng.gen_range(200..3_000u32)
         } else {
-            rng.gen_range(1..50)
+            rng.gen_range(1..50u32)
         };
         events.push((seq, run));
         seq += run;

@@ -49,7 +49,7 @@ fn disk_transfer(path: &EmuPath, file_bytes: u64) -> (f64, bool) {
     let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone()).unwrap();
     let mut spec = linkemu::LinkSpec::clean(path.rate_bps, path.rtt / 2);
     spec.seed = 3;
-    let emu = linkemu::LinkEmu::start(spec, spec, listener.local_addr()).unwrap();
+    let emu = linkemu::LinkEmu::start(spec.clone(), spec, listener.local_addr()).unwrap();
     let dst2 = dst.clone();
     let server = std::thread::spawn(move || {
         let conn = listener.accept().unwrap();

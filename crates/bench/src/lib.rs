@@ -25,6 +25,7 @@ pub mod experiments {
     pub mod abl_pacing;
     pub mod abl_sabul;
     pub mod abl_syn;
+    pub mod chaos;
     pub mod cmp_protocols;
     pub mod multibottleneck;
     pub mod fig1;
@@ -74,6 +75,7 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
         experiments::abl_sabul::run,
         experiments::abl_pacing::run,
         experiments::cmp_protocols::run,
+        experiments::chaos::run,
         experiments::multibottleneck::run,
     ]
 }

@@ -16,7 +16,8 @@
 //! clients work unchanged). Each direction runs on its own thread with a
 //! time-ordered release queue.
 
-use std::collections::VecDeque;
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,9 +27,12 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use udt_chaos::scenario::{Direction as ChaosDir, ImpairmentSpec, Scenario};
+use udt_chaos::ImpairmentChain;
+use udt_metrics::counters::FaultCounters;
 
 /// Impairments for one direction of the emulated link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LinkSpec {
     /// Line rate, bits/second.
     pub rate_bps: f64,
@@ -46,8 +50,14 @@ pub struct LinkSpec {
     /// serialization cost of per-fragment headers and the amplified loss
     /// probability above.
     pub mtu: usize,
-    /// RNG seed for loss injection.
+    /// RNG seed for loss injection (and the impairment chain's stages).
     pub seed: u64,
+    /// Additional impairment chain (udt-chaos), applied per datagram after
+    /// the legacy fragment loss and before queue admission. The legacy
+    /// `loss_prob`/`mtu` pair is exactly
+    /// [`ImpairmentSpec::Bernoulli`]`{ loss, mtu }` — kept as dedicated
+    /// fields for the existing experiments' ergonomics.
+    pub impairments: Vec<ImpairmentSpec>,
 }
 
 impl LinkSpec {
@@ -61,7 +71,24 @@ impl LinkSpec {
             loss_prob: 0.0,
             mtu: 65_535,
             seed: 7,
+            impairments: Vec::new(),
         }
+    }
+
+    /// Append an impairment stage to this direction's chain.
+    pub fn impair(mut self, spec: ImpairmentSpec) -> LinkSpec {
+        self.impairments.push(spec);
+        self
+    }
+
+    /// Build the live chain for this spec. Stage seeds derive from
+    /// `seed` through the scenario machinery, with the given direction
+    /// tag keeping the two directions of a symmetric link independent.
+    fn build_chain(&self, dir: ChaosDir) -> ImpairmentChain {
+        let mut sc = Scenario::new("linkemu", self.seed);
+        sc.forward = self.impairments.clone();
+        sc.reverse = self.impairments.clone();
+        sc.build(dir)
     }
 }
 
@@ -74,6 +101,11 @@ pub struct DirStats {
     pub queue_drops: AtomicU64,
     /// Datagrams dropped by random loss.
     pub random_drops: AtomicU64,
+    /// Datagrams dropped by the impairment chain (per-stage attribution
+    /// lives in [`LinkEmu::fault_counters`]).
+    pub chaos_drops: AtomicU64,
+    /// Extra datagram copies injected by the impairment chain.
+    pub chaos_dups: AtomicU64,
 }
 
 /// A running emulated link.
@@ -86,12 +118,39 @@ pub struct LinkEmu {
     pub a_to_b: Arc<DirStats>,
     /// Stats for the B→A (server→client) direction.
     pub b_to_a: Arc<DirStats>,
+    a_to_b_faults: Vec<(&'static str, Arc<FaultCounters>)>,
+    b_to_a_faults: Vec<(&'static str, Arc<FaultCounters>)>,
 }
 
+/// One queued datagram, min-ordered by release time with FIFO
+/// tie-breaking (the impairment chain can invert release order, so a
+/// plain FIFO no longer works).
 struct Queued {
     release_at: Instant,
+    seq: u64,
     to_learned_peer: bool,
     data: Vec<u8>,
+}
+
+impl PartialEq for Queued {
+    fn eq(&self, other: &Queued) -> bool {
+        self.release_at == other.release_at && self.seq == other.seq
+    }
+}
+impl Eq for Queued {}
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Queued) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Queued {
+    fn cmp(&self, other: &Queued) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .release_at
+            .cmp(&self.release_at)
+            .then(other.seq.cmp(&self.seq))
+    }
 }
 
 struct Direction {
@@ -106,28 +165,31 @@ struct Direction {
     /// Where this direction *learns* a peer (writes sender addresses).
     learn_into: Option<Arc<Mutex<Option<SocketAddr>>>>,
     spec: LinkSpec,
+    chain: ImpairmentChain,
+    epoch: Instant,
     stats: Arc<DirStats>,
     stop: Arc<AtomicBool>,
 }
 
 impl Direction {
-    fn run(self) {
+    fn run(mut self) {
         let mut rng = SmallRng::seed_from_u64(self.spec.seed);
-        let mut queue: VecDeque<Queued> = VecDeque::new();
+        let mut queue: BinaryHeap<Queued> = BinaryHeap::new();
+        let mut seq = 0u64;
         // Virtual transmitter clock: when the "wire" frees up.
         let mut wire_free_at = Instant::now();
         let mut buf = vec![0u8; 65_536];
         self.rx
             .set_read_timeout(Some(Duration::from_micros(200)))
             .expect("set_read_timeout");
+        // The loop never blocks longer than the read timeout, no matter
+        // how far in the future the queue's releases are (a blackout or a
+        // long reorder delay must not stall shutdown).
         while !self.stop.load(Ordering::Relaxed) {
             // Release everything due.
             let now = Instant::now();
-            while let Some(front) = queue.front() {
-                if front.release_at > now {
-                    break;
-                }
-                let q = queue.pop_front().expect("front");
+            while queue.peek().is_some_and(|q| q.release_at <= now) {
+                let q = queue.pop().expect("peeked");
                 let dest = if q.to_learned_peer {
                     *self.learned_peer.lock()
                 } else {
@@ -155,21 +217,45 @@ impl Direction {
                             continue;
                         }
                     }
-                    if queue.len() >= self.spec.queue_pkts {
-                        self.stats.queue_drops.fetch_add(1, Ordering::Relaxed);
-                        continue;
+                    // Impairment chain: may drop, delay, duplicate, or
+                    // corrupt the datagram bytes in place.
+                    let mut data = buf[..n].to_vec();
+                    let copies = if self.chain.is_empty() {
+                        vec![0u64]
+                    } else {
+                        let now_us = self.epoch.elapsed().as_micros() as u64;
+                        let verdict = self.chain.apply(now_us, n, Some(&mut data));
+                        if verdict.dropped() {
+                            self.stats.chaos_drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        self.stats
+                            .chaos_dups
+                            .fetch_add(verdict.copies.len() as u64 - 1, Ordering::Relaxed);
+                        verdict.copies
+                    };
+                    for extra_us in copies {
+                        if queue.len() >= self.spec.queue_pkts {
+                            self.stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        let now = Instant::now();
+                        // Per-fragment IP header overhead on the wire;
+                        // every copy serializes separately.
+                        let wire_bytes = n + (fragments - 1) * 28;
+                        let tx_time =
+                            Duration::from_secs_f64(wire_bytes as f64 * 8.0 / self.spec.rate_bps);
+                        wire_free_at = wire_free_at.max(now) + tx_time;
+                        queue.push(Queued {
+                            release_at: wire_free_at
+                                + self.spec.delay
+                                + Duration::from_micros(extra_us),
+                            seq,
+                            to_learned_peer: self.fixed_peer.is_none(),
+                            data: data.clone(),
+                        });
+                        seq += 1;
                     }
-                    let now = Instant::now();
-                    // Per-fragment IP header overhead on the wire.
-                    let wire_bytes = n + (fragments - 1) * 28;
-                    let tx_time =
-                        Duration::from_secs_f64(wire_bytes as f64 * 8.0 / self.spec.rate_bps);
-                    wire_free_at = wire_free_at.max(now) + tx_time;
-                    queue.push_back(Queued {
-                        release_at: wire_free_at + self.spec.delay,
-                        to_learned_peer: self.fixed_peer.is_none(),
-                        data: buf[..n].to_vec(),
-                    });
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock
@@ -194,6 +280,12 @@ impl LinkEmu {
         let a_to_b = Arc::new(DirStats::default());
         let b_to_a = Arc::new(DirStats::default());
         let client_peer = Arc::new(Mutex::new(None));
+        let epoch = Instant::now();
+
+        let fwd_chain = to_server.build_chain(ChaosDir::Forward);
+        let rev_chain = to_client.build_chain(ChaosDir::Reverse);
+        let a_to_b_faults = fwd_chain.counter_handles();
+        let b_to_a_faults = rev_chain.counter_handles();
 
         let fwd = Direction {
             rx: sock_a.try_clone()?,
@@ -202,6 +294,8 @@ impl LinkEmu {
             learned_peer: Arc::clone(&client_peer),
             learn_into: Some(Arc::clone(&client_peer)),
             spec: to_server,
+            chain: fwd_chain,
+            epoch,
             stats: Arc::clone(&a_to_b),
             stop: Arc::clone(&stop),
         };
@@ -212,6 +306,8 @@ impl LinkEmu {
             learned_peer: client_peer,
             learn_into: None,
             spec: to_client,
+            chain: rev_chain,
+            epoch,
             stats: Arc::clone(&b_to_a),
             stop: Arc::clone(&stop),
         };
@@ -230,12 +326,25 @@ impl LinkEmu {
             threads,
             a_to_b,
             b_to_a,
+            a_to_b_faults,
+            b_to_a_faults,
         })
     }
 
-    /// Symmetric link: same impairments both ways.
+    /// Symmetric link: same impairments both ways (each direction still
+    /// draws independent randomness from the shared seed).
     pub fn start_symmetric(spec: LinkSpec, server: SocketAddr) -> io::Result<LinkEmu> {
-        LinkEmu::start(spec, spec, server)
+        LinkEmu::start(spec.clone(), spec, server)
+    }
+
+    /// Per-stage impairment-chain counters of the A→B direction.
+    pub fn fault_counters_a_to_b(&self) -> &[(&'static str, Arc<FaultCounters>)] {
+        &self.a_to_b_faults
+    }
+
+    /// Per-stage impairment-chain counters of the B→A direction.
+    pub fn fault_counters_b_to_a(&self) -> &[(&'static str, Arc<FaultCounters>)] {
+        &self.b_to_a_faults
     }
 
     /// The address clients should send to (and will receive from).

@@ -550,7 +550,7 @@ mod rangeset_tests {
         let mut state = 0xDEADBEEFu64;
         let mut next = move || {
             state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
-            (state >> 33) as u64
+            state >> 33
         };
         let mut rs = RangeSet::default();
         let mut model: BTreeSet<u64> = BTreeSet::new();

@@ -6,6 +6,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use udt_algo::Nanos;
+use udt_chaos::ImpairmentChain;
 
 use crate::packet::{NodeId, SimPacket};
 
@@ -20,6 +21,11 @@ pub struct LinkStats {
     pub drops: u64,
     /// Packets dropped by random (physical-path) loss.
     pub random_drops: u64,
+    /// Packets dropped by the impairment chain (bursty loss, blackouts,
+    /// corruption — per-stage attribution lives in the chain's counters).
+    pub chaos_drops: u64,
+    /// Extra packet copies injected by the impairment chain.
+    pub chaos_dups: u64,
     /// Maximum queue depth observed (packets).
     pub max_queue: usize,
 }
@@ -48,6 +54,9 @@ pub struct Link {
     /// paths). 0.0 = clean.
     loss_prob: f64,
     rng: SmallRng,
+    /// Optional impairment chain (udt-chaos): applied to every packet
+    /// offered, before the legacy random loss and the DropTail queue.
+    chaos: Option<ImpairmentChain>,
 }
 
 impl Link {
@@ -65,6 +74,7 @@ impl Link {
             stats: LinkStats::default(),
             loss_prob: 0.0,
             rng: SmallRng::seed_from_u64(0x11AC),
+            chaos: None,
         }
     }
 
@@ -72,6 +82,47 @@ impl Link {
     pub fn set_random_loss(&mut self, prob: f64, seed: u64) {
         self.loss_prob = prob;
         self.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// Attach an impairment chain to this link. Replaces any previous
+    /// chain; typically built from one direction of a
+    /// [`udt_chaos::Scenario`].
+    pub fn set_impairments(&mut self, chain: ImpairmentChain) {
+        self.chaos = if chain.is_empty() { None } else { Some(chain) };
+    }
+
+    /// The attached chain's per-stage fault counters (empty without one).
+    pub fn chaos_counters(
+        &self,
+    ) -> Vec<(
+        &'static str,
+        std::sync::Arc<udt_metrics::counters::FaultCounters>,
+    )> {
+        self.chaos
+            .as_ref()
+            .map(|c| c.counter_handles())
+            .unwrap_or_default()
+    }
+
+    /// Run the impairment chain for one offered packet. Returns the extra
+    /// injected delay of each surviving copy (`None` chain ⇒ one copy, no
+    /// delay). Corruption has no bytes to flip at this layer; the chain
+    /// maps it to a drop (see `udt_chaos::impairments::Corrupt`).
+    pub(crate) fn impair(&mut self, now: Nanos, size: u32) -> Vec<Nanos> {
+        let Some(chain) = &mut self.chaos else {
+            return vec![Nanos::ZERO];
+        };
+        let verdict = chain.apply(now.as_micros(), size as usize, None);
+        if verdict.dropped() {
+            self.stats.chaos_drops += 1;
+            return Vec::new();
+        }
+        self.stats.chaos_dups += verdict.copies.len() as u64 - 1;
+        verdict
+            .copies
+            .iter()
+            .map(|&us| Nanos::from_micros(us))
+            .collect()
     }
 
     /// Serialization time for `size` bytes at this link's rate.

@@ -1,5 +1,6 @@
 //! Simulated packets and protocol payloads.
 
+use udt_algo::Nanos;
 use udt_proto::Packet as UdtPacket;
 
 /// Node identifier within a topology.
@@ -67,18 +68,23 @@ pub struct SimPacket {
     pub flow: FlowId,
     /// Total wire size in bytes (drives serialization delay).
     pub size: u32,
+    /// Extra propagation delay injected by a link's impairment chain
+    /// (jitter/reorder). Applied on top of the link delay when the
+    /// packet's arrival is scheduled.
+    pub extra_delay: Nanos,
     /// Protocol payload.
     pub payload: Payload,
 }
 
 impl SimPacket {
-    /// Convenience constructor.
+    /// Convenience constructor (no injected delay).
     pub fn new(src: NodeId, dst: NodeId, flow: FlowId, size: u32, payload: Payload) -> SimPacket {
         SimPacket {
             src,
             dst,
             flow,
             size,
+            extra_delay: Nanos::ZERO,
             payload,
         }
     }

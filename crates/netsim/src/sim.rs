@@ -241,17 +241,25 @@ impl Simulator {
     }
 
     fn enqueue_on_link(&mut self, link_id: LinkId, pkt: SimPacket) {
-        let link = &mut self.links[link_id.0];
-        if let Some(p) = link.offer(pkt) {
-            let tx = link.tx_time(p.size);
-            let delay = link.delay;
-            let size = p.size;
-            self.schedule(self.now.plus(tx), EventKind::TxFree { link: link_id, size }, None);
-            self.schedule(
-                self.now.plus(tx).plus(delay),
-                EventKind::Arrive { link: link_id },
-                Some(p),
-            );
+        // Impairment chain first: it may drop the packet, delay it, or fan
+        // it out into several copies (each then offered to the real
+        // rate/queue model independently).
+        let copies = self.links[link_id.0].impair(self.now, pkt.size);
+        for extra in copies {
+            let mut copy = pkt.clone();
+            copy.extra_delay = pkt.extra_delay.plus(extra);
+            let link = &mut self.links[link_id.0];
+            if let Some(p) = link.offer(copy) {
+                let tx = link.tx_time(p.size);
+                let delay = link.delay.plus(p.extra_delay);
+                let size = p.size;
+                self.schedule(self.now.plus(tx), EventKind::TxFree { link: link_id, size }, None);
+                self.schedule(
+                    self.now.plus(tx).plus(delay),
+                    EventKind::Arrive { link: link_id },
+                    Some(p),
+                );
+            }
         }
     }
 
@@ -322,7 +330,7 @@ impl Simulator {
                     if let Some(next) = self.links[link.0].tx_done(size) {
                         let l = &self.links[link.0];
                         let tx = l.tx_time(next.size);
-                        let delay = l.delay;
+                        let delay = l.delay.plus(next.extra_delay);
                         let nsize = next.size;
                         self.schedule(
                             self.now.plus(tx),

@@ -307,9 +307,8 @@ mod tests {
             queue_cap: 100,
         });
         let flows: Vec<FlowId> = (0..2).map(|_| d.sim.add_flow()).collect();
-        for i in 0..2 {
+        for (i, &f) in flows.iter().enumerate() {
             let dst = d.sinks[i];
-            let f = flows[i];
             d.sim
                 .add_agent(d.sources[i], Box::new(Blaster { dst, flow: f, n: 10 }));
             d.sim.add_agent(d.sinks[i], Box::new(Counter { flow: f, got: 0 }));

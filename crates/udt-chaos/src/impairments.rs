@@ -1,0 +1,542 @@
+//! Concrete impairments.
+//!
+//! Each impairment owns a `SmallRng` seeded at construction (see
+//! [`crate::scenario::Scenario::build`]), so its decisions are a pure
+//! function of the seed and the packet sequence it observes.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{ChaosPacket, Fate, Impairment};
+
+/// Independent (Bernoulli) loss, optionally amplified per IP fragment:
+/// with an MTU, a datagram of `f` fragments survives with probability
+/// `(1-p)^f` — the fragmentation loss amplification behind the paper's
+/// Figure 15 "segmentation collapse". This is the canned equivalent of
+/// the legacy `linkemu` loss model.
+pub struct Bernoulli {
+    loss: f64,
+    mtu: Option<usize>,
+    rng: SmallRng,
+}
+
+impl Bernoulli {
+    /// Loss probability `loss` per packet (or per fragment given an MTU).
+    pub fn new(loss: f64, mtu: Option<usize>, seed: u64) -> Bernoulli {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0,1]");
+        Bernoulli {
+            loss,
+            mtu,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Impairment for Bernoulli {
+    fn name(&self) -> &'static str {
+        "bernoulli"
+    }
+
+    fn apply(&mut self, _now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate {
+        if self.loss <= 0.0 {
+            return Fate::Pass;
+        }
+        let fragments = match self.mtu {
+            Some(mtu) if mtu > 0 => pkt.size.div_ceil(mtu).max(1),
+            _ => 1,
+        };
+        let survive = (1.0 - self.loss).powi(fragments as i32);
+        if self.rng.gen::<f64>() >= survive {
+            Fate::Drop
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+/// Two-state Gilbert–Elliott bursty loss. The channel flips between a
+/// *good* and a *bad* state with the given per-packet transition
+/// probabilities; each state has its own loss rate. `p_bad_to_good = 0.3`
+/// gives mean burst lengths of ~3.3 packets — the bursty loss the
+/// congestion-control measurement literature (LEDBAT, QUIC-over-ns-3
+/// methodology) stresses protocols with, and which independent Bernoulli
+/// loss cannot model.
+pub struct GilbertElliott {
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    loss_good: f64,
+    loss_bad: f64,
+    in_bad: bool,
+    rng: SmallRng,
+}
+
+impl GilbertElliott {
+    /// New channel starting in the good state.
+    pub fn new(
+        p_good_to_bad: f64,
+        p_bad_to_good: f64,
+        loss_good: f64,
+        loss_bad: f64,
+        seed: u64,
+    ) -> GilbertElliott {
+        for p in [p_good_to_bad, p_bad_to_good, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probabilities must be in [0,1]");
+        }
+        GilbertElliott {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Impairment for GilbertElliott {
+    fn name(&self) -> &'static str {
+        "gilbert-elliott"
+    }
+
+    fn apply(&mut self, _now_us: u64, _pkt: &mut ChaosPacket<'_>) -> Fate {
+        // State transition first, then loss by the new state.
+        let flip = if self.in_bad {
+            self.p_bad_to_good
+        } else {
+            self.p_good_to_bad
+        };
+        if self.rng.gen::<f64>() < flip {
+            self.in_bad = !self.in_bad;
+        }
+        let loss = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        if loss > 0.0 && self.rng.gen::<f64>() < loss {
+            Fate::Drop
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+/// Uniform reordering: with probability `prob`, hold a packet back by a
+/// uniform extra delay in `(0, max_extra_us]`, letting later packets
+/// overtake it.
+pub struct Reorder {
+    prob: f64,
+    max_extra_us: u64,
+    rng: SmallRng,
+}
+
+impl Reorder {
+    /// Reorder `prob` of packets by up to `max_extra_us` µs.
+    pub fn new(prob: f64, max_extra_us: u64, seed: u64) -> Reorder {
+        assert!((0.0..=1.0).contains(&prob));
+        assert!(max_extra_us > 0, "reorder delay must be positive");
+        Reorder {
+            prob,
+            max_extra_us,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Impairment for Reorder {
+    fn name(&self) -> &'static str {
+        "reorder"
+    }
+
+    fn apply(&mut self, _now_us: u64, _pkt: &mut ChaosPacket<'_>) -> Fate {
+        if self.rng.gen::<f64>() < self.prob {
+            Fate::Delay(self.rng.gen_range(1..=self.max_extra_us))
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+/// Burst reordering: every `period` packets, hold back a run of `burst`
+/// consecutive packets by `extra_us`. Models route-change style reordering
+/// where a whole window of in-flight packets arrives late together.
+pub struct BurstReorder {
+    period: u64,
+    burst: u64,
+    extra_us: u64,
+}
+
+impl BurstReorder {
+    /// Every `period` packets delay the next `burst` packets by `extra_us`.
+    pub fn new(period: u64, burst: u64, extra_us: u64) -> BurstReorder {
+        assert!(period > 0 && burst > 0 && burst < period);
+        BurstReorder {
+            period,
+            burst,
+            extra_us,
+        }
+    }
+}
+
+impl Impairment for BurstReorder {
+    fn name(&self) -> &'static str {
+        "burst-reorder"
+    }
+
+    fn apply(&mut self, _now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate {
+        if pkt.index % self.period < self.burst {
+            Fate::Delay(self.extra_us)
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+/// Duplication: with probability `prob`, deliver `copies` extra copies.
+pub struct Duplicate {
+    prob: f64,
+    copies: u32,
+    rng: SmallRng,
+}
+
+impl Duplicate {
+    /// Duplicate `prob` of packets into `copies` extra copies each.
+    pub fn new(prob: f64, copies: u32, seed: u64) -> Duplicate {
+        assert!((0.0..=1.0).contains(&prob));
+        assert!(copies > 0);
+        Duplicate {
+            prob,
+            copies,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Impairment for Duplicate {
+    fn name(&self) -> &'static str {
+        "duplicate"
+    }
+
+    fn apply(&mut self, _now_us: u64, _pkt: &mut ChaosPacket<'_>) -> Fate {
+        if self.rng.gen::<f64>() < self.prob {
+            Fate::Duplicate(self.copies)
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+/// Bit corruption: with probability `prob`, flip between 1 and
+/// `max_bit_flips` random bits of the datagram. At layers without raw
+/// bytes (netsim) a corrupted packet is dropped instead — the simulator's
+/// agents model UDP, whose checksum discards corrupted datagrams.
+pub struct Corrupt {
+    prob: f64,
+    max_bit_flips: u32,
+    rng: SmallRng,
+}
+
+impl Corrupt {
+    /// Corrupt `prob` of packets with up to `max_bit_flips` bit flips.
+    pub fn new(prob: f64, max_bit_flips: u32, seed: u64) -> Corrupt {
+        assert!((0.0..=1.0).contains(&prob));
+        assert!(max_bit_flips > 0);
+        Corrupt {
+            prob,
+            max_bit_flips,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Flip 1..=max bits of `data` in place (helper shared with the
+    /// udt-proto fuzz tests).
+    pub fn mangle(&mut self, data: &mut [u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let flips = self.rng.gen_range(1..=self.max_bit_flips);
+        for _ in 0..flips {
+            let byte = self.rng.gen_range(0..data.len());
+            let bit = self.rng.gen_range(0..8u32);
+            data[byte] ^= 1 << bit;
+        }
+    }
+}
+
+impl Impairment for Corrupt {
+    fn name(&self) -> &'static str {
+        "corrupt"
+    }
+
+    fn apply(&mut self, _now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate {
+        if self.rng.gen::<f64>() >= self.prob {
+            return Fate::Pass;
+        }
+        match pkt.data.as_deref_mut() {
+            Some(data) if !data.is_empty() => {
+                self.mangle(data);
+                Fate::Corrupt
+            }
+            // No bytes at this layer: the UDP checksum would discard the
+            // datagram, so model corruption as loss.
+            _ => Fate::Drop,
+        }
+    }
+}
+
+/// Random jitter: every packet gets a uniform extra delay in
+/// `[0, max_us]`.
+pub struct Jitter {
+    max_us: u64,
+    rng: SmallRng,
+}
+
+impl Jitter {
+    /// Jitter of up to `max_us` µs per packet.
+    pub fn new(max_us: u64, seed: u64) -> Jitter {
+        assert!(max_us > 0);
+        Jitter {
+            max_us,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Impairment for Jitter {
+    fn name(&self) -> &'static str {
+        "jitter"
+    }
+
+    fn apply(&mut self, _now_us: u64, _pkt: &mut ChaosPacket<'_>) -> Fate {
+        Fate::Delay(self.rng.gen_range(0..=self.max_us))
+    }
+}
+
+/// Rate clamp: a virtual serialization clock at `bps`. Packets are
+/// delayed by the backlog in front of them; when the backlog exceeds
+/// `max_backlog_us` the (virtual) queue is full and the packet drops.
+pub struct RateClamp {
+    bps: f64,
+    max_backlog_us: u64,
+    busy_until_us: u64,
+}
+
+impl RateClamp {
+    /// Clamp to `bps` bits/second with at most `max_backlog_us` µs of
+    /// queued serialization backlog.
+    pub fn new(bps: f64, max_backlog_us: u64) -> RateClamp {
+        assert!(bps > 0.0);
+        RateClamp {
+            bps,
+            max_backlog_us,
+            busy_until_us: 0,
+        }
+    }
+}
+
+impl Impairment for RateClamp {
+    fn name(&self) -> &'static str {
+        "rate-clamp"
+    }
+
+    fn apply(&mut self, now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate {
+        let tx_us = (pkt.size as f64 * 8.0 / self.bps * 1e6).ceil() as u64;
+        let backlog = self.busy_until_us.saturating_sub(now_us);
+        if backlog > self.max_backlog_us {
+            return Fate::Drop;
+        }
+        self.busy_until_us = self.busy_until_us.max(now_us) + tx_us;
+        let d = backlog + tx_us;
+        if d == 0 {
+            Fate::Pass
+        } else {
+            Fate::Delay(d)
+        }
+    }
+}
+
+/// Timed link outage(s): everything offered inside a window is dropped.
+/// One-shot (`period_us: None`) models a single blackout; periodic models
+/// link flapping.
+pub struct Blackout {
+    start_us: u64,
+    duration_us: u64,
+    period_us: Option<u64>,
+}
+
+impl Blackout {
+    /// Outage of `duration_us` starting at `start_us`, repeating every
+    /// `period_us` if given.
+    pub fn new(start_us: u64, duration_us: u64, period_us: Option<u64>) -> Blackout {
+        assert!(duration_us > 0);
+        if let Some(p) = period_us {
+            assert!(p > duration_us, "flap period must exceed outage length");
+        }
+        Blackout {
+            start_us,
+            duration_us,
+            period_us,
+        }
+    }
+
+    fn active(&self, now_us: u64) -> bool {
+        if now_us < self.start_us {
+            return false;
+        }
+        match self.period_us {
+            Some(p) => (now_us - self.start_us) % p < self.duration_us,
+            None => now_us < self.start_us + self.duration_us,
+        }
+    }
+}
+
+impl Impairment for Blackout {
+    fn name(&self) -> &'static str {
+        "blackout"
+    }
+
+    fn apply(&mut self, now_us: u64, _pkt: &mut ChaosPacket<'_>) -> Fate {
+        if self.active(now_us) {
+            Fate::Drop
+        } else {
+            Fate::Pass
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(imp: &mut dyn Impairment, n: u64, size: usize, pace_us: u64) -> Vec<Fate> {
+        (0..n)
+            .map(|i| {
+                let mut pkt = ChaosPacket {
+                    index: i,
+                    size,
+                    data: None,
+                };
+                imp.apply(i * pace_us, &mut pkt)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        let mut ge = GilbertElliott::new(0.02, 0.25, 0.0, 1.0, 7);
+        let fates = feed(&mut ge, 50_000, 1472, 10);
+        let drops = fates.iter().filter(|f| **f == Fate::Drop).count();
+        assert!(drops > 500, "expected bursts of loss, got {drops}");
+        // Burstiness: the chance that the packet after a loss is also lost
+        // must far exceed the marginal loss rate.
+        let mut after_loss = 0usize;
+        let mut after_loss_lost = 0usize;
+        for w in fates.windows(2) {
+            if w[0] == Fate::Drop {
+                after_loss += 1;
+                if w[1] == Fate::Drop {
+                    after_loss_lost += 1;
+                }
+            }
+        }
+        let p_marginal = drops as f64 / fates.len() as f64;
+        let p_cond = after_loss_lost as f64 / after_loss as f64;
+        assert!(
+            p_cond > 2.0 * p_marginal,
+            "loss not bursty: P(loss|loss)={p_cond:.3} vs P(loss)={p_marginal:.3}"
+        );
+    }
+
+    #[test]
+    fn blackout_window_is_exact() {
+        let mut b = Blackout::new(1_000, 500, None);
+        let mut pkt = ChaosPacket {
+            index: 0,
+            size: 100,
+            data: None,
+        };
+        assert_eq!(b.apply(999, &mut pkt), Fate::Pass);
+        assert_eq!(b.apply(1_000, &mut pkt), Fate::Drop);
+        assert_eq!(b.apply(1_499, &mut pkt), Fate::Drop);
+        assert_eq!(b.apply(1_500, &mut pkt), Fate::Pass);
+    }
+
+    #[test]
+    fn periodic_flap_repeats() {
+        let mut b = Blackout::new(0, 100, Some(1_000));
+        let mut pkt = ChaosPacket {
+            index: 0,
+            size: 100,
+            data: None,
+        };
+        for cycle in 0..5u64 {
+            assert_eq!(b.apply(cycle * 1_000 + 50, &mut pkt), Fate::Drop);
+            assert_eq!(b.apply(cycle * 1_000 + 500, &mut pkt), Fate::Pass);
+        }
+    }
+
+    #[test]
+    fn rate_clamp_accumulates_backlog_then_drops() {
+        // 8 Mb/s: 1000-byte packet = 1 ms serialization.
+        let mut rc = RateClamp::new(8e6, 3_000);
+        let mut pkt = ChaosPacket {
+            index: 0,
+            size: 1000,
+            data: None,
+        };
+        // Back-to-back at t=0: delay grows by 1 ms per packet.
+        assert_eq!(rc.apply(0, &mut pkt), Fate::Delay(1_000));
+        assert_eq!(rc.apply(0, &mut pkt), Fate::Delay(2_000));
+        assert_eq!(rc.apply(0, &mut pkt), Fate::Delay(3_000));
+        assert_eq!(rc.apply(0, &mut pkt), Fate::Delay(4_000));
+        // Backlog now 4 ms > 3 ms cap: drop.
+        assert_eq!(rc.apply(0, &mut pkt), Fate::Drop);
+    }
+
+    #[test]
+    fn corrupt_flips_bits_in_place() {
+        let mut c = Corrupt::new(1.0, 4, 3);
+        let original = vec![0u8; 64];
+        let mut data = original.clone();
+        let mut pkt = ChaosPacket {
+            index: 0,
+            size: 64,
+            data: Some(&mut data),
+        };
+        assert_eq!(c.apply(0, &mut pkt), Fate::Corrupt);
+        assert_ne!(data, original, "corruption must modify bytes");
+        // Without bytes, corruption degrades to a drop.
+        let mut pkt = ChaosPacket {
+            index: 1,
+            size: 64,
+            data: None,
+        };
+        assert_eq!(c.apply(0, &mut pkt), Fate::Drop);
+    }
+
+    #[test]
+    fn bernoulli_fragment_amplification() {
+        // 10% per-fragment loss; 4 fragments ⇒ ~34% datagram loss.
+        let mut b = Bernoulli::new(0.1, Some(1500), 11);
+        let fates = feed(&mut b, 20_000, 6_000, 10);
+        let drops = fates.iter().filter(|f| **f == Fate::Drop).count();
+        let rate = drops as f64 / fates.len() as f64;
+        assert!(
+            (0.30..0.40).contains(&rate),
+            "expected ~34% loss, got {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn burst_reorder_delays_runs() {
+        let mut br = BurstReorder::new(10, 3, 500);
+        let fates = feed(&mut br, 20, 100, 1);
+        for (i, f) in fates.iter().enumerate() {
+            if i % 10 < 3 {
+                assert_eq!(*f, Fate::Delay(500), "pkt {i}");
+            } else {
+                assert_eq!(*f, Fate::Pass, "pkt {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Deterministic fault injection for UDT experiments and tests.
+//!
+//! The paper's hardest results are about behaviour under adversity:
+//! loss-driven AIMD response (Figs 2–7), fragmentation "segmentation
+//! collapse" (Fig 15), and concurrent-flow fairness. This crate provides a
+//! reusable, seeded impairment pipeline that all three packet paths in the
+//! workspace share:
+//!
+//! * `netsim` links (virtual time, packet metadata only),
+//! * the `linkemu` UDP relay (real sockets, raw datagrams),
+//! * the in-process [`relay::ChaosRelay`] harness between two real `udt`
+//!   sockets.
+//!
+//! # Model
+//!
+//! An [`Impairment`] inspects one packet and returns a [`Fate`]: pass,
+//! delay, drop, duplicate, or corrupt. An [`ImpairmentChain`] threads a
+//! packet through a sequence of impairments, accumulating delay and
+//! fanning out duplicates; a drop short-circuits. Each stage is driven by
+//! its own `SmallRng` derived deterministically from the scenario seed, so
+//! **the same seed and the same packet sequence produce the identical
+//! fault schedule, byte for byte** — any failing schedule is replayable.
+//!
+//! Per-stage counters ([`udt_metrics::counters::FaultCounters`]) record
+//! what was actually injected, so tests can assert on injected faults
+//! rather than hoping the schedule hit.
+//!
+//! A [`scenario::Scenario`] is a declarative description — name, seed,
+//! per-direction impairment chains (the schedule lives in time-windowed
+//! impairments such as [`scenario::ImpairmentSpec::Blackout`]) — that each
+//! layer turns into concrete chains via [`scenario::Scenario::build`].
+
+use std::sync::Arc;
+
+use udt_metrics::counters::FaultCounters;
+
+pub mod impairments;
+pub mod relay;
+pub mod scenario;
+
+pub use scenario::{Direction, ImpairmentSpec, Scenario};
+
+/// One packet traversing an impairment chain.
+pub struct ChaosPacket<'a> {
+    /// Running per-direction packet index (0-based).
+    pub index: u64,
+    /// Wire size in bytes.
+    pub size: usize,
+    /// Raw datagram bytes when the layer has them (linkemu / relay);
+    /// `None` inside the discrete-event simulator.
+    pub data: Option<&'a mut Vec<u8>>,
+}
+
+/// What a single impairment decided for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Untouched.
+    Pass,
+    /// Deliver after this many extra microseconds (jitter, reorder, rate
+    /// clamp backlog).
+    Delay(u64),
+    /// Lost.
+    Drop,
+    /// Deliver the original plus this many extra copies.
+    Duplicate(u32),
+    /// Payload bytes were modified in place.
+    Corrupt,
+}
+
+/// Kind tag of an injected fault, for the replayable schedule log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FateKind {
+    /// Extra delay was injected.
+    Delay,
+    /// The packet was dropped.
+    Drop,
+    /// Extra copies were injected.
+    Duplicate,
+    /// The payload was corrupted.
+    Corrupt,
+}
+
+/// One entry of the injected-fault schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Packet index the fault hit.
+    pub pkt: u64,
+    /// Name of the impairment stage that acted.
+    pub stage: &'static str,
+    /// What was injected.
+    pub kind: FateKind,
+    /// Microseconds of injected delay (0 unless `kind == Delay`) or extra
+    /// copies (for `Duplicate`).
+    pub magnitude: u64,
+}
+
+/// Chain verdict for one offered packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Extra delay (µs) for each copy to deliver. Empty = dropped.
+    /// `copies[0]` is the original; further entries are duplicates.
+    pub copies: Vec<u64>,
+    /// Whether any stage corrupted the payload bytes.
+    pub corrupted: bool,
+}
+
+impl Verdict {
+    /// Whether the packet (all copies) was dropped.
+    pub fn dropped(&self) -> bool {
+        self.copies.is_empty()
+    }
+}
+
+/// A single fault model. Implementations must be deterministic functions
+/// of (construction seed, call sequence): no wall-clock or global state.
+pub trait Impairment: Send {
+    /// Stable stage name (used for counters and the fault log).
+    fn name(&self) -> &'static str;
+
+    /// Decide this packet's fate. `now_us` is the layer's clock:
+    /// virtual time in netsim, relay-relative wall time in linkemu.
+    fn apply(&mut self, now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate;
+}
+
+/// Gap between duplicate copies, µs. Small and fixed so duplicate bursts
+/// stress receiver dedup without reordering across later traffic.
+pub const DUP_GAP_US: u64 = 20;
+
+/// An ordered sequence of impairments applied per packet.
+///
+/// Drop short-circuits; delays accumulate; duplicates fan out after the
+/// full chain has run (copies inherit the accumulated delay, spaced
+/// [`DUP_GAP_US`] apart).
+pub struct ImpairmentChain {
+    stages: Vec<Box<dyn Impairment>>,
+    counters: Vec<Arc<FaultCounters>>,
+    log: Option<Vec<FaultEvent>>,
+    next_index: u64,
+}
+
+impl ImpairmentChain {
+    /// Chain over the given stages.
+    pub fn new(stages: Vec<Box<dyn Impairment>>) -> ImpairmentChain {
+        let counters = stages
+            .iter()
+            .map(|_| Arc::new(FaultCounters::default()))
+            .collect();
+        ImpairmentChain {
+            stages,
+            counters,
+            log: None,
+            next_index: 0,
+        }
+    }
+
+    /// Empty chain (passes everything).
+    pub fn passthrough() -> ImpairmentChain {
+        ImpairmentChain::new(Vec::new())
+    }
+
+    /// Record every injected fault for later replay comparison.
+    pub fn with_log(mut self) -> ImpairmentChain {
+        self.log = Some(Vec::new());
+        self
+    }
+
+    /// Whether the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Per-stage counter handles `(stage name, counters)`. The handles
+    /// stay valid after the chain moves into a relay thread.
+    pub fn counter_handles(&self) -> Vec<(&'static str, Arc<FaultCounters>)> {
+        self.stages
+            .iter()
+            .zip(&self.counters)
+            .map(|(s, c)| (s.name(), Arc::clone(c)))
+            .collect()
+    }
+
+    /// The injected-fault schedule recorded so far (if logging).
+    pub fn fault_log(&self) -> &[FaultEvent] {
+        self.log.as_deref().unwrap_or(&[])
+    }
+
+    /// Run one packet through every stage.
+    pub fn apply(&mut self, now_us: u64, size: usize, data: Option<&mut Vec<u8>>) -> Verdict {
+        let index = self.next_index;
+        self.next_index += 1;
+        let mut pkt = ChaosPacket { index, size, data };
+        let mut delay_us = 0u64;
+        let mut extra_copies = 0u32;
+        let mut corrupted = false;
+        for (stage, counters) in self.stages.iter_mut().zip(&self.counters) {
+            counters.record_seen();
+            let fate = stage.apply(now_us, &mut pkt);
+            let (kind, magnitude) = match fate {
+                Fate::Pass => continue,
+                Fate::Delay(d) => {
+                    counters.record_delayed(d);
+                    delay_us += d;
+                    (FateKind::Delay, d)
+                }
+                Fate::Drop => {
+                    counters.record_dropped();
+                    if let Some(log) = &mut self.log {
+                        log.push(FaultEvent {
+                            pkt: index,
+                            stage: stage.name(),
+                            kind: FateKind::Drop,
+                            magnitude: 0,
+                        });
+                    }
+                    return Verdict {
+                        copies: Vec::new(),
+                        corrupted,
+                    };
+                }
+                Fate::Duplicate(n) => {
+                    counters.record_duplicated(n as u64);
+                    extra_copies += n;
+                    (FateKind::Duplicate, n as u64)
+                }
+                Fate::Corrupt => {
+                    counters.record_corrupted();
+                    corrupted = true;
+                    (FateKind::Corrupt, 0)
+                }
+            };
+            if let Some(log) = &mut self.log {
+                log.push(FaultEvent {
+                    pkt: index,
+                    stage: stage.name(),
+                    kind,
+                    magnitude,
+                });
+            }
+        }
+        let copies = (0..=extra_copies as u64)
+            .map(|i| delay_us + i * DUP_GAP_US)
+            .collect();
+        Verdict { copies, corrupted }
+    }
+
+    /// Feed a synthetic train of `n_pkts` equally-spaced packets through
+    /// the chain and return the injected-fault schedule. This is the
+    /// replay primitive: same chain construction + same arguments ⇒
+    /// identical result, always.
+    pub fn dry_run(mut self, n_pkts: u64, size: usize, pace_us: u64) -> Vec<FaultEvent> {
+        if self.log.is_none() {
+            self.log = Some(Vec::new());
+        }
+        for i in 0..n_pkts {
+            let _ = self.apply(i * pace_us, size, None);
+        }
+        self.log.unwrap_or_default()
+    }
+}
+
+impl std::fmt::Debug for ImpairmentChain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImpairmentChain")
+            .field(
+                "stages",
+                &self.stages.iter().map(|s| s.name()).collect::<Vec<_>>(),
+            )
+            .field("pkts", &self.next_index)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ImpairmentSpec, Scenario};
+
+    fn bursty_scenario() -> Scenario {
+        Scenario::new("test", 0xC0FFEE)
+            .forward(ImpairmentSpec::GilbertElliott {
+                p_good_to_bad: 0.05,
+                p_bad_to_good: 0.3,
+                loss_good: 0.0,
+                loss_bad: 0.5,
+            })
+            .forward(ImpairmentSpec::Reorder {
+                prob: 0.1,
+                max_extra_us: 5_000,
+            })
+            .forward(ImpairmentSpec::Duplicate {
+                prob: 0.05,
+                copies: 1,
+            })
+    }
+
+    #[test]
+    fn same_seed_identical_schedule() {
+        let a = bursty_scenario().build(Direction::Forward).dry_run(5_000, 1472, 100);
+        let b = bursty_scenario().build(Direction::Forward).dry_run(5_000, 1472, 100);
+        assert!(!a.is_empty(), "scenario injected nothing");
+        assert_eq!(a, b, "same seed must replay the identical schedule");
+    }
+
+    #[test]
+    fn different_seed_different_schedule() {
+        let a = bursty_scenario().build(Direction::Forward).dry_run(2_000, 1472, 100);
+        let b = Scenario { seed: 0xBEEF, ..bursty_scenario() }
+            .build(Direction::Forward)
+            .dry_run(2_000, 1472, 100);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn directions_draw_independent_randomness() {
+        let fwd = bursty_scenario().build(Direction::Forward).dry_run(2_000, 1472, 100);
+        let rev = Scenario {
+            reverse: bursty_scenario().forward,
+            forward: Vec::new(),
+            ..bursty_scenario()
+        }
+        .build(Direction::Reverse)
+        .dry_run(2_000, 1472, 100);
+        assert_ne!(fwd, rev, "directions must not share RNG streams");
+    }
+
+    #[test]
+    fn drop_short_circuits_chain() {
+        let mut chain = Scenario::new("all-loss", 1)
+            .forward(ImpairmentSpec::Bernoulli {
+                loss: 1.0,
+                mtu: None,
+            })
+            .forward(ImpairmentSpec::Duplicate {
+                prob: 1.0,
+                copies: 3,
+            })
+            .build(Direction::Forward);
+        let v = chain.apply(0, 100, None);
+        assert!(v.dropped());
+        let handles = chain.counter_handles();
+        assert_eq!(handles[0].1.snapshot().dropped, 1);
+        // The duplicator never saw the packet.
+        assert_eq!(handles[1].1.snapshot().seen, 0);
+    }
+
+    #[test]
+    fn duplicates_fan_out_with_gap() {
+        let mut chain = Scenario::new("dup", 2)
+            .forward(ImpairmentSpec::Duplicate {
+                prob: 1.0,
+                copies: 2,
+            })
+            .build(Direction::Forward);
+        let v = chain.apply(0, 100, None);
+        assert_eq!(v.copies, vec![0, DUP_GAP_US, 2 * DUP_GAP_US]);
+    }
+
+    #[test]
+    fn counters_account_every_packet() {
+        let mut chain = bursty_scenario().build(Direction::Forward);
+        let n = 10_000u64;
+        let mut delivered = 0u64;
+        for i in 0..n {
+            if !chain.apply(i * 100, 1472, None).dropped() {
+                delivered += 1;
+            }
+        }
+        let handles = chain.counter_handles();
+        let ge = handles[0].1.snapshot();
+        assert_eq!(ge.seen, n);
+        assert_eq!(delivered + ge.dropped, n);
+        // Gilbert–Elliott with these parameters loses packets in bursts;
+        // expect a loss rate between the good and bad states' rates.
+        let rate = ge.dropped as f64 / n as f64;
+        assert!(
+            (0.02..0.35).contains(&rate),
+            "implausible GE loss rate {rate}"
+        );
+    }
+}

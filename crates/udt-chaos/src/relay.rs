@@ -1,0 +1,378 @@
+//! In-process chaos relay: a UDP man-in-the-middle driven by a
+//! [`Scenario`].
+//!
+//! ```text
+//!   client ⇄ [socket A   chaos   socket B] ⇄ server
+//! ```
+//!
+//! Unlike `linkemu` (which models a *link*: serialization rate, delay,
+//! DropTail buffer), this relay is a pure fault injector: every datagram
+//! goes through the scenario's impairment chain for its direction and is
+//! released according to the chain's verdict — dropped, delayed,
+//! duplicated, or with its bytes corrupted in place. Release order is
+//! governed by a time-ordered heap, so a delayed packet really is
+//! overtaken by later traffic (reordering reaches the wire).
+//!
+//! The server address is fixed at construction; the client is learned
+//! from its first datagram, exactly like `linkemu`, so UDT sockets work
+//! through it unchanged.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use udt_metrics::counters::FaultCounters;
+
+use crate::scenario::{Direction as Dir, Scenario};
+use crate::ImpairmentChain;
+
+/// Poll granularity of the relay loops. Bounds both release jitter and
+/// shutdown latency.
+const POLL: Duration = Duration::from_micros(200);
+
+/// Per-direction delivery counters.
+#[derive(Debug, Default)]
+pub struct RelayStats {
+    /// Datagrams received from the source socket.
+    pub received: AtomicU64,
+    /// Datagram copies actually forwarded (duplicates count individually).
+    pub forwarded: AtomicU64,
+}
+
+/// One datagram copy awaiting release, min-ordered by release time with
+/// FIFO tie-breaking so undelayed traffic keeps its arrival order.
+struct Pending {
+    release_at: Instant,
+    seq: u64,
+    data: Vec<u8>,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.release_at == other.release_at && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> CmpOrdering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .release_at
+            .cmp(&self.release_at)
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+struct RelayDir {
+    rx: UdpSocket,
+    tx: UdpSocket,
+    fixed_peer: Option<SocketAddr>,
+    learned_peer: Arc<Mutex<Option<SocketAddr>>>,
+    learn_into: Option<Arc<Mutex<Option<SocketAddr>>>>,
+    chain: ImpairmentChain,
+    stats: Arc<RelayStats>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+}
+
+impl RelayDir {
+    fn run(mut self) {
+        let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut buf = vec![0u8; 65_536];
+        self.rx
+            .set_read_timeout(Some(POLL))
+            .expect("set_read_timeout");
+        while !self.stop.load(Ordering::Relaxed) {
+            // Release everything due. The heap may hold packets far in the
+            // future (blackout-adjacent delays); never sleep on them —
+            // the bounded recv timeout below keeps the loop live.
+            let now = Instant::now();
+            while heap.peek().is_some_and(|p| p.release_at <= now) {
+                let p = heap.pop().expect("peeked");
+                let dest = if self.fixed_peer.is_some() {
+                    self.fixed_peer
+                } else {
+                    *self.learned_peer.lock().unwrap_or_else(|e| e.into_inner())
+                };
+                if let Some(dest) = dest {
+                    let _ = self.tx.send_to(&p.data, dest);
+                    self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            match self.rx.recv_from(&mut buf) {
+                Ok((n, from)) => {
+                    self.stats.received.fetch_add(1, Ordering::Relaxed);
+                    if let Some(learn) = &self.learn_into {
+                        let mut slot = learn.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.map(|p| p != from).unwrap_or(true) {
+                            *slot = Some(from);
+                        }
+                    }
+                    let mut data = buf[..n].to_vec();
+                    let now_us = self.epoch.elapsed().as_micros() as u64;
+                    let verdict = self.chain.apply(now_us, n, Some(&mut data));
+                    let base = Instant::now();
+                    for &extra_us in &verdict.copies {
+                        heap.push(Pending {
+                            release_at: base + Duration::from_micros(extra_us),
+                            seq,
+                            data: data.clone(),
+                        });
+                        seq += 1;
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A running scenario-driven UDP relay.
+pub struct ChaosRelay {
+    addr_a: SocketAddr,
+    addr_b: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+    /// Client → server delivery counters.
+    pub forward: Arc<RelayStats>,
+    /// Server → client delivery counters.
+    pub reverse: Arc<RelayStats>,
+    forward_faults: Vec<(&'static str, Arc<FaultCounters>)>,
+    reverse_faults: Vec<(&'static str, Arc<FaultCounters>)>,
+}
+
+impl ChaosRelay {
+    /// Start the relay in front of `server`, impairing both directions per
+    /// `scenario`. The scenario clock (`now_us` fed to time-windowed
+    /// impairments such as blackouts) starts at 0 when this returns.
+    pub fn start(scenario: &Scenario, server: SocketAddr) -> io::Result<ChaosRelay> {
+        let sock_a = UdpSocket::bind("127.0.0.1:0")?; // faces the client
+        let sock_b = UdpSocket::bind("127.0.0.1:0")?; // faces the server
+        let addr_a = sock_a.local_addr()?;
+        let addr_b = sock_b.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let fwd_stats = Arc::new(RelayStats::default());
+        let rev_stats = Arc::new(RelayStats::default());
+        let client_peer = Arc::new(Mutex::new(None));
+        let epoch = Instant::now();
+
+        let fwd_chain = scenario.build(Dir::Forward);
+        let rev_chain = scenario.build(Dir::Reverse);
+        let forward_faults = fwd_chain.counter_handles();
+        let reverse_faults = rev_chain.counter_handles();
+
+        let fwd = RelayDir {
+            rx: sock_a.try_clone()?,
+            tx: sock_b.try_clone()?,
+            fixed_peer: Some(server),
+            learned_peer: Arc::clone(&client_peer),
+            learn_into: Some(Arc::clone(&client_peer)),
+            chain: fwd_chain,
+            stats: Arc::clone(&fwd_stats),
+            stop: Arc::clone(&stop),
+            epoch,
+        };
+        let rev = RelayDir {
+            rx: sock_b,
+            tx: sock_a,
+            fixed_peer: None,
+            learned_peer: client_peer,
+            learn_into: None,
+            chain: rev_chain,
+            stats: Arc::clone(&rev_stats),
+            stop: Arc::clone(&stop),
+            epoch,
+        };
+        let threads = vec![
+            std::thread::Builder::new()
+                .name("chaos-fwd".into())
+                .spawn(move || fwd.run())?,
+            std::thread::Builder::new()
+                .name("chaos-rev".into())
+                .spawn(move || rev.run())?,
+        ];
+        Ok(ChaosRelay {
+            addr_a,
+            addr_b,
+            stop,
+            threads,
+            forward: fwd_stats,
+            reverse: rev_stats,
+            forward_faults,
+            reverse_faults,
+        })
+    }
+
+    /// The address clients should send to (and will receive from).
+    pub fn client_addr(&self) -> SocketAddr {
+        self.addr_a
+    }
+
+    /// The address the server will see datagrams from.
+    pub fn server_facing_addr(&self) -> SocketAddr {
+        self.addr_b
+    }
+
+    /// Per-stage fault counters of one direction's chain.
+    pub fn fault_counters(&self, dir: Dir) -> &[(&'static str, Arc<FaultCounters>)] {
+        match dir {
+            Dir::Forward => &self.forward_faults,
+            Dir::Reverse => &self.reverse_faults,
+        }
+    }
+
+    /// Stop the relay threads and wait for them. Bounded by the poll
+    /// interval: returns promptly even mid-blackout with packets queued.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosRelay {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ImpairmentSpec;
+
+    fn udp() -> UdpSocket {
+        UdpSocket::bind("127.0.0.1:0").expect("bind")
+    }
+
+    #[test]
+    fn transparent_scenario_relays_both_ways() {
+        let server = udp();
+        let relay =
+            ChaosRelay::start(&Scenario::new("clear", 1), server.local_addr().unwrap()).unwrap();
+        let client = udp();
+        client.connect(relay.client_addr()).unwrap();
+        client.send(b"ping").unwrap();
+        let mut buf = [0u8; 64];
+        server
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let (n, from) = server.recv_from(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"ping");
+        assert_eq!(from, relay.server_facing_addr());
+        server.send_to(b"pong", from).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong");
+        relay.shutdown();
+    }
+
+    #[test]
+    fn duplication_multiplies_deliveries() {
+        let server = udp();
+        let scenario = Scenario::new("dup", 3).forward(ImpairmentSpec::Duplicate {
+            prob: 1.0,
+            copies: 1,
+        });
+        let relay = ChaosRelay::start(&scenario, server.local_addr().unwrap()).unwrap();
+        let client = udp();
+        client.connect(relay.client_addr()).unwrap();
+        for _ in 0..20 {
+            client.send(b"d").unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        server
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut buf = [0u8; 16];
+        let mut got = 0;
+        while server.recv_from(&mut buf).is_ok() {
+            got += 1;
+        }
+        assert_eq!(got, 40, "every datagram should arrive twice");
+        let faults = relay.fault_counters(Dir::Forward);
+        assert_eq!(faults[0].1.snapshot().duplicated, 20);
+        relay.shutdown();
+    }
+
+    #[test]
+    fn total_loss_blocks_forward_direction_only() {
+        let server = udp();
+        let scenario = Scenario::new("mute", 5).forward(ImpairmentSpec::Bernoulli {
+            loss: 1.0,
+            mtu: None,
+        });
+        let relay = ChaosRelay::start(&scenario, server.local_addr().unwrap()).unwrap();
+        let client = udp();
+        client.connect(relay.client_addr()).unwrap();
+        client.send(b"lost").unwrap();
+        let mut buf = [0u8; 16];
+        server
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        assert!(
+            server.recv_from(&mut buf).is_err(),
+            "forward direction should be mute"
+        );
+        // The relay learned the client before the chain dropped its
+        // datagram, so the (transparent) reverse path still delivers.
+        server
+            .send_to(b"back", relay.server_facing_addr())
+            .unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let n = client.recv(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"back");
+        assert_eq!(relay.fault_counters(Dir::Forward)[0].1.snapshot().dropped, 1);
+        relay.shutdown();
+    }
+
+    #[test]
+    fn drop_during_blackout_shuts_down_promptly() {
+        let server = udp();
+        // Blackout active from t=0 for 60 s: packets pile up dropped and
+        // nothing is released, the worst case for a sleepy relay loop.
+        let scenario = Scenario::new("dark", 9)
+            .both(ImpairmentSpec::Blackout {
+                start_us: 0,
+                duration_us: 60_000_000,
+                period_us: None,
+            })
+            .both(ImpairmentSpec::Jitter { max_us: 50_000 });
+        let relay = ChaosRelay::start(&scenario, server.local_addr().unwrap()).unwrap();
+        let client = udp();
+        client.connect(relay.client_addr()).unwrap();
+        for _ in 0..50 {
+            client.send(b"x").unwrap();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        drop(relay);
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "relay drop took {:?}",
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! Lock-free fault/impairment counters.
+//!
+//! Every impairment stage in `udt-chaos` owns one [`FaultCounters`] and
+//! bumps it on the hot path with relaxed atomics; experiment and test
+//! code reads a consistent-enough [`FaultSnapshot`] at the end of a run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-stage impairment counters, cheap enough for the packet hot path.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    seen: AtomicU64,
+    dropped: AtomicU64,
+    delayed_pkts: AtomicU64,
+    delayed_us: AtomicU64,
+    duplicated: AtomicU64,
+    corrupted: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> FaultCounters {
+        FaultCounters::default()
+    }
+
+    /// A packet was offered to the stage.
+    pub fn record_seen(&self) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stage dropped a packet.
+    pub fn record_dropped(&self) {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The stage delayed a packet by `us` microseconds.
+    pub fn record_delayed(&self, us: u64) {
+        self.delayed_pkts.fetch_add(1, Ordering::Relaxed);
+        self.delayed_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// The stage emitted `extra` duplicate copies of a packet.
+    pub fn record_duplicated(&self, extra: u64) {
+        self.duplicated.fetch_add(extra, Ordering::Relaxed);
+    }
+
+    /// The stage corrupted a packet's bytes.
+    pub fn record_corrupted(&self) {
+        self.corrupted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Read all counters. Individual loads are relaxed; the snapshot is
+    /// exact once the traffic feeding the stage has quiesced.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            seen: self.seen.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            delayed_pkts: self.delayed_pkts.load(Ordering::Relaxed),
+            delayed_us: self.delayed_us.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            corrupted: self.corrupted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`FaultCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSnapshot {
+    /// Packets offered to the stage.
+    pub seen: u64,
+    /// Packets the stage dropped.
+    pub dropped: u64,
+    /// Packets the stage delayed.
+    pub delayed_pkts: u64,
+    /// Total extra delay injected, microseconds.
+    pub delayed_us: u64,
+    /// Extra duplicate copies emitted.
+    pub duplicated: u64,
+    /// Packets whose bytes were corrupted.
+    pub corrupted: u64,
+}
+
+impl FaultSnapshot {
+    /// Fraction of offered packets dropped by this stage.
+    pub fn drop_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / self.seen as f64
+        }
+    }
+
+    /// Mean injected delay per delayed packet, microseconds.
+    pub fn mean_delay_us(&self) -> f64 {
+        if self.delayed_pkts == 0 {
+            0.0
+        } else {
+            self.delayed_us as f64 / self.delayed_pkts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = FaultCounters::new();
+        for _ in 0..10 {
+            c.record_seen();
+        }
+        c.record_dropped();
+        c.record_dropped();
+        c.record_delayed(100);
+        c.record_delayed(300);
+        c.record_duplicated(3);
+        c.record_corrupted();
+        let s = c.snapshot();
+        assert_eq!(s.seen, 10);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.delayed_pkts, 2);
+        assert_eq!(s.delayed_us, 400);
+        assert_eq!(s.duplicated, 3);
+        assert_eq!(s.corrupted, 1);
+        assert!((s.drop_rate() - 0.2).abs() < 1e-12);
+        assert!((s.mean_delay_us() - 200.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_rates_are_zero() {
+        let s = FaultCounters::new().snapshot();
+        assert_eq!(s.drop_rate(), 0.0);
+        assert_eq!(s.mean_delay_us(), 0.0);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        use std::sync::Arc;
+        let c = Arc::new(FaultCounters::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.record_seen();
+                        c.record_delayed(5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = c.snapshot();
+        assert_eq!(s.seen, 4000);
+        assert_eq!(s.delayed_us, 20_000);
+    }
+}

@@ -5,6 +5,10 @@
 //! * [`friendliness_index`] — the §3.7 TCP-friendliness measure (Figure 5).
 //! * [`ThroughputSeries`] — converts cumulative delivered-byte samples into
 //!   per-interval throughput series, the common currency of all of them.
+//! * [`counters`] — lock-free per-stage fault counters used by the
+//!   `udt-chaos` impairment pipeline.
+
+pub mod counters;
 
 /// Jain's fairness index over per-flow throughputs:
 /// `J = (Σxᵢ)² / (n · Σxᵢ²)`. 1.0 is perfectly fair; `1/n` is a single

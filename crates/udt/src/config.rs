@@ -49,6 +49,12 @@ pub struct UdtConfig {
     pub timer_spin: Duration,
     /// Declare the peer dead after this many consecutive EXP expirations.
     pub max_exp_count: u32,
+    /// Never declare the peer dead before it has been silent this long,
+    /// regardless of `max_exp_count`. The reference implementation pairs
+    /// its 16-expiration ceiling with a 10 s elapsed-time floor: on
+    /// tiny-RTT paths the count ladder completes in a few seconds, which a
+    /// loaded host can starve a healthy peer past.
+    pub broken_silence_floor: Duration,
     /// Force the initial data sequence number instead of randomizing it.
     /// Testing hook: lets integration tests exercise sequence wraparound
     /// deterministically.
@@ -67,15 +73,21 @@ impl Default for UdtConfig {
             linger: Duration::from_secs(10),
             timer_spin: Duration::from_micros(200),
             max_exp_count: 16,
+            broken_silence_floor: Duration::from_secs(10),
             force_init_seq: None,
         }
     }
 }
 
+/// Smallest MSS either side will negotiate. A handshake proposing less is
+/// treated as corrupted (the data header alone is 12 bytes; anything near
+/// it would shatter throughput and, below it, underflow `payload_size`).
+pub const MIN_MSS: u32 = 100;
+
 impl UdtConfig {
     /// Application payload bytes per full data packet.
     pub fn payload_size(&self) -> usize {
-        self.mss as usize - udt_proto::DATA_HEADER_LEN
+        self.mss.max(MIN_MSS) as usize - udt_proto::DATA_HEADER_LEN
     }
 }
 

@@ -79,6 +79,10 @@ pub(crate) struct SndCtl {
     pub curr_seq: SeqNo,
     pub exp: ExpBackoff,
     pub last_rsp: Nanos,
+    /// Last time `snd_una` advanced (or a repair was queued). Liveness
+    /// (`last_rsp`) and progress are distinct: a duplex peer resets
+    /// `last_rsp` constantly while our tail may still be lost.
+    pub last_progress: Nanos,
 }
 
 /// Receiver-side protocol state (one lock).
@@ -93,6 +97,12 @@ pub(crate) struct RcvCtl {
     pub lrsn: SeqNo,
     pub ack_seq: u32,
     pub last_ack_sent: SeqNo,
+    /// When `last_ack_sent` was last put on the wire (repeat pacing).
+    pub last_ack_time: Nanos,
+    /// Largest ACK the sender has confirmed with an ACK2. Repeating an
+    /// ACK stops here: past this point the sender provably knows, and
+    /// staying silent is what re-arms its EXP-timeout repair.
+    pub last_ack_acked: SeqNo,
     /// Peer sent Shutdown: deliver what remains, then EOF.
     pub eof: bool,
     /// Per-event gap sizes (Figure 8 trace).
@@ -200,6 +210,7 @@ impl UdtConnection {
                 curr_seq: snd_init.prev(),
                 exp: ExpBackoff::new(),
                 last_rsp: Nanos::ZERO,
+                last_progress: Nanos::ZERO,
             }),
             snd_cv: Condvar::new(),
             rcv: Mutex::new(RcvCtl {
@@ -212,6 +223,8 @@ impl UdtConnection {
                 lrsn: rcv_init.prev(),
                 ack_seq: 0,
                 last_ack_sent: rcv_init,
+                last_ack_time: Nanos::ZERO,
+                last_ack_acked: rcv_init,
                 eof: false,
                 loss_events: Vec::new(),
             }),
@@ -395,9 +408,16 @@ impl UdtConnection {
         // Emit one final ACK so the peer's send side settles before it sees
         // our Shutdown (the ACK timer may not have fired yet).
         send_periodic_ack(sh, now);
-        // Shutdown is fire-and-forget; send a few for loss tolerance.
-        for _ in 0..3 {
-            sh.send_ctrl(ControlBody::Shutdown, now);
+        // Shutdown is fire-and-forget; send a few copies for loss
+        // tolerance — spaced out, because back-to-back copies share one
+        // queue state on a congested path and are dropped together. A
+        // peer that misses every copy only learns of our death through
+        // its EXP ladder, turning a clean EOF into `Broken`.
+        for i in 0..3 {
+            if i > 0 {
+                std::thread::sleep(Duration::from_millis(15));
+            }
+            sh.send_ctrl(ControlBody::Shutdown, sh.clock.now());
         }
         sh.set_state(State::Closed);
         self.join_threads();
@@ -591,9 +611,12 @@ fn process_packet(sh: &Shared, pkt: Packet) {
                 ControlBody::Nak(ranges) => handle_nak(sh, &ranges, now),
                 ControlBody::Ack2 { ack_seq } => {
                     let mut r = sh.rcv.lock();
-                    if let Some((sample, _)) = r.ackw.acknowledge(ack_seq, now) {
+                    if let Some((sample, acked)) = r.ackw.acknowledge(ack_seq, now) {
                         let _m = sh.instr.scope(Category::Measurement);
                         r.rtt.update(sample);
+                        if r.last_ack_acked.lt_seq(acked) {
+                            r.last_ack_acked = acked;
+                        }
                     }
                 }
                 ControlBody::Shutdown => {
@@ -619,6 +642,18 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
         } else if d.seq.raw() % PROBE_INTERVAL == 1 {
             r.history.on_probe2_arrival(now);
         }
+    }
+    // Plausibility gate before any state is mutated: a sequence number the
+    // peer could legitimately send lies within the flow window ahead of the
+    // delivery base. A corrupted header can carry any value; letting it
+    // advance `lrsn` would poison the ACK/NAK machinery (phantom gigantic
+    // loss ranges, a wedged advertised window). Far-future packets are
+    // dropped here; far-past ones fall through to the duplicate path below,
+    // which is already idempotent.
+    if r.buffer.base_seq().offset_to(d.seq) >= r.buffer.cap_pkts() as i32 {
+        drop(r);
+        ConnStats::inc(&sh.stats.pkts_rejected, 1);
+        return;
     }
     let off = r.lrsn.offset_to(d.seq);
     if off > 0 {
@@ -661,6 +696,13 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
     {
         let mut s = sh.snd.lock();
         let ack = data.rcv_next;
+        // An ACK may only cover data actually sent: `rcv_next` past
+        // `next_new` is a corrupted (or hostile) packet, and absorbing it
+        // would strand `snd_una` beyond the send frontier. Ignore it.
+        if s.next_new.lt_seq(ack) {
+            ConnStats::inc(&sh.stats.pkts_rejected, 1);
+            return;
+        }
         if s.snd_una.lt_seq(ack) {
             let n = s.snd_una.offset_to(ack);
             {
@@ -668,6 +710,7 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
                 s.buffer.ack(n as usize);
             }
             s.snd_una = ack;
+            s.last_progress = now;
             let _l = sh.instr.scope(Category::Loss);
             s.loss.remove_upto(ack.prev());
         }
@@ -730,8 +773,28 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
     let mut guard = sh.rcv.lock();
     let r = &mut *guard; // split-borrow the fields through the guard
     let ack_no = r.loss.first().unwrap_or_else(|| r.lrsn.next());
+    if ack_no == r.last_ack_acked {
+        // The sender confirmed this ACK with an ACK2: it provably knows.
+        // Going silent here matters as much as the repeat below — the
+        // sender's EXP repair (re-queue everything unacknowledged) is
+        // gated on peer silence, and it is the only thing that can
+        // recover a *tail* loss the receiver cannot see as a gap.
+        return;
+    }
     if ack_no == r.last_ack_sent {
-        return; // nothing new; the SYN timer keeps ticking
+        // Nothing new to acknowledge, and no ACK2 yet — the previous ACK
+        // may have been lost, and a sender whose last in-flight packet's
+        // ACK vanished retransmits it forever while we stay mute (every
+        // copy is a duplicate, so `ack_no` never moves). Reference UDT
+        // repeats an unconfirmed identical ACK after RTT + 4·RTTVar; do
+        // the same, with a floor so near-zero RTT estimates don't turn
+        // the repeat into a flood.
+        let repeat_after =
+            Nanos::from_micros((r.rtt.rtt_us() + 4.0 * r.rtt.rtt_var_us()) as u64)
+                .max(Nanos::from_millis(10));
+        if now.since(r.last_ack_time) < repeat_after {
+            return; // nothing new; the SYN timer keeps ticking
+        }
     }
     {
         let _m = sh.instr.scope(Category::Measurement);
@@ -751,6 +814,7 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
     let ack_seq = r.ack_seq;
     r.ackw.store(ack_seq, ack_no, now);
     r.last_ack_sent = ack_no;
+    r.last_ack_time = now;
     drop(guard);
     ConnStats::inc(&sh.stats.acks_sent, 1);
     sh.send_ctrl(
@@ -785,40 +849,50 @@ fn check_exp(sh: &Shared, now: Nanos) {
     let mut s = sh.snd.lock();
     let has_outstanding = s.snd_una.lt_seq(s.next_new);
     let interval = s.exp.interval(s.rtt.rtt_us(), s.rtt.rtt_var_us());
-    if now.since(s.last_rsp) <= interval {
-        return;
-    }
-    s.exp.on_expired();
-    ConnStats::inc(&sh.stats.exp_timeouts, 1);
-    if has_outstanding {
-        // Data in flight and the peer is silent: escalate, eventually break.
-        if s.exp.count() >= sh.cfg.max_exp_count {
+    if now.since(s.last_rsp) > interval {
+        s.exp.on_expired();
+        ConnStats::inc(&sh.stats.exp_timeouts, 1);
+        // Expiration count alone is not evidence of death (see
+        // `broken_silence_floor`): both ceilings must be crossed. A *live*
+        // idle peer keep-alives back and the count hovers near 1; if the
+        // peer stays silent through the entire backoff ladder, it is gone
+        // — without this, one side dying leaves the other's recv()
+        // hanging forever.
+        let silent_long_enough = now.since(s.last_rsp)
+            >= Nanos::from_secs_f64(sh.cfg.broken_silence_floor.as_secs_f64());
+        if s.exp.count() >= sh.cfg.max_exp_count && silent_long_enough {
             drop(s);
             sh.set_state(State::Broken);
             return;
         }
-        let ctx = sh.cc_ctx(&s, now);
-        s.cc.on_timeout(&ctx);
-        // Re-queue in-flight data for repair if no loss is pending.
-        if s.loss.is_empty() {
-            let (from, to) = (s.snd_una, s.next_new.prev());
-            s.loss.insert(from, to);
+        if has_outstanding {
+            // Data in flight and the peer is silent: cut the rate. The
+            // progress check below re-queues the data itself.
+            let ctx = sh.cc_ctx(&s, now);
+            s.cc.on_timeout(&ctx);
+        } else {
+            // Idle: probe the peer (keep-alives refresh the peer's EXP
+            // state just as ours is refreshed by any arrival).
+            drop(s);
+            sh.send_ctrl(ControlBody::KeepAlive, now);
+            return;
         }
+    }
+    // Repair is deliberately NOT gated on the silence check above. A peer
+    // can be provably alive — duplex data, keep-alives and ACK2s all
+    // refresh `last_rsp` — while still missing our newest packets: a lost
+    // *tail* shows the receiver no gap, so it never NAKs, and once the
+    // ACK2 handshake completes it stops repeating its last ACK. If nothing
+    // new has been acknowledged for an (un-escalated) EXP interval and no
+    // NAK-driven repair is pending, re-queue everything outstanding.
+    if has_outstanding
+        && s.loss.is_empty()
+        && now.since(s.last_progress) > ExpBackoff::new().interval(s.rtt.rtt_us(), s.rtt.rtt_var_us())
+    {
+        let (from, to) = (s.snd_una, s.next_new.prev());
+        s.loss.insert(from, to);
+        s.last_progress = now; // pace the next re-queue
         drop(s);
         sh.snd_cv.notify_all();
-    } else {
-        // Idle: probe the peer (keep-alives refresh the peer's EXP state
-        // just as ours is refreshed by any arrival). A *live* idle peer
-        // keep-alives back and our count hovers near 1; if the peer has
-        // stayed silent through the entire backoff ladder, it is gone —
-        // without this, one side dying leaves the other's recv() hanging
-        // forever.
-        if s.exp.count() >= sh.cfg.max_exp_count {
-            drop(s);
-            sh.set_state(State::Broken);
-            return;
-        }
-        drop(s);
-        sh.send_ctrl(ControlBody::KeepAlive, now);
     }
 }

@@ -61,7 +61,7 @@ mod tests {
             UdtError::NotConnected,
             UdtError::Broken,
             UdtError::FlushTimeout,
-            UdtError::Io(io::Error::new(io::ErrorKind::Other, "x")),
+            UdtError::Io(io::Error::other("x")),
             UdtError::File(io::Error::new(io::ErrorKind::NotFound, "y")),
         ];
         for e in cases {

@@ -85,7 +85,17 @@ impl UdtConnection {
             match rx.recv_timeout(cfg.handshake_retry) {
                 Ok((Packet::Control(c), from)) => {
                     if let ControlBody::Handshake(h) = c.body {
-                        if h.req_type == HandshakeReqType::Response {
+                        // A response must be structurally plausible before it
+                        // may establish state: right protocol version, a
+                        // non-zero peer id (0 addresses listeners), and an
+                        // MSS a sane peer could have proposed. Corrupted
+                        // responses that fail any check are ignored and the
+                        // retry loop re-solicits a clean one.
+                        if h.req_type == HandshakeReqType::Response
+                            && h.version == UDT_VERSION
+                            && h.socket_id != 0
+                            && h.mss >= crate::config::MIN_MSS
+                        {
                             let negotiated = UdtConfig {
                                 mss: cfg.mss.min(h.mss),
                                 ..cfg
@@ -197,7 +207,13 @@ fn listener_service(
         let ControlBody::Handshake(h) = c.body else {
             continue;
         };
-        if h.req_type != HandshakeReqType::Request || h.version != UDT_VERSION {
+        if h.req_type != HandshakeReqType::Request
+            || h.version != UDT_VERSION
+            || h.socket_id == 0
+            || h.mss < crate::config::MIN_MSS
+        {
+            // Malformed or corrupted request: never let it negotiate an
+            // unusable connection (e.g. an MSS below the header size).
             continue;
         }
         let key = (from, h.socket_id);

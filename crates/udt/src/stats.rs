@@ -31,6 +31,9 @@ pub struct ConnStats {
     pub pkts_lost: AtomicU64,
     /// EXP timeouts taken.
     pub exp_timeouts: AtomicU64,
+    /// Packets rejected as implausible (sequence/ack numbers outside any
+    /// window the peer could legitimately use — corrupted or hostile).
+    pub pkts_rejected: AtomicU64,
 }
 
 impl ConnStats {

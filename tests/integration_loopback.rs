@@ -182,7 +182,6 @@ fn concurrent_connections_do_not_interfere() {
     };
     let mut clients = Vec::new();
     for k in 0..n_conns {
-        let addr = addr;
         clients.push(std::thread::spawn(move || {
             let conn = UdtConnection::connect(addr, cfg()).unwrap();
             let data = pattern(200_000, 0x10 + k as u8);

@@ -86,7 +86,7 @@ fn survives_heavy_loss_both_directions() {
 fn survives_long_rtt() {
     let _serial = serial();
     let spec = LinkSpec::clean(100e6, Duration::from_millis(60)); // 120 ms RTT
-    let (sent, got, _) = transfer_through(spec, spec, 2_000_000);
+    let (sent, got, _) = transfer_through(spec.clone(), spec, 2_000_000);
     assert_eq!(got, sent);
 }
 
@@ -110,7 +110,7 @@ fn rate_limit_is_respected() {
     // the cap but never beat it.
     let spec = LinkSpec::clean(20e6, Duration::from_millis(2));
     let t0 = std::time::Instant::now();
-    let (sent, got, _) = transfer_through(spec, spec, 5_000_000);
+    let (sent, got, _) = transfer_through(spec.clone(), spec, 5_000_000);
     let secs = t0.elapsed().as_secs_f64();
     assert_eq!(got, sent);
     let rate = sent.len() as f64 * 8.0 / secs;
@@ -118,8 +118,11 @@ fn rate_limit_is_respected() {
         rate < 22e6,
         "throughput {rate:.2e} exceeds the 20 Mb/s emulated cap"
     );
+    // Lower bound is a stall detector only: SERIAL covers this binary, but
+    // other test binaries run concurrently and can steal most of the CPU,
+    // legitimately slowing the transfer well below the link cap.
     assert!(
-        rate > 8e6,
+        rate > 2e6,
         "throughput {rate:.2e} is far below the 20 Mb/s cap (stalling?)"
     );
 }
