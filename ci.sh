@@ -6,3 +6,8 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Resilience soak, CI-sized: a real-socket upload through a flapping link
+# must reconnect, resume and land byte-identical (time-boxed; the full
+# soak is `exp_soak` without --quick).
+timeout 120 ./target/release/exp_soak --quick

@@ -1,0 +1,10 @@
+//! Regenerate the resilience soak. `--quick` runs the CI-sized variant.
+//! See DESIGN.md for the experiment index.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = bench::experiments::soak::run(quick);
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -28,6 +28,7 @@ pub mod experiments {
     pub mod chaos;
     pub mod cmp_protocols;
     pub mod multibottleneck;
+    pub mod soak;
     pub mod fig1;
     pub mod fig11;
     pub mod fig12;

@@ -3,6 +3,9 @@
 //! Every impairment stage in `udt-chaos` owns one [`FaultCounters`] and
 //! bumps it on the hot path with relaxed atomics; experiment and test
 //! code reads a consistent-enough [`FaultSnapshot`] at the end of a run.
+//! The same pattern serves the resilience layer: [`ListenerCounters`]
+//! observe listener hardening (cookies, rate limiting, backlog, GC) and
+//! [`SessionCounters`] observe reconnect/resume behaviour.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -100,6 +103,87 @@ impl FaultSnapshot {
     }
 }
 
+macro_rules! counter_set {
+    (
+        $(#[$cmeta:meta])* counters $counters:ident;
+        $(#[$smeta:meta])* snapshot $snapshot:ident;
+        $( $(#[$fmeta:meta])* $field:ident ),+ $(,)?
+    ) => {
+        $(#[$cmeta])*
+        #[derive(Debug, Default)]
+        pub struct $counters {
+            $( $field: AtomicU64, )+
+        }
+
+        impl $counters {
+            /// Fresh zeroed counters.
+            pub fn new() -> $counters {
+                $counters::default()
+            }
+
+            $(
+                $(#[$fmeta])*
+                pub fn $field(&self, n: u64) {
+                    self.$field.fetch_add(n, Ordering::Relaxed);
+                }
+            )+
+
+            /// Read all counters (relaxed loads; exact once traffic has
+            /// quiesced).
+            pub fn snapshot(&self) -> $snapshot {
+                $snapshot {
+                    $( $field: self.$field.load(Ordering::Relaxed), )+
+                }
+            }
+        }
+
+        $(#[$smeta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct $snapshot {
+            $(
+                $(#[$fmeta])*
+                pub $field: u64,
+            )+
+        }
+    };
+}
+
+counter_set! {
+    /// Listener-hardening counters: one per `UdtListener`, bumped from
+    /// the handshake service thread.
+    counters ListenerCounters;
+    /// Point-in-time copy of a [`ListenerCounters`].
+    snapshot ListenerSnapshot;
+    /// Cookie challenges sent to uncookied connection requests.
+    challenges_sent,
+    /// Requests dropped for echoing a wrong/expired cookie.
+    cookies_rejected,
+    /// Handshake packets dropped by per-peer rate limiting.
+    rate_limited,
+    /// Fully-negotiated connections dropped because the accept queue
+    /// was full.
+    backlog_drops,
+    /// Idle handshake-cache / session-table entries garbage-collected.
+    gc_evictions,
+    /// Connections successfully established and queued for accept.
+    handshakes_accepted,
+}
+
+counter_set! {
+    /// Resilient-session counters: one per `ResilientSession`-equivalent.
+    counters SessionCounters;
+    /// Point-in-time copy of a [`SessionCounters`].
+    snapshot SessionSnapshot;
+    /// Reconnect attempts started after a `Broken` connection.
+    reconnect_attempts,
+    /// Reconnect attempts that produced a fresh connection.
+    reconnect_successes,
+    /// Bytes *skipped* thanks to resume (confirmed before the outage and
+    /// not re-sent). `file size − resumed_bytes` is what the retry had to
+    /// move again.
+    resumed_bytes,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +216,32 @@ mod tests {
         let s = FaultCounters::new().snapshot();
         assert_eq!(s.drop_rate(), 0.0);
         assert_eq!(s.mean_delay_us(), 0.0);
+    }
+
+    #[test]
+    fn listener_and_session_counters_accumulate() {
+        let l = ListenerCounters::new();
+        l.challenges_sent(3);
+        l.cookies_rejected(2);
+        l.rate_limited(5);
+        l.backlog_drops(1);
+        l.gc_evictions(4);
+        l.handshakes_accepted(1);
+        let s = l.snapshot();
+        assert_eq!(
+            (s.challenges_sent, s.cookies_rejected, s.rate_limited),
+            (3, 2, 5)
+        );
+        assert_eq!((s.backlog_drops, s.gc_evictions, s.handshakes_accepted), (1, 4, 1));
+
+        let c = SessionCounters::new();
+        c.reconnect_attempts(2);
+        c.reconnect_successes(1);
+        c.resumed_bytes(1 << 20);
+        let s = c.snapshot();
+        assert_eq!(s.reconnect_attempts, 2);
+        assert_eq!(s.reconnect_successes, 1);
+        assert_eq!(s.resumed_bytes, 1 << 20);
     }
 
     #[test]

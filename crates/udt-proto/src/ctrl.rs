@@ -31,6 +31,11 @@ pub enum HandshakeReqType {
     Request,
     /// Server → client response.
     Response,
+    /// Server → client cookie challenge: a stateless listener answers an
+    /// uncookied request with one of these and allocates nothing until the
+    /// initiator echoes the cookie back in a fresh request (SYN-cookie
+    /// style; see the listener-hardening notes in the `udt` crate).
+    Challenge,
 }
 
 impl HandshakeReqType {
@@ -39,6 +44,7 @@ impl HandshakeReqType {
         match self {
             HandshakeReqType::Request => 1,
             HandshakeReqType::Response => -1,
+            HandshakeReqType::Challenge => 2,
         }
     }
 
@@ -47,9 +53,33 @@ impl HandshakeReqType {
         match v {
             1 => Some(HandshakeReqType::Request),
             -1 => Some(HandshakeReqType::Response),
+            2 => Some(HandshakeReqType::Challenge),
             _ => None,
         }
     }
+}
+
+/// Optional handshake extension carrying the resilience fields: the
+/// stateless-listener cookie and the session-resume pair.
+///
+/// The extension is version-gated on the wire: a peer that predates it
+/// emits the bare 24-byte handshake body and ignores trailing bytes, so
+/// both directions interoperate — an absent extension simply means "no
+/// cookie echoed, no resumable session".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HandshakeExt {
+    /// Stateless handshake cookie. In a `Challenge` this is the server's
+    /// freshly derived cookie; in a `Request` it is the echo (0 = none
+    /// yet); unused (0) in a `Response`.
+    pub cookie: u32,
+    /// Resumable-session identifier chosen by the initiator (0 = the
+    /// connection is not part of a resumable session).
+    pub session_token: u64,
+    /// Byte-offset resume field. In a `Request` it is the initiator's
+    /// confirmed receive high-water mark (download resume); in a
+    /// `Response` it is the acceptor's confirmed high-water mark for
+    /// `session_token` (upload resume).
+    pub resume_offset: u64,
 }
 
 /// Handshake control information.
@@ -69,6 +99,9 @@ pub struct HandshakeData {
     pub max_flow_win: u32,
     /// Connection id the peer should address packets to.
     pub socket_id: u32,
+    /// Resilience extension (cookie + resume pair), absent when talking to
+    /// (or as) a peer that predates it.
+    pub ext: Option<HandshakeExt>,
 }
 
 /// ACK control information (the paper's §3.1/§3.2 feedback fields).
@@ -215,6 +248,7 @@ mod tests {
                 mss: 1500,
                 max_flow_win: 25600,
                 socket_id: 1,
+                ext: None,
             }),
         };
         assert_eq!(hs.type_code(), type_code::HANDSHAKE);
@@ -232,9 +266,14 @@ mod tests {
 
     #[test]
     fn handshake_req_type_roundtrip() {
-        for t in [HandshakeReqType::Request, HandshakeReqType::Response] {
+        for t in [
+            HandshakeReqType::Request,
+            HandshakeReqType::Response,
+            HandshakeReqType::Challenge,
+        ] {
             assert_eq!(HandshakeReqType::from_wire(t.to_wire()), Some(t));
         }
         assert_eq!(HandshakeReqType::from_wire(0), None);
+        assert_eq!(HandshakeReqType::from_wire(3), None);
     }
 }

@@ -23,7 +23,7 @@ pub mod packet;
 pub mod seqno;
 pub mod wire;
 
-pub use ctrl::{AckData, ControlPacket, HandshakeData, HandshakeReqType};
+pub use ctrl::{AckData, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
 pub use packet::{DataPacket, Packet, PacketKind};
 pub use seqno::{SeqNo, SeqRange, SEQ_MAX, SEQ_SPACE, SEQ_TH};
 pub use wire::{decode, encode, encoded_len, WireError, CTRL_HEADER_LEN, DATA_HEADER_LEN};

@@ -6,7 +6,9 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use crate::ctrl::{type_code, AckData, ControlBody, ControlPacket, HandshakeData, HandshakeReqType};
+use crate::ctrl::{
+    type_code, AckData, ControlBody, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType,
+};
 use crate::nak::{decode_loss_list, encode_loss_list, NakDecodeError};
 use crate::packet::{DataPacket, Packet};
 use crate::seqno::SeqNo;
@@ -19,6 +21,14 @@ pub const CTRL_HEADER_LEN: usize = 16;
 
 /// Flag bit distinguishing control from data packets.
 const CTRL_FLAG: u32 = 0x8000_0000;
+
+/// Bare handshake body length (pre-extension peers emit exactly this).
+const HS_BASE_LEN: usize = 24;
+/// Resilience extension length: cookie (4) + session token (8) + resume
+/// offset (8). A handshake body of `HS_BASE_LEN + HS_EXT_LEN` bytes
+/// carries the extension; anything in between is legacy padding a peer
+/// may append and is ignored (version gating).
+const HS_EXT_LEN: usize = 20;
 
 /// Errors surfaced while decoding a datagram.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,7 +72,9 @@ pub fn encoded_len(pkt: &Packet) -> usize {
 
 fn control_body_len(body: &ControlBody) -> usize {
     match body {
-        ControlBody::Handshake(_) => 24,
+        ControlBody::Handshake(h) => {
+            HS_BASE_LEN + if h.ext.is_some() { HS_EXT_LEN } else { 0 }
+        }
         ControlBody::KeepAlive | ControlBody::Shutdown | ControlBody::Ack2 { .. } => 0,
         ControlBody::Ack { data, .. } => {
             if data.is_light() {
@@ -105,6 +117,11 @@ pub fn encode(pkt: &Packet, buf: &mut BytesMut) {
                     buf.put_u32(h.mss);
                     buf.put_u32(h.max_flow_win);
                     buf.put_u32(h.socket_id);
+                    if let Some(ext) = &h.ext {
+                        buf.put_u32(ext.cookie);
+                        buf.put_u64(ext.session_token);
+                        buf.put_u64(ext.resume_offset);
+                    }
                 }
                 ControlBody::Ack { data, .. } => {
                     buf.put_u32(data.rcv_next.raw());
@@ -172,7 +189,7 @@ fn decode_control_body(
 ) -> Result<ControlBody, WireError> {
     match code {
         type_code::HANDSHAKE => {
-            if buf.remaining() < 24 {
+            if buf.remaining() < HS_BASE_LEN {
                 return Err(WireError::Truncated);
             }
             let version = buf.get_u32();
@@ -185,6 +202,19 @@ fn decode_control_body(
             if mss < DATA_HEADER_LEN as u32 + 1 {
                 return Err(WireError::BadControlBody("mss too small"));
             }
+            // Version gate: the extension rides after the base body. A peer
+            // that predates it sends the bare body (ext = None); trailing
+            // bytes of any other length are ignored, not an error, so a
+            // future larger extension still interops with this decoder.
+            let ext = if buf.remaining() >= HS_EXT_LEN {
+                Some(HandshakeExt {
+                    cookie: buf.get_u32(),
+                    session_token: buf.get_u64(),
+                    resume_offset: buf.get_u64(),
+                })
+            } else {
+                None
+            };
             Ok(ControlBody::Handshake(HandshakeData {
                 version,
                 req_type,
@@ -192,6 +222,7 @@ fn decode_control_body(
                 mss,
                 max_flow_win,
                 socket_id,
+                ext,
             }))
         }
         type_code::KEEPALIVE => Ok(ControlBody::KeepAlive),
@@ -278,8 +309,59 @@ mod tests {
                 mss: 1500,
                 max_flow_win: 25600,
                 socket_id: 31337,
+                ext: None,
             }),
         }));
+    }
+
+    #[test]
+    fn handshake_ext_roundtrip() {
+        roundtrip(Packet::Control(ControlPacket {
+            timestamp_us: 9,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Request,
+                init_seq: SeqNo::new(777),
+                mss: 1500,
+                max_flow_win: 25600,
+                socket_id: 31337,
+                ext: Some(HandshakeExt {
+                    cookie: 0xDEAD_BEEF,
+                    session_token: 0x0123_4567_89AB_CDEF,
+                    resume_offset: 7_654_321,
+                }),
+            }),
+        }));
+    }
+
+    #[test]
+    fn legacy_handshake_decodes_to_no_ext() {
+        // A pre-extension peer emits the bare 24-byte body; the decoder must
+        // yield `ext: None`, not an error and not a garbage extension.
+        let pkt = Packet::Control(ControlPacket {
+            timestamp_us: 3,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Request,
+                init_seq: SeqNo::new(1),
+                mss: 1400,
+                max_flow_win: 8192,
+                socket_id: 5,
+                ext: None,
+            }),
+        });
+        let mut buf = BytesMut::new();
+        encode(&pkt, &mut buf);
+        assert_eq!(buf.len(), CTRL_HEADER_LEN + 24);
+        match decode(buf.freeze()).unwrap() {
+            Packet::Control(ControlPacket {
+                body: ControlBody::Handshake(h),
+                ..
+            }) => assert_eq!(h.ext, None),
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

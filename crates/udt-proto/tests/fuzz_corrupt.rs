@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use udt_chaos::impairments::Corrupt;
 use udt_proto::ctrl::{ControlBody, ControlPacket};
 use udt_proto::{
-    decode, encode, AckData, DataPacket, HandshakeData, HandshakeReqType, Packet, SeqNo, SeqRange,
-    SEQ_MAX,
+    decode, encode, AckData, DataPacket, HandshakeData, HandshakeExt, HandshakeReqType, Packet,
+    SeqNo, SeqRange, SEQ_MAX,
 };
 
 /// One representative of every packet kind the codec can emit.
@@ -41,6 +41,24 @@ fn corpus() -> Vec<Packet> {
                 mss: 1500,
                 max_flow_win: 25600,
                 socket_id: 31337,
+                ext: None,
+            }),
+        }),
+        Packet::Control(ControlPacket {
+            timestamp_us: 9,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Challenge,
+                init_seq: SeqNo::new(777),
+                mss: 1500,
+                max_flow_win: 25600,
+                socket_id: 31337,
+                ext: Some(HandshakeExt {
+                    cookie: 0xC00C_1E00,
+                    session_token: 0xFEED_FACE_CAFE_F00D,
+                    resume_offset: 1 << 33,
+                }),
             }),
         }),
         Packet::Control(ControlPacket {
@@ -160,6 +178,7 @@ fn tiny_mss_handshake_rejected() {
             mss: 1500,
             max_flow_win: 8192,
             socket_id: 7,
+            ext: None,
         }),
     });
     let mut buf = BytesMut::new();

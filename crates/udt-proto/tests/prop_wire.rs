@@ -7,8 +7,8 @@ use proptest::prelude::*;
 use udt_proto::ctrl::{ControlBody, ControlPacket};
 use udt_proto::nak::{decode_loss_list, encode_loss_list};
 use udt_proto::{
-    decode, encode, encoded_len, AckData, DataPacket, HandshakeData, HandshakeReqType, Packet,
-    SeqNo, SeqRange, SEQ_MAX,
+    decode, encode, encoded_len, AckData, DataPacket, HandshakeData, HandshakeExt,
+    HandshakeReqType, Packet, SeqNo, SeqRange, SEQ_MAX,
 };
 
 fn seqno() -> impl Strategy<Value = SeqNo> {
@@ -37,22 +37,33 @@ fn packet() -> impl Strategy<Value = Packet> {
                 payload: Bytes::from(payload),
             })
         });
-    let hs = (seqno(), 16u32..9000, any::<u32>(), any::<u32>(), any::<bool>()).prop_map(
-        |(init_seq, mss, win, sid, req)| {
+    let hs_ext = prop_oneof![
+        Just(None),
+        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(cookie, token, off)| {
+            Some(HandshakeExt {
+                cookie,
+                session_token: token,
+                resume_offset: off,
+            })
+        }),
+    ];
+    let hs = (seqno(), 16u32..9000, any::<u32>(), any::<u32>(), 0u8..3, hs_ext).prop_map(
+        |(init_seq, mss, win, sid, req, ext)| {
             Packet::Control(ControlPacket {
                 timestamp_us: 0,
                 conn_id: 0,
                 body: ControlBody::Handshake(HandshakeData {
                     version: 2,
-                    req_type: if req {
-                        HandshakeReqType::Request
-                    } else {
-                        HandshakeReqType::Response
+                    req_type: match req {
+                        0 => HandshakeReqType::Request,
+                        1 => HandshakeReqType::Response,
+                        _ => HandshakeReqType::Challenge,
                     },
                     init_seq,
                     mss,
                     max_flow_win: win,
                     socket_id: sid,
+                    ext,
                 }),
             })
         },

@@ -6,40 +6,68 @@
 //! # receiver
 //! udtcat listen 0.0.0.0:9000 > dump.tar
 //!
-//! # sender
-//! udtcat connect 192.0.2.1:9000 < dump.tar
+//! # sender (retry the connect up to 5 times with backoff)
+//! udtcat connect --retry 5 192.0.2.1:9000 < dump.tar
 //! ```
+//!
+//! Exit codes: 0 on success, 1 on a transfer/connection failure (with a
+//! one-line diagnostic on stderr), 2 on usage errors.
 
 use std::io::{Read, Write};
 use std::net::SocketAddr;
+use std::process::ExitCode;
 
-use udt::{UdtConfig, UdtConnection, UdtListener};
+use udt::{RetryPolicy, UdtConfig, UdtConnection, UdtListener};
 
-fn usage() -> ! {
-    eprintln!("usage:\n  udtcat listen <bind-addr>   # remote stream → stdout\n  udtcat connect <addr>       # stdin → remote");
-    std::process::exit(2);
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  udtcat listen <bind-addr>              # remote stream → stdout\n  udtcat connect [--retry N] <addr>      # stdin → remote\n\n  --retry N   retry a failed connect up to N times with exponential backoff"
+    );
+    ExitCode::from(2)
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let addr: SocketAddr = match (args.first().map(String::as_str), args.get(1)) {
-        (Some("listen"), Some(a)) | (Some("connect"), Some(a)) => a.parse().unwrap_or_else(|e| {
-            eprintln!("bad address: {e}");
-            std::process::exit(2);
-        }),
-        _ => usage(),
+fn fail(what: &str, err: &dyn std::fmt::Display) -> ExitCode {
+    eprintln!("udtcat: {what}: {err}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut retries = 0u32;
+    if let Some(i) = args.iter().position(|a| a == "--retry") {
+        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<u32>().ok()) else {
+            eprintln!("udtcat: --retry needs a non-negative integer");
+            return usage();
+        };
+        retries = n;
+        args.drain(i..=i + 1);
+    }
+    let (mode, addr) = match (args.first().map(String::as_str), args.get(1)) {
+        (Some(m @ ("listen" | "connect")), Some(a)) => match a.parse::<SocketAddr>() {
+            Ok(addr) => (m.to_string(), addr),
+            Err(e) => {
+                eprintln!("udtcat: bad address {a:?}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        _ => return usage(),
     };
-    match args[0].as_str() {
+    match mode.as_str() {
         "listen" => listen(addr),
-        "connect" => connect(addr),
-        _ => usage(),
+        _ => connect(addr, retries),
     }
 }
 
-fn listen(addr: SocketAddr) {
-    let listener = UdtListener::bind(addr, UdtConfig::default()).expect("bind");
+fn listen(addr: SocketAddr) -> ExitCode {
+    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+        Ok(l) => l,
+        Err(e) => return fail("bind failed", &e),
+    };
     eprintln!("udtcat: listening on {}", listener.local_addr());
-    let conn = listener.accept().expect("accept");
+    let conn = match listener.accept() {
+        Ok(c) => c,
+        Err(e) => return fail("accept failed", &e),
+    };
     eprintln!("udtcat: connection from {}", conn.peer_addr());
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
@@ -49,37 +77,75 @@ fn listen(addr: SocketAddr) {
         match conn.recv(&mut buf) {
             Ok(0) => break,
             Ok(n) => {
-                out.write_all(&buf[..n]).expect("stdout");
+                if let Err(e) = out.write_all(&buf[..n]) {
+                    return fail("stdout write failed", &e);
+                }
                 total += n as u64;
             }
-            Err(e) => {
-                eprintln!("udtcat: recv error: {e}");
-                break;
-            }
+            Err(e) => return fail("transfer failed mid-stream", &e),
         }
     }
     out.flush().ok();
     eprintln!("udtcat: received {total} bytes");
+    ExitCode::SUCCESS
 }
 
-fn connect(addr: SocketAddr) {
-    let conn = UdtConnection::connect(addr, UdtConfig::default()).expect("connect");
+fn connect(addr: SocketAddr, retries: u32) -> ExitCode {
+    let cfg = UdtConfig {
+        retry: RetryPolicy {
+            max_attempts: retries,
+            ..RetryPolicy::default()
+        },
+        ..UdtConfig::default()
+    };
+    // stdin is consumed as it is sent, so only the *connect* phase can be
+    // retried; a mid-stream break is fatal (use the resilient file API
+    // for resumable bulk transfers).
+    let conn = match connect_with_retry(addr, &cfg) {
+        Ok(c) => c,
+        Err(e) => return fail("connect failed", &e),
+    };
     eprintln!("udtcat: connected to {}", conn.peer_addr());
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let mut buf = vec![0u8; 1 << 16];
     let mut total = 0u64;
     loop {
-        let n = input.read(&mut buf).expect("stdin");
+        let n = match input.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) => return fail("stdin read failed", &e),
+        };
         if n == 0 {
             break;
         }
-        if conn.send(&buf[..n]).is_err() {
-            eprintln!("udtcat: connection broke");
-            break;
+        if let Err(e) = conn.send(&buf[..n]) {
+            return fail("transfer failed mid-stream", &e);
         }
         total += n as u64;
     }
-    conn.close().expect("close");
+    if let Err(e) = conn.close() {
+        return fail("close failed to flush", &e);
+    }
     eprintln!("udtcat: sent {total} bytes");
+    ExitCode::SUCCESS
+}
+
+fn connect_with_retry(addr: SocketAddr, cfg: &UdtConfig) -> Result<UdtConnection, udt::UdtError> {
+    let policy = cfg.retry;
+    let mut attempt = 0u32;
+    loop {
+        match UdtConnection::connect(addr, cfg.clone()) {
+            Ok(c) => return Ok(c),
+            Err(e) if attempt < policy.max_attempts && udt::resilience::retryable(&e) => {
+                attempt += 1;
+                let backoff = policy.backoff(attempt, u64::from(addr.port()));
+                eprintln!(
+                    "udtcat: connect attempt failed ({e}); retry {attempt}/{} in {backoff:?}",
+                    policy.max_attempts
+                );
+                std::thread::sleep(backoff);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }

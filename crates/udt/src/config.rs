@@ -59,6 +59,77 @@ pub struct UdtConfig {
     /// Testing hook: lets integration tests exercise sequence wraparound
     /// deterministically.
     pub force_init_seq: Option<u32>,
+    /// Listener: capacity of the accept queue. Fully-established
+    /// connections past this bound are dropped (and counted) rather than
+    /// queued without limit.
+    pub accept_backlog: usize,
+    /// Listener: maximum handshake packets accepted from one peer address
+    /// per second; the excess is dropped (and counted). Keyed by the full
+    /// `ip:port` so a flood from one source port cannot starve a
+    /// well-behaved client on the same host (the loopback/NAT case).
+    pub handshake_rate_limit: u32,
+    /// Listener: idle entries in the handshake response cache and the
+    /// resume-session table are evicted after this long.
+    pub handshake_cache_ttl: Duration,
+    /// Listener: when `true` (the default), a connection request must echo
+    /// a server-derived cookie before any state is allocated (SYN-cookie
+    /// hardening). Disable only to interoperate with pre-extension peers
+    /// that cannot echo cookies.
+    pub require_cookie: bool,
+    /// Reconnect policy used by [`crate::resilience::ResilientSession`]
+    /// (and `udtcat --retry`).
+    pub retry: RetryPolicy,
+}
+
+/// Reconnect/backoff policy for resilient sessions: exponential backoff
+/// with deterministic jitter, bounded by attempts and an overall deadline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum reconnect attempts per outage (0 = resilience disabled).
+    pub max_attempts: u32,
+    /// Backoff before the first reconnect attempt.
+    pub base_backoff: Duration,
+    /// Ceiling on the exponential backoff.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// deterministic factor drawn from `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Overall wall-clock budget across all attempts of one outage;
+    /// `None` = bounded by `max_attempts` only.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(200),
+            max_backoff: Duration::from_secs(5),
+            jitter: 0.25,
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before reconnect attempt `attempt` (1-based), with
+    /// deterministic jitter derived from `seed` — same seed, same
+    /// schedule, so chaos tests replay exactly.
+    pub fn backoff(&self, attempt: u32, seed: u64) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let raw = self
+            .base_backoff
+            .saturating_mul(1u32 << exp.min(16))
+            .min(self.max_backoff);
+        // splitmix64 on (seed, attempt) → uniform factor in [1-j, 1+j].
+        let mut z = seed ^ (u64::from(attempt)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        let factor = 1.0 + self.jitter.clamp(0.0, 1.0) * (2.0 * unit - 1.0);
+        raw.mul_f64(factor.max(0.0))
+    }
 }
 
 impl Default for UdtConfig {
@@ -75,6 +146,11 @@ impl Default for UdtConfig {
             max_exp_count: 16,
             broken_silence_floor: Duration::from_secs(10),
             force_init_seq: None,
+            accept_backlog: 64,
+            handshake_rate_limit: 64,
+            handshake_cache_ttl: Duration::from_secs(60),
+            require_cookie: true,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -101,6 +177,21 @@ mod tests {
         assert_eq!(c.mss, 1500);
         assert_eq!(c.payload_size(), 1488);
         assert!(matches!(c.cc, CcChoice::Udt(_)));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=12u32 {
+            let a = p.backoff(attempt, 42);
+            let b = p.backoff(attempt, 42);
+            assert_eq!(a, b, "same seed must give the same schedule");
+            assert!(a <= p.max_backoff.mul_f64(1.0 + p.jitter));
+        }
+        // Jitter actually varies with the seed.
+        assert_ne!(p.backoff(3, 1), p.backoff(3, 2));
+        // Exponential shape: attempt 4 (unjittered 1.6 s) dwarfs attempt 1.
+        assert!(p.backoff(4, 7) > p.backoff(1, 7));
     }
 
     #[test]

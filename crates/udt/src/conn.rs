@@ -109,6 +109,19 @@ pub(crate) struct RcvCtl {
     pub loss_events: Vec<u32>,
 }
 
+/// Resumable-session identity attached to a connection at handshake time
+/// (see the handshake extension in `udt-proto` and [`crate::resilience`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionMeta {
+    /// Session token from the handshake extension (0 = not resumable).
+    pub token: u64,
+    /// Resume offset the peer communicated in its handshake: on an
+    /// accepted connection, the client's confirmed receive high-water
+    /// mark; on a connecting client, the server's stored high-water mark
+    /// for `token`.
+    pub peer_resume: u64,
+}
+
 /// State shared by the two protocol threads and the application handle.
 pub(crate) struct Shared {
     pub cfg: UdtConfig,
@@ -123,6 +136,7 @@ pub(crate) struct Shared {
     pub rcv_cv: Condvar,
     state: AtomicU8,
     pub stats: ConnStats,
+    pub meta: SessionMeta,
     pub instr: Arc<Instrument>,
     /// EWMA of the wall-clock cost of one UDP send, nanoseconds (§4.4).
     pub send_cost_ns: AtomicU64,
@@ -193,6 +207,7 @@ impl UdtConnection {
         snd_init: SeqNo,
         rcv_init: SeqNo,
         rx: Receiver<MuxMsg>,
+        meta: SessionMeta,
     ) -> UdtConnection {
         let payload = cfg.payload_size();
         let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
@@ -231,6 +246,7 @@ impl UdtConnection {
             rcv_cv: Condvar::new(),
             state: AtomicU8::new(State::Connected as u8),
             stats: ConnStats::default(),
+            meta,
             instr: Instrument::new(),
             send_cost_ns: AtomicU64::new(0),
             clock: EpochClock::start(),
@@ -288,6 +304,17 @@ impl UdtConnection {
     /// The negotiated configuration.
     pub fn config(&self) -> &UdtConfig {
         &self.sh.cfg
+    }
+
+    /// Session token negotiated at handshake time (0 = not resumable).
+    pub fn session_token(&self) -> u64 {
+        self.sh.meta.token
+    }
+
+    /// Resume offset the peer communicated in its handshake (see
+    /// [`SessionMeta::peer_resume`]).
+    pub fn peer_resume_offset(&self) -> u64 {
+        self.sh.meta.peer_resume
     }
 
     /// Per-event loss sizes observed by the receiver (Figure 8).

@@ -7,14 +7,29 @@ use std::io;
 pub enum UdtError {
     /// Underlying socket error.
     Io(io::Error),
-    /// The connection handshake did not complete in time.
-    ConnectTimeout,
+    /// The connection handshake got no usable answer before the deadline.
+    ConnectTimeout {
+        /// Number of handshake solicitations sent before giving up.
+        retries: u32,
+    },
+    /// The peer answered the handshake but with something this endpoint
+    /// cannot or will not accept (wrong version, zero socket id, bogus
+    /// MSS, bad cookie). Distinct from [`UdtError::ConnectTimeout`]: the
+    /// server is reachable, the exchange itself failed.
+    HandshakeRejected {
+        /// What was wrong with the peer's answer.
+        reason: &'static str,
+        /// Number of handshake solicitations sent before giving up.
+        retries: u32,
+    },
     /// Operation on a connection that is closed or broken.
     NotConnected,
     /// The peer stopped responding (EXP timeout escalation, §3.5).
     Broken,
     /// Close could not flush all outstanding data in time.
     FlushTimeout,
+    /// The listener has been drained: it no longer accepts connections.
+    Drained,
     /// A file operation failed during sendfile/recvfile.
     File(io::Error),
 }
@@ -23,10 +38,17 @@ impl std::fmt::Display for UdtError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             UdtError::Io(e) => write!(f, "socket error: {e}"),
-            UdtError::ConnectTimeout => write!(f, "connection handshake timed out"),
+            UdtError::ConnectTimeout { retries } => {
+                write!(f, "connection handshake timed out after {retries} solicitations")
+            }
+            UdtError::HandshakeRejected { reason, retries } => write!(
+                f,
+                "handshake rejected ({reason}) after {retries} solicitations"
+            ),
             UdtError::NotConnected => write!(f, "connection is closed"),
             UdtError::Broken => write!(f, "peer stopped responding"),
             UdtError::FlushTimeout => write!(f, "close timed out flushing unacknowledged data"),
+            UdtError::Drained => write!(f, "listener is drained and no longer accepts"),
             UdtError::File(e) => write!(f, "file error: {e}"),
         }
     }
@@ -57,10 +79,15 @@ mod tests {
     #[test]
     fn display_variants() {
         let cases: Vec<UdtError> = vec![
-            UdtError::ConnectTimeout,
+            UdtError::ConnectTimeout { retries: 7 },
+            UdtError::HandshakeRejected {
+                reason: "wrong version",
+                retries: 3,
+            },
             UdtError::NotConnected,
             UdtError::Broken,
             UdtError::FlushTimeout,
+            UdtError::Drained,
             UdtError::Io(io::Error::other("x")),
             UdtError::File(io::Error::new(io::ErrorKind::NotFound, "y")),
         ];

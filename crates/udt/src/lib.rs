@@ -60,14 +60,16 @@ pub mod file;
 pub mod instrument;
 pub(crate) mod mux;
 pub mod perfmon;
+pub mod resilience;
 pub mod socket;
 pub mod stats;
 pub mod timing;
 
-pub use config::{CcChoice, UdtConfig};
+pub use config::{CcChoice, RetryPolicy, UdtConfig};
 pub use conn::UdtConnection;
 pub use error::UdtError;
 pub use instrument::{Category, Instrument};
 pub use perfmon::{throughput_between, PerfSnapshot};
+pub use resilience::{serve_download, ResilientSession, ResumableFileSink, SessionTable};
 pub use socket::UdtListener;
 pub use stats::ConnStats;

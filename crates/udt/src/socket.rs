@@ -1,6 +1,7 @@
 //! Connection establishment: [`UdtListener`] and [`UdtConnection::connect`].
 //!
-//! The handshake is a two-message exchange over UDP (§4.7-era UDT):
+//! The baseline handshake is a two-message exchange over UDP (§4.7-era
+//! UDT):
 //!
 //! 1. the client sends a Handshake *request* (destination id 0) carrying
 //!    its protocol version, initial sequence number, proposed MSS, maximum
@@ -9,8 +10,20 @@
 //!    client's id, carrying the server's own initial sequence number,
 //!    socket id, and the negotiated (minimum) MSS and window.
 //!
-//! Both sides then run the same data-plane threads. Duplicate requests
-//! (response loss) are answered idempotently from a small cache.
+//! Hardened listeners (the default) insert a SYN-cookie round before step
+//! 2: an uncookied request is answered with a stateless *challenge*
+//! carrying a cookie derived from a listener secret, the peer address and
+//! a coarse time bucket; only a request echoing a valid cookie allocates
+//! any state. The listener additionally rate-limits handshake traffic per
+//! peer address, bounds the accept backlog, garbage-collects idle
+//! handshake/session state, and supports [`UdtListener::drain`] for
+//! graceful shutdown. Duplicate requests (response loss) are answered
+//! idempotently from a small cache.
+//!
+//! Connection requests may carry the resilience extension (session token +
+//! resume offset) used by [`crate::resilience`] to resume interrupted
+//! transfers; the listener answers with the session's stored high-water
+//! mark so an uploading client can skip what the server already has.
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -18,18 +31,20 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::Rng;
 
-use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeReqType};
+use udt_metrics::counters::{ListenerCounters, ListenerSnapshot};
+use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
 use udt_proto::{Packet, SeqNo, SEQ_MAX};
 
 use crate::config::UdtConfig;
-use crate::conn::UdtConnection;
+use crate::conn::{SessionMeta, UdtConnection};
 use crate::error::{Result, UdtError};
 use crate::instrument::Instrument;
 use crate::mux::Mux;
+use crate::resilience::SessionTable;
 
 /// UDT protocol version implemented (the SC'04 revision).
 pub const UDT_VERSION: u32 = 2;
@@ -51,9 +66,63 @@ fn gen_init_seq() -> SeqNo {
 /// Depth of each connection's inbound packet queue.
 const CONN_QUEUE_DEPTH: usize = 8192;
 
+/// Cookie time buckets are this wide; a cookie is honoured for the bucket
+/// it was minted in plus the previous one, so its usable lifetime is
+/// between one and two bucket widths (the classic SYN-cookie scheme).
+const COOKIE_BUCKET: Duration = Duration::from_secs(64);
+
+/// splitmix64 mixing step — the cookie MAC and jitter PRNG share it.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the handshake cookie for one (peer, socket id, time bucket).
+/// Keyed by a per-listener random secret; never returns 0 (0 on the wire
+/// means "no cookie yet").
+fn cookie_for(secret: u64, peer: SocketAddr, socket_id: u32, bucket: u64) -> u32 {
+    let mut h = secret;
+    match peer.ip() {
+        std::net::IpAddr::V4(v4) => {
+            h = mix64(h ^ u64::from(u32::from(v4)));
+        }
+        std::net::IpAddr::V6(v6) => {
+            let o = v6.octets();
+            h = mix64(h ^ u64::from_be_bytes(o[..8].try_into().expect("8 octets")));
+            h = mix64(h ^ u64::from_be_bytes(o[8..].try_into().expect("8 octets")));
+        }
+    }
+    h = mix64(h ^ (u64::from(peer.port()) << 32) ^ u64::from(socket_id));
+    h = mix64(h ^ bucket);
+    let c = (h >> 32) as u32 ^ (h as u32);
+    if c == 0 {
+        1
+    } else {
+        c
+    }
+}
+
 impl UdtConnection {
     /// Connect to a UDT listener at `server`.
     pub fn connect(server: SocketAddr, cfg: UdtConfig) -> Result<UdtConnection> {
+        UdtConnection::connect_session(server, cfg, 0, 0)
+    }
+
+    /// Connect carrying the resilience extension: `token` identifies a
+    /// resumable session (0 = none) and `resume_offset` is this side's
+    /// confirmed receive high-water mark for it. Used by
+    /// [`crate::resilience::ResilientSession`]; plain [`connect`] passes
+    /// zeros.
+    ///
+    /// [`connect`]: UdtConnection::connect
+    pub fn connect_session(
+        server: SocketAddr,
+        cfg: UdtConfig,
+        token: u64,
+        resume_offset: u64,
+    ) -> Result<UdtConnection> {
         let bind_addr: SocketAddr = if server.is_ipv4() {
             "0.0.0.0:0".parse().expect("addr")
         } else {
@@ -66,63 +135,117 @@ impl UdtConnection {
             .force_init_seq
             .map(SeqNo::new)
             .unwrap_or_else(gen_init_seq);
-        let req = Packet::Control(ControlPacket {
-            timestamp_us: 0,
-            conn_id: 0,
-            body: ControlBody::Handshake(HandshakeData {
-                version: UDT_VERSION,
-                req_type: HandshakeReqType::Request,
-                init_seq,
-                mss: cfg.mss,
-                max_flow_win: cfg.rcv_buf_pkts,
-                socket_id: local_id,
-            }),
-        });
         let instr = Instrument::default();
         let deadline = Instant::now() + cfg.connect_timeout;
-        loop {
+        // Echoed back once the listener challenges us; 0 until then.
+        let mut cookie = 0u32;
+        let mut retries = 0u32;
+        // The most recent structurally-delivered-but-unacceptable answer;
+        // reported instead of a bare timeout so the caller can tell "the
+        // server is down" from "the server refused us".
+        let mut reject: Option<&'static str> = None;
+        'solicit: loop {
+            let req = Packet::Control(ControlPacket {
+                timestamp_us: 0,
+                conn_id: 0,
+                body: ControlBody::Handshake(HandshakeData {
+                    version: UDT_VERSION,
+                    req_type: HandshakeReqType::Request,
+                    init_seq,
+                    mss: cfg.mss,
+                    max_flow_win: cfg.rcv_buf_pkts,
+                    socket_id: local_id,
+                    ext: Some(HandshakeExt {
+                        cookie,
+                        session_token: token,
+                        resume_offset,
+                    }),
+                }),
+            });
             mux.send(&req, server, &instr)?;
-            match rx.recv_timeout(cfg.handshake_retry) {
-                Ok((Packet::Control(c), from)) => {
-                    if let ControlBody::Handshake(h) = c.body {
-                        // A response must be structurally plausible before it
-                        // may establish state: right protocol version, a
-                        // non-zero peer id (0 addresses listeners), and an
-                        // MSS a sane peer could have proposed. Corrupted
-                        // responses that fail any check are ignored and the
-                        // retry loop re-solicits a clean one.
-                        if h.req_type == HandshakeReqType::Response
-                            && h.version == UDT_VERSION
-                            && h.socket_id != 0
-                            && h.mss >= crate::config::MIN_MSS
-                        {
-                            let negotiated = UdtConfig {
-                                mss: cfg.mss.min(h.mss),
-                                ..cfg
-                            };
-                            return Ok(UdtConnection::establish(
-                                mux,
-                                negotiated,
-                                local_id,
-                                h.socket_id,
-                                from,
-                                init_seq,
-                                h.init_seq,
-                                rx,
-                            ));
+            retries += 1;
+            let wait_until = Instant::now() + cfg.handshake_retry;
+            loop {
+                let now = Instant::now();
+                if now >= wait_until {
+                    break;
+                }
+                match rx.recv_timeout(wait_until - now) {
+                    Ok((Packet::Control(c), from)) => {
+                        let ControlBody::Handshake(h) = c.body else {
+                            continue;
+                        };
+                        match h.req_type {
+                            HandshakeReqType::Challenge => {
+                                // Stateless listener wants proof of
+                                // reachability: echo its cookie in a fresh
+                                // request right away.
+                                if let Some(e) = h.ext {
+                                    cookie = e.cookie;
+                                    continue 'solicit;
+                                }
+                            }
+                            HandshakeReqType::Response => {
+                                // A response must be structurally plausible
+                                // before it may establish state: right
+                                // protocol version, a non-zero peer id (0
+                                // addresses listeners), and an MSS a sane
+                                // peer could have proposed. Anything else is
+                                // remembered as a rejection and the retry
+                                // loop re-solicits.
+                                if h.version != UDT_VERSION {
+                                    reject = Some("peer speaks a different protocol version");
+                                    continue;
+                                }
+                                if h.socket_id == 0 {
+                                    reject = Some("peer answered with a zero socket id");
+                                    continue;
+                                }
+                                if h.mss < crate::config::MIN_MSS {
+                                    reject = Some("peer proposed an unusable MSS");
+                                    continue;
+                                }
+                                let negotiated = UdtConfig {
+                                    mss: cfg.mss.min(h.mss),
+                                    ..cfg
+                                };
+                                let meta = SessionMeta {
+                                    token,
+                                    peer_resume: h.ext.map_or(0, |e| e.resume_offset),
+                                };
+                                return Ok(UdtConnection::establish(
+                                    mux,
+                                    negotiated,
+                                    local_id,
+                                    h.socket_id,
+                                    from,
+                                    init_seq,
+                                    h.init_seq,
+                                    rx,
+                                    meta,
+                                ));
+                            }
+                            HandshakeReqType::Request => {}
                         }
                     }
+                    Ok(_) => {}
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => return Err(UdtError::NotConnected),
                 }
-                Ok(_) => {}
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => return Err(UdtError::NotConnected),
             }
             if Instant::now() >= deadline {
-                return Err(UdtError::ConnectTimeout);
+                return Err(match reject {
+                    Some(reason) => UdtError::HandshakeRejected { reason, retries },
+                    None => UdtError::ConnectTimeout { retries },
+                });
             }
         }
     }
 }
+
+/// Idempotent-response cache plus eviction metadata, shared between the
+/// service thread and [`UdtListener::conn_table_len`].
+type ConnTable = Arc<Mutex<HashMap<(SocketAddr, u32), (Packet, Instant)>>>;
 
 /// A UDT listener: accepts connections on one UDP port. All accepted
 /// connections share the port (demultiplexed by connection id).
@@ -130,27 +253,65 @@ pub struct UdtListener {
     mux: Arc<Mux>,
     accepted: Receiver<UdtConnection>,
     stop: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    counters: Arc<ListenerCounters>,
+    sessions: Arc<SessionTable>,
+    conn_table: ConnTable,
     service: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl UdtListener {
     /// Bind a listener.
     pub fn bind(addr: SocketAddr, cfg: UdtConfig) -> Result<UdtListener> {
+        UdtListener::bind_with_sessions(addr, cfg, SessionTable::new())
+    }
+
+    /// Bind a listener sharing an externally-owned [`SessionTable`], so
+    /// the application can record per-session transfer progress that
+    /// survives individual connections (the resume high-water mark).
+    pub fn bind_with_sessions(
+        addr: SocketAddr,
+        cfg: UdtConfig,
+        sessions: Arc<SessionTable>,
+    ) -> Result<UdtListener> {
         let mux = Mux::bind(addr)?;
         let hs_queue = mux.set_listener();
-        let (tx, rx) = crossbeam::channel::bounded(64);
+        let (tx, rx) = crossbeam::channel::bounded(cfg.accept_backlog.max(1));
         let stop = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ListenerCounters::new());
+        let conn_table: ConnTable = Arc::new(Mutex::new(HashMap::new()));
         let service = {
             let mux = Arc::clone(&mux);
             let stop = Arc::clone(&stop);
+            let draining = Arc::clone(&draining);
+            let counters = Arc::clone(&counters);
+            let sessions = Arc::clone(&sessions);
+            let conn_table = Arc::clone(&conn_table);
             std::thread::Builder::new()
                 .name("udt-listen".into())
-                .spawn(move || listener_service(mux, cfg, hs_queue, tx, stop))?
+                .spawn(move || {
+                    listener_service(ListenerCtx {
+                        mux,
+                        cfg,
+                        hs_queue,
+                        accepted: tx,
+                        stop,
+                        draining,
+                        counters,
+                        sessions,
+                        conn_table,
+                    })
+                })?
         };
         Ok(UdtListener {
             mux,
             accepted: rx,
             stop,
+            draining,
+            counters,
+            sessions,
+            conn_table,
             service: Mutex::new(Some(service)),
         })
     }
@@ -162,18 +323,50 @@ impl UdtListener {
 
     /// Block until a connection is established.
     pub fn accept(&self) -> Result<UdtConnection> {
-        self.accepted
-            .recv()
-            .map_err(|_| UdtError::NotConnected)
+        if self.draining.load(Ordering::Relaxed) {
+            return Err(UdtError::Drained);
+        }
+        self.accepted.recv().map_err(|_| UdtError::NotConnected)
     }
 
-    /// Accept with a timeout.
+    /// Accept with a timeout. `Ok(None)` means no connection arrived.
     pub fn accept_timeout(&self, timeout: Duration) -> Result<Option<UdtConnection>> {
+        if self.draining.load(Ordering::Relaxed) {
+            return Err(UdtError::Drained);
+        }
         match self.accepted.recv_timeout(timeout) {
             Ok(c) => Ok(Some(c)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
             Err(RecvTimeoutError::Disconnected) => Err(UdtError::NotConnected),
         }
+    }
+
+    /// Graceful shutdown: stop answering new handshakes and refuse
+    /// further [`accept`](UdtListener::accept) calls, but leave already
+    /// established connections (which own their own threads and share the
+    /// port demultiplexer) untouched so in-flight transfers finish. Keep
+    /// the listener alive until those transfers are done — dropping it
+    /// shuts the shared socket down.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the hardening counters (cookies, rate limiting,
+    /// backlog, GC).
+    pub fn counters(&self) -> ListenerSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// The session table used to answer resume offsets.
+    pub fn sessions(&self) -> Arc<SessionTable> {
+        Arc::clone(&self.sessions)
+    }
+
+    /// Number of handshake connection-table entries currently allocated
+    /// (test observable: a flood that never echoes a cookie must leave
+    /// this at zero).
+    pub fn conn_table_len(&self) -> usize {
+        self.conn_table.lock().len()
     }
 }
 
@@ -187,18 +380,96 @@ impl Drop for UdtListener {
     }
 }
 
-fn listener_service(
+/// Everything the handshake service thread needs.
+struct ListenerCtx {
     mux: Arc<Mux>,
     cfg: UdtConfig,
     hs_queue: Receiver<(Packet, SocketAddr)>,
     accepted: Sender<UdtConnection>,
     stop: Arc<AtomicBool>,
-) {
+    draining: Arc<AtomicBool>,
+    counters: Arc<ListenerCounters>,
+    sessions: Arc<SessionTable>,
+    conn_table: ConnTable,
+}
+
+/// Per-peer handshake rate limiting: fixed one-second windows. The map
+/// itself is attacker-influenced state, so it is swept aggressively and
+/// hard-capped (dropping over-cap traffic is exactly the rate limiter's
+/// job anyway).
+struct RateTable {
+    windows: HashMap<SocketAddr, (Instant, u32)>,
+}
+
+/// Above this many distinct peers in one sweep interval the rate table
+/// stops admitting new ones (spoofed-source floods otherwise grow it
+/// without bound).
+const RATE_TABLE_CAP: usize = 4096;
+
+impl RateTable {
+    fn new() -> RateTable {
+        RateTable {
+            windows: HashMap::new(),
+        }
+    }
+
+    /// `true` if a handshake from `peer` is within its per-second budget.
+    fn admit(&mut self, peer: SocketAddr, limit: u32, now: Instant) -> bool {
+        match self.windows.get_mut(&peer) {
+            Some((start, count)) => {
+                if now.duration_since(*start) >= Duration::from_secs(1) {
+                    *start = now;
+                    *count = 0;
+                }
+                *count += 1;
+                *count <= limit
+            }
+            None => {
+                if self.windows.len() >= RATE_TABLE_CAP {
+                    return false;
+                }
+                self.windows.insert(peer, (now, 1));
+                true
+            }
+        }
+    }
+
+    /// Drop windows idle long enough to have refilled anyway.
+    fn sweep(&mut self, now: Instant) {
+        self.windows
+            .retain(|_, (start, _)| now.duration_since(*start) < Duration::from_secs(2));
+    }
+}
+
+fn listener_service(ctx: ListenerCtx) {
     let instr = Instrument::default();
-    // Idempotent-response cache: (client addr, client id) → response.
-    let mut established: HashMap<(SocketAddr, u32), Packet> = HashMap::new();
-    while !stop.load(Ordering::Relaxed) {
-        let (pkt, from) = match hs_queue.recv_timeout(Duration::from_millis(100)) {
+    let secret: u64 = rand::thread_rng().gen();
+    let epoch = Instant::now();
+    let mut rate = RateTable::new();
+    let mut last_gc = Instant::now();
+    let gc_interval = (ctx.cfg.handshake_cache_ttl / 4).max(Duration::from_secs(1));
+    while !ctx.stop.load(Ordering::Relaxed) {
+        let msg = ctx.hs_queue.recv_timeout(Duration::from_millis(100));
+        let now = Instant::now();
+        // Periodic GC of idle state, even when no traffic arrives.
+        if now.duration_since(last_gc) >= gc_interval {
+            last_gc = now;
+            let ttl = ctx.cfg.handshake_cache_ttl;
+            let mut evicted = 0u64;
+            ctx.conn_table.lock().retain(|_, (_, seen)| {
+                let keep = now.duration_since(*seen) < ttl;
+                if !keep {
+                    evicted += 1;
+                }
+                keep
+            });
+            evicted += ctx.sessions.gc(ttl);
+            if evicted > 0 {
+                ctx.counters.gc_evictions(evicted);
+            }
+            rate.sweep(now);
+        }
+        let (pkt, from) = match msg {
             Ok(m) => m,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
@@ -216,17 +487,87 @@ fn listener_service(
             // unusable connection (e.g. an MSS below the header size).
             continue;
         }
+        if !rate.admit(from, ctx.cfg.handshake_rate_limit, now) {
+            ctx.counters.rate_limited(1);
+            continue;
+        }
+        if ctx.draining.load(Ordering::Relaxed) {
+            // Draining: answer nothing; the peer's solicitations time out.
+            continue;
+        }
         let key = (from, h.socket_id);
-        if let Some(resp) = established.get(&key) {
-            let _ = mux.send(resp, from, &instr);
+        let cached = {
+            let mut table = ctx.conn_table.lock();
+            table.get_mut(&key).map(|(resp, seen)| {
+                // Duplicate request (our response was lost): re-answer
+                // idempotently, refreshing the entry's idle clock.
+                *seen = now;
+                resp.clone()
+            })
+        };
+        if let Some(resp) = cached {
+            let _ = ctx.mux.send(&resp, from, &instr);
+            continue;
+        }
+        // SYN-cookie gate: no state below this point for unproven peers.
+        if ctx.cfg.require_cookie {
+            let bucket = now.duration_since(epoch).as_secs() / COOKIE_BUCKET.as_secs();
+            let echoed = h.ext.map_or(0, |e| e.cookie);
+            let valid = echoed != 0
+                && (echoed == cookie_for(secret, from, h.socket_id, bucket)
+                    || (bucket > 0
+                        && echoed == cookie_for(secret, from, h.socket_id, bucket - 1)));
+            if !valid {
+                if echoed != 0 {
+                    // Wrong or expired cookie: count it, then re-challenge
+                    // so a peer whose cookie merely aged out can recover.
+                    ctx.counters.cookies_rejected(1);
+                } else {
+                    ctx.counters.challenges_sent(1);
+                }
+                let challenge = Packet::Control(ControlPacket {
+                    timestamp_us: 0,
+                    conn_id: h.socket_id,
+                    body: ControlBody::Handshake(HandshakeData {
+                        version: UDT_VERSION,
+                        req_type: HandshakeReqType::Challenge,
+                        init_seq: h.init_seq,
+                        mss: h.mss,
+                        max_flow_win: h.max_flow_win,
+                        socket_id: 0,
+                        ext: Some(HandshakeExt {
+                            cookie: cookie_for(secret, from, h.socket_id, bucket),
+                            session_token: h.ext.map_or(0, |e| e.session_token),
+                            resume_offset: 0,
+                        }),
+                    }),
+                });
+                let _ = ctx.mux.send(&challenge, from, &instr);
+                continue;
+            }
+        }
+        // Backlog gate: a full accept queue sheds load *before* any
+        // allocation, and the shed request is not cached, so the peer's
+        // retransmission retries cleanly once the queue empties.
+        if ctx.accepted.len() >= ctx.cfg.accept_backlog {
+            ctx.counters.backlog_drops(1);
             continue;
         }
         let local_id = gen_socket_id();
-        let our_init = cfg
+        let our_init = ctx
+            .cfg
             .force_init_seq
             .map(SeqNo::new)
             .unwrap_or_else(gen_init_seq);
-        let negotiated_mss = cfg.mss.min(h.mss);
+        let negotiated_mss = ctx.cfg.mss.min(h.mss);
+        let token = h.ext.map_or(0, |e| e.session_token);
+        let resp_ext = h.ext.map(|e| HandshakeExt {
+            cookie: 0,
+            session_token: e.session_token,
+            // Upload resume: tell the client how much of this session we
+            // already confirmed, so it can skip re-sending it.
+            resume_offset: ctx.sessions.offset(token),
+        });
         let resp = Packet::Control(ControlPacket {
             timestamp_us: 0,
             conn_id: h.socket_id,
@@ -235,17 +576,22 @@ fn listener_service(
                 req_type: HandshakeReqType::Response,
                 init_seq: our_init,
                 mss: negotiated_mss,
-                max_flow_win: cfg.rcv_buf_pkts,
+                max_flow_win: ctx.cfg.rcv_buf_pkts,
                 socket_id: local_id,
+                ext: resp_ext,
             }),
         });
-        let rx = mux.register(local_id, CONN_QUEUE_DEPTH);
+        let rx = ctx.mux.register(local_id, CONN_QUEUE_DEPTH);
         let conn_cfg = UdtConfig {
             mss: negotiated_mss,
-            ..cfg.clone()
+            ..ctx.cfg.clone()
+        };
+        let meta = SessionMeta {
+            token,
+            peer_resume: h.ext.map_or(0, |e| e.resume_offset),
         };
         let conn = UdtConnection::establish(
-            Arc::clone(&mux),
+            Arc::clone(&ctx.mux),
             conn_cfg,
             local_id,
             h.socket_id,
@@ -253,11 +599,19 @@ fn listener_service(
             our_init,
             h.init_seq,
             rx,
+            meta,
         );
-        let _ = mux.send(&resp, from, &instr);
-        established.insert(key, resp);
-        if accepted.send(conn).is_err() {
-            return;
+        let _ = ctx.mux.send(&resp, from, &instr);
+        ctx.conn_table.lock().insert(key, (resp, now));
+        match ctx.accepted.try_send(conn) {
+            Ok(()) => ctx.counters.handshakes_accepted(1),
+            Err(TrySendError::Full(conn)) => {
+                // Raced past the pre-check; undo so the peer retries.
+                ctx.counters.backlog_drops(1);
+                ctx.conn_table.lock().remove(&key);
+                drop(conn);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
         }
     }
 }
@@ -276,6 +630,20 @@ mod tests {
     }
 
     #[test]
+    fn cookies_differ_by_peer_and_bucket_and_never_zero() {
+        let a: SocketAddr = "10.0.0.1:5000".parse().unwrap();
+        let b: SocketAddr = "10.0.0.2:5000".parse().unwrap();
+        assert_ne!(cookie_for(7, a, 1, 0), cookie_for(7, b, 1, 0));
+        assert_ne!(cookie_for(7, a, 1, 0), cookie_for(7, a, 1, 1));
+        assert_ne!(cookie_for(7, a, 1, 0), cookie_for(8, a, 1, 0));
+        for s in 0..64u64 {
+            assert_ne!(cookie_for(s, a, 1, 0), 0);
+        }
+        let v6: SocketAddr = "[2001:db8::1]:5000".parse().unwrap();
+        assert_ne!(cookie_for(7, v6, 1, 0), 0);
+    }
+
+    #[test]
     fn connect_times_out_without_server() {
         let cfg = UdtConfig {
             connect_timeout: Duration::from_millis(300),
@@ -284,7 +652,11 @@ mod tests {
         };
         // An ephemeral UDP port with nothing listening on UDT.
         let err = UdtConnection::connect("127.0.0.1:9".parse().unwrap(), cfg);
-        assert!(matches!(err, Err(UdtError::ConnectTimeout)));
+        match err {
+            Err(UdtError::ConnectTimeout { retries }) => assert!(retries >= 2),
+            Err(other) => panic!("expected ConnectTimeout, got {other:?}"),
+            Ok(_) => panic!("expected ConnectTimeout, got a connection"),
+        }
     }
 
     #[test]
@@ -312,6 +684,30 @@ mod tests {
         let got = server.join().unwrap();
         assert_eq!(got.len(), payload.len());
         assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn legacy_client_connects_when_cookie_not_required() {
+        // A listener configured for pre-extension peers accepts a request
+        // with no extension and answers with a bare response.
+        let listener = UdtListener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            UdtConfig {
+                require_cookie: false,
+                ..UdtConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let handle = std::thread::spawn(move || {
+            let c = listener.accept().unwrap();
+            (listener, c)
+        });
+        let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+        let (listener, server_conn) = handle.join().unwrap();
+        assert_eq!(listener.counters().handshakes_accepted, 1);
+        assert_eq!(server_conn.session_token(), 0);
+        conn.close().unwrap();
     }
 
     #[test]
@@ -377,5 +773,74 @@ mod tests {
         let mut got = server.join().unwrap();
         got.sort_unstable();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn accept_timeout_returns_none_under_no_load() {
+        let listener =
+            UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+        let got = listener.accept_timeout(Duration::from_millis(100)).unwrap();
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn accept_after_drain_is_refused() {
+        let listener =
+            UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+        listener.drain();
+        assert!(matches!(listener.accept(), Err(UdtError::Drained)));
+        assert!(matches!(
+            listener.accept_timeout(Duration::from_millis(10)),
+            Err(UdtError::Drained)
+        ));
+        // And new handshakes go unanswered: a connect against the drained
+        // listener times out rather than establishing.
+        let addr = listener.local_addr();
+        let err = UdtConnection::connect(
+            addr,
+            UdtConfig {
+                connect_timeout: Duration::from_millis(300),
+                handshake_retry: Duration::from_millis(50),
+                ..UdtConfig::default()
+            },
+        );
+        assert!(matches!(err, Err(UdtError::ConnectTimeout { .. })));
+        assert_eq!(listener.conn_table_len(), 0);
+    }
+
+    #[test]
+    fn listener_drop_mid_handshake_joins_service_thread() {
+        // Drop the listener while a client is mid-solicitation; Drop must
+        // join the "udt-listen" service thread (no leak), and the client
+        // must fail cleanly rather than hang.
+        let listener = UdtListener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            UdtConfig {
+                // Never answer the first solicitation so the handshake is
+                // genuinely in flight when the listener dies.
+                handshake_rate_limit: 0,
+                ..UdtConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = listener.local_addr();
+        let client = std::thread::spawn(move || {
+            UdtConnection::connect(
+                addr,
+                UdtConfig {
+                    connect_timeout: Duration::from_millis(500),
+                    handshake_retry: Duration::from_millis(50),
+                    ..UdtConfig::default()
+                },
+            )
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        let t0 = Instant::now();
+        drop(listener); // joins the service thread internally
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "listener drop must not hang on its service thread"
+        );
+        assert!(client.join().unwrap().is_err());
     }
 }

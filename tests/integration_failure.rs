@@ -28,6 +28,8 @@ fn handshake_req(socket_id: u32) -> Vec<u8> {
             mss: 1500,
             max_flow_win: 8192,
             socket_id,
+            // Legacy peer: no handshake extension, cannot echo cookies.
+            ext: None,
         }),
     });
     let mut buf = BytesMut::new();
@@ -38,9 +40,11 @@ fn handshake_req(socket_id: u32) -> Vec<u8> {
 #[test]
 fn silent_peer_breaks_server_recv() {
     let _s = serial();
-    // A fast EXP ladder so the test completes quickly.
+    // A fast EXP ladder so the test completes quickly. The hand-rolled
+    // client below cannot echo cookies, so accept legacy handshakes.
     let cfg = UdtConfig {
         max_exp_count: 4,
+        require_cookie: false,
         ..UdtConfig::default()
     };
     let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg).unwrap();
@@ -124,6 +128,7 @@ fn wrong_version_handshake_is_rejected() {
             mss: 1500,
             max_flow_win: 8192,
             socket_id: 555,
+            ext: None,
         }),
     });
     let mut buf = BytesMut::new();
