@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# CI gate: build, full test suite, lints. Run from the repo root.
+# CI gate: build, full test suite, lints, static analysis, model check.
+# Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -7,7 +8,24 @@ cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
 
+# Workspace-native static analysis: denies raw sequence-number comparisons,
+# wall-clock reads in deterministic layers, unwrap/panic in library code,
+# narrowing casts on seq/timestamp values, and lock-order violations.
+# Deny-by-default: any unannotated finding fails the build.
+cargo run --release -p udt-lint
+
+# Bounded model check: exhaustive DFS over small delivery schedules through
+# the real buffer/loss-list code, at initial sequence numbers 0, SEQ_MAX and
+# SEQ_MAX-2 (~270k states; violations print a replayable seed).
+timeout 120 cargo run --release -p udt-verify -- --quick
+
 # Resilience soak, CI-sized: a real-socket upload through a flapping link
 # must reconnect, resume and land byte-identical (time-boxed; the full
 # soak is `exp_soak` without --quick).
 timeout 120 ./target/release/exp_soak --quick
+
+# One release-codegen pass with the runtime invariant hooks compiled in
+# (conn/buffer/losslist check_invariants fire on the live data path).
+# Kept last: the different RUSTFLAGS rebuild replaces target/release
+# binaries, so exp_soak above must run first.
+RUSTFLAGS="-C debug-assertions" cargo test --release -q

@@ -25,7 +25,7 @@ fn bench_rate(c: &mut Criterion) {
         b.iter(|| {
             x = if x > 9e9 { 1e6 } else { x * 1.7 };
             increase_param(x, 1500)
-        })
+        });
     });
     c.bench_function("cc_on_ack_syn_tick", |b| {
         let mut cc = UdtCc::with_defaults(SeqNo::ZERO);
@@ -37,7 +37,7 @@ fn bench_rate(c: &mut Criterion) {
             ack += 500;
             cc.on_ack(SeqNo::new(ack), &ctx(now));
             cc.pkt_snd_period_us()
-        })
+        });
     });
     c.bench_function("cc_on_loss", |b| {
         let mut cc = UdtCc::with_defaults(SeqNo::ZERO);
@@ -47,7 +47,7 @@ fn bench_rate(c: &mut Criterion) {
             s += 10;
             cc.on_loss(&[SeqRange::single(SeqNo::new(s))], &ctx(2_000_000));
             cc.pkt_snd_period_us()
-        })
+        });
     });
 }
 
@@ -58,7 +58,7 @@ fn bench_history(c: &mut Criterion) {
         b.iter(|| {
             t += 100_000;
             h.on_pkt_arrival(Nanos(t));
-        })
+        });
     });
     c.bench_function("history_recv_speed_filter", |b| {
         let mut h = PktTimeWindow::new();
@@ -67,7 +67,7 @@ fn bench_history(c: &mut Criterion) {
             h.on_pkt_arrival(t);
             t = t.plus(Nanos::from_micros(100));
         }
-        b.iter(|| h.pkt_recv_speed())
+        b.iter(|| h.pkt_recv_speed());
     });
     c.bench_function("history_bandwidth_filter", |b| {
         let mut h = PktTimeWindow::new();
@@ -78,7 +78,7 @@ fn bench_history(c: &mut Criterion) {
             h.on_probe2_arrival(t);
             t = t.plus(Nanos::from_micros(500));
         }
-        b.iter(|| h.bandwidth())
+        b.iter(|| h.bandwidth());
     });
 }
 

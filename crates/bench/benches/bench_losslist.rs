@@ -40,7 +40,7 @@ fn bench_insert(c: &mut Criterion) {
                     l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
                 }
                 l.len()
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("naive", n), &ev, |b, ev| {
             b.iter(|| {
@@ -49,7 +49,7 @@ fn bench_insert(c: &mut Criterion) {
                     l.insert(SeqNo::new(s), SeqNo::new(s + r - 1));
                 }
                 l.len()
-            })
+            });
         });
     }
     g.finish();
@@ -78,7 +78,7 @@ fn bench_mixed_ops(c: &mut Criterion) {
                 }
             }
             l.len()
-        })
+        });
     });
 }
 
@@ -95,7 +95,7 @@ fn bench_query(c: &mut Criterion) {
             let (s, r) = ev[i % ev.len()];
             i += 1;
             l.contains(SeqNo::new(s + r / 2))
-        })
+        });
     });
 }
 

@@ -39,7 +39,7 @@ fn bench_loopback(c: &mut Criterion) {
             }
             conn.close().unwrap();
             assert_eq!(server.join().unwrap(), TRANSFER);
-        })
+        });
     });
     g.finish();
 }
@@ -59,7 +59,7 @@ fn bench_handshake(c: &mut Criterion) {
         b.iter(|| {
             let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
             conn.close().ok();
-        })
+        });
     });
     g.finish();
 }

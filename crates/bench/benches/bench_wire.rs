@@ -25,13 +25,13 @@ fn bench_data(c: &mut Criterion) {
             buf.clear();
             encode(&pkt, &mut buf);
             buf.len()
-        })
+        });
     });
     let mut buf = BytesMut::new();
     encode(&pkt, &mut buf);
     let datagram = buf.freeze();
     g.bench_function("decode_1500", |b| {
-        b.iter(|| decode(datagram.clone()).unwrap())
+        b.iter(|| decode(datagram.clone()).unwrap());
     });
     g.finish();
 }
@@ -52,7 +52,7 @@ fn bench_control(c: &mut Criterion) {
             buf.clear();
             encode(&ack, &mut buf);
             buf.len()
-        })
+        });
     });
     let nak = Packet::Control(ControlPacket {
         timestamp_us: 1,
@@ -69,13 +69,13 @@ fn bench_control(c: &mut Criterion) {
             buf.clear();
             encode(&nak, &mut buf);
             buf.len()
-        })
+        });
     });
     let mut buf = BytesMut::new();
     encode(&nak, &mut buf);
     let datagram = buf.freeze();
     g.bench_function("decode_nak_32_ranges", |b| {
-        b.iter(|| decode(datagram.clone()).unwrap())
+        b.iter(|| decode(datagram.clone()).unwrap());
     });
     g.finish();
 }

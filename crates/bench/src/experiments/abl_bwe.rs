@@ -11,6 +11,11 @@
 //! down by a 0.5 s full-rate UDP blast at t = 5 s; we measure the time from
 //! the end of the blast until the flow is back above 80% of capacity.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use netsim::agents::cbr::{CbrSink, CbrSource, CbrSourceCfg};
 use netsim::agents::udt::{CcKind, UdtReceiver, UdtReceiverCfg, UdtSender, UdtSenderCfg};
 use netsim::{dumbbell, paper_queue_cap, DumbbellCfg};

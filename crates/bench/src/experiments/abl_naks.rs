@@ -8,6 +8,11 @@
 //! reading multiplies 0.875 per NAK and the rate collapses. This ablation
 //! runs both against the fig8 burster.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use netsim::agents::cbr::{CbrSink, CbrSource, CbrSourceCfg};
 use netsim::agents::udt::{CcKind, UdtReceiver, UdtReceiverCfg, UdtSender, UdtSenderCfg};
 use netsim::{dumbbell, paper_queue_cap, DumbbellCfg};

@@ -5,6 +5,11 @@
 //! is one of the two elements behind UDT's TCP friendliness. Measured
 //! here: the bottleneck queue depth a single flow of each kind drives.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::Nanos;
 
 use crate::report::{mbps, Report};

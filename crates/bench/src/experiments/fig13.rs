@@ -5,6 +5,11 @@
 //! TCP throughput declines *slowly*, from 69 to 48 Mb/s. Reproduced in
 //! netsim at a scaled rate/transfer size.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::Nanos;
 
 use crate::report::{mbps, Report};

@@ -5,6 +5,11 @@
 //! while congestion signals are in flight, producing deep throughput
 //! oscillations; with it, the curve is steady near capacity.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::{Nanos, UdtCcConfig};
 use udt_metrics::{mean, stddev};
 

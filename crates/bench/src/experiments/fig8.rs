@@ -5,6 +5,11 @@
 //! event loses a *run* of packets — up to 3000+ — which is the design
 //! motivation for range-based loss bookkeeping (Figure 9 and the appendix).
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::Nanos;
 
 use crate::report::Report;
@@ -88,7 +93,7 @@ pub fn run_with(rate_bps: f64, secs: f64) -> Report {
     rep.row(format!("loss events recorded: {}", events.len()));
     rep.row(format!("first {shown} event sizes: {:?}", &events[..shown]));
     let max = events.iter().copied().max().unwrap_or(0);
-    let total: u64 = events.iter().map(|&e| e as u64).sum();
+    let total: u64 = events.iter().map(|&e| u64::from(e)).sum();
     let big = events.iter().filter(|&&e| e > 10).count();
     rep.row(format!(
         "max event = {max} pkts, total lost = {total}, events >10 pkts = {big}"

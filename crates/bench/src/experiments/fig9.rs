@@ -8,6 +8,11 @@
 //! query and delete. (The criterion bench `bench_losslist` measures the
 //! same operations with statistical rigor.)
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use std::time::Instant;
 
 use rand::rngs::SmallRng;
@@ -108,7 +113,7 @@ fn p99(xs: &[f64]) -> f64 {
 /// Run (deterministic trace, timed on this machine).
 pub fn run() -> Report {
     let events = synthetic_events(500, 0xF168);
-    let total_lost: u64 = events.iter().map(|&(_, r)| r as u64).sum();
+    let total_lost: u64 = events.iter().map(|&(_, r)| u64::from(r)).sum();
     let mut rep = Report::new(
         "fig9",
         "Loss-list access time: appendix structure vs naive per-packet list",

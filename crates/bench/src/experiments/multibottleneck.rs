@@ -7,6 +7,11 @@
 //! max-min fair share is `rate/2` (every hop is shared two ways), so the
 //! claim is `long ≥ rate/4`.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use netsim::agents::udt::{attach_udt_flow, UdtSenderCfg};
 use netsim::{paper_queue_cap, parking_lot};
 use udt_algo::Nanos;

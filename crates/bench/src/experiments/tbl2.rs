@@ -6,6 +6,11 @@
 //! Figure 11 — the disk is whatever this machine provides; the claim under
 //! test is that the file path keeps up with the network path.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Duration;
 
 use udt::{UdtConfig, UdtConnection, UdtListener};

@@ -2,6 +2,11 @@
 //! extract per-flow throughput series — the common skeleton of the paper's
 //! NS-2 figures.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use netsim::agents::tcp::{TcpSender, TcpSenderCfg, TcpSink};
 use netsim::agents::tcpcc::TcpCcKind;
 use netsim::agents::udt::{CcKind, UdtReceiver, UdtReceiverCfg, UdtSender, UdtSenderCfg};
@@ -168,7 +173,7 @@ pub fn run(s: &Scenario) -> RunOut {
         match &spec.proto {
             Proto::Udt { cc, flow_control } => {
                 let bdp_pkts =
-                    (bandwidth_of(&s.topo) * rtts[i].as_secs_f64() / (s.mss as f64 * 8.0)) as u32;
+                    (bandwidth_of(&s.topo) * rtts[i].as_secs_f64() / (f64::from(s.mss) * 8.0)) as u32;
                 let win = (4 * bdp_pkts).max(25_600);
                 let snd_cfg = UdtSenderCfg {
                     dst,
@@ -178,7 +183,7 @@ pub fn run(s: &Scenario) -> RunOut {
                     cc: cc.clone(),
                     max_flow_win: win,
                     use_flow_control: *flow_control,
-                    total_pkts: spec.total_bytes.map(|b| b.div_ceil(s.mss as u64)),
+                    total_pkts: spec.total_bytes.map(|b| b.div_ceil(u64::from(s.mss))),
                     start_at: Nanos::from_secs_f64(spec.start_s),
                 };
                 let rcv_cfg = UdtReceiverCfg {
@@ -201,7 +206,7 @@ pub fn run(s: &Scenario) -> RunOut {
                     mss: s.mss,
                     cc: *cc,
                     rcv_wnd_segs: 1e9,
-                    total_segs: spec.total_bytes.map(|b| b.div_ceil(s.mss as u64)),
+                    total_segs: spec.total_bytes.map(|b| b.div_ceil(u64::from(s.mss))),
                     start_at: Nanos::from_secs_f64(spec.start_s),
                 };
                 let sid = sim.add_agent(src, Box::new(TcpSender::new(cfg)));

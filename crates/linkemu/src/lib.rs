@@ -16,6 +16,11 @@
 //! clients work unchanged). Each direction runs on its own thread with a
 //! time-ordered release queue.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::io;
@@ -181,6 +186,7 @@ impl Direction {
         let mut buf = vec![0u8; 65_536];
         self.rx
             .set_read_timeout(Some(Duration::from_micros(200)))
+            // udt-lint: allow(unwrap) — only fails for a zero Duration
             .expect("set_read_timeout");
         // The loop never blocks longer than the read timeout, no matter
         // how far in the future the queue's releases are (a blackout or a
@@ -189,6 +195,7 @@ impl Direction {
             // Release everything due.
             let now = Instant::now();
             while queue.peek().is_some_and(|q| q.release_at <= now) {
+                // udt-lint: allow(unwrap) — pop after a successful peek is infallible
                 let q = queue.pop().expect("peeked");
                 let dest = if q.to_learned_peer {
                     *self.learned_peer.lock()

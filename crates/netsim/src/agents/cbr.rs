@@ -42,7 +42,7 @@ pub struct CbrSource {
 impl CbrSource {
     /// New source from configuration.
     pub fn new(cfg: CbrSourceCfg) -> CbrSource {
-        let period = Nanos::from_secs_f64(cfg.pkt_size as f64 * 8.0 / cfg.rate_bps);
+        let period = Nanos::from_secs_f64(f64::from(cfg.pkt_size) * 8.0 / cfg.rate_bps);
         CbrSource {
             cfg,
             period,
@@ -92,9 +92,10 @@ impl Agent for CbrSource {
             ));
             self.sent += 1;
             ctx.timer_in(self.period, TOK_SEND);
-        } else {
-            // Sleep to the start of the next on-phase.
-            let cycle = self.cfg.on_time.unwrap().0 + self.cfg.off_time.0;
+        } else if let Some(on) = self.cfg.on_time {
+            // Sleep to the start of the next on-phase (`is_on` only
+            // returns false when an on/off cycle is configured).
+            let cycle = on.0 + self.cfg.off_time.0;
             let phase = ctx.now.since(self.cfg.start_at).0 % cycle;
             ctx.timer_in(Nanos(cycle - phase), TOK_SEND);
         }
@@ -126,7 +127,7 @@ impl CbrSink {
 impl Agent for CbrSink {
     fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
         self.received += 1;
-        ctx.deliver(self.flow, pkt.size as u64);
+        ctx.deliver(self.flow, u64::from(pkt.size));
     }
 
     fn as_any(&self) -> &dyn std::any::Any {

@@ -9,6 +9,11 @@
 //! recovery bounded by `recover`, and an RTO with exponential backoff.
 //! Congestion avoidance is pluggable ([`crate::agents::tcpcc`]).
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use std::collections::{BTreeMap, BTreeSet};
 
 use udt_algo::Nanos;
@@ -319,7 +324,7 @@ impl TcpSender {
         self.marked_upto = self.marked_upto.max(limit);
     }
 
-    fn on_ack(&mut self, ack: TcpAck, ctx: &mut Ctx) {
+    fn on_ack(&mut self, ack: &TcpAck, ctx: &mut Ctx) {
         // SACK scoreboard update (range-granular).
         for &(from, to) in &ack.sack {
             self.sacked.insert_range(from.max(self.snd_una), to);
@@ -373,7 +378,7 @@ impl Agent for TcpSender {
 
     fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
         if let Payload::TcpAck(ack) = pkt.payload {
-            self.on_ack(ack, ctx);
+            self.on_ack(&ack, ctx);
         }
     }
 
@@ -474,7 +479,7 @@ impl Agent for TcpSink {
             }
         }
         // Account application bytes as the delivery frontier advances.
-        let frontier_bytes = self.cum * self.mss as u64;
+        let frontier_bytes = self.cum * u64::from(self.mss);
         ctx.deliver(self.flow, frontier_bytes.saturating_sub(self.delivered_bytes));
         self.delivered_bytes = frontier_bytes;
         let ack = TcpAck {

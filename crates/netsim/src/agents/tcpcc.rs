@@ -34,7 +34,7 @@ pub trait TcpCong: Send {
 
 fn slow_start(s: &mut TcpCcState, acked: u32) -> bool {
     if s.cwnd < s.ssthresh {
-        s.cwnd += acked as f64;
+        s.cwnd += f64::from(acked);
         if s.cwnd > s.ssthresh {
             s.cwnd = s.ssthresh;
         }
@@ -51,7 +51,7 @@ pub struct RenoCc;
 impl TcpCong for RenoCc {
     fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
         if !slow_start(s, acked) {
-            s.cwnd += acked as f64 / s.cwnd;
+            s.cwnd += f64::from(acked) / s.cwnd;
         }
     }
 
@@ -73,7 +73,7 @@ pub struct ScalableCc;
 impl TcpCong for ScalableCc {
     fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
         if !slow_start(s, acked) {
-            s.cwnd += 0.01 * acked as f64;
+            s.cwnd += 0.01 * f64::from(acked);
         }
     }
 
@@ -124,7 +124,7 @@ impl HighSpeedCc {
 impl TcpCong for HighSpeedCc {
     fn on_ack(&mut self, s: &mut TcpCcState, acked: u32, _rtt: f64, _base: f64) {
         if !slow_start(s, acked) {
-            s.cwnd += Self::a(s.cwnd) * acked as f64 / s.cwnd;
+            s.cwnd += Self::a(s.cwnd) * f64::from(acked) / s.cwnd;
         }
     }
 
@@ -185,10 +185,10 @@ impl TcpCong for BicCc {
             return;
         }
         if s.cwnd < Self::LOW_WINDOW {
-            s.cwnd += acked as f64 / s.cwnd; // Reno region
+            s.cwnd += f64::from(acked) / s.cwnd; // Reno region
             return;
         }
-        s.cwnd += self.increment(s.cwnd) * acked as f64 / s.cwnd;
+        s.cwnd += self.increment(s.cwnd) * f64::from(acked) / s.cwnd;
     }
 
     fn on_loss(&mut self, s: &mut TcpCcState) {
@@ -240,7 +240,7 @@ impl TcpCong for VegasCc {
             slow_start(s, acked);
             return;
         }
-        self.acked_this_rtt += acked as f64;
+        self.acked_this_rtt += f64::from(acked);
         if self.acked_this_rtt < s.cwnd {
             return; // adjust once per window's worth of ACKs ≈ once per RTT
         }
@@ -350,6 +350,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)] // cwnd is small and positive here
     fn bic_binary_search_converges_to_wmax() {
         let mut cc = BicCc::new();
         let mut s = st(1000.0, 1.0);

@@ -12,6 +12,11 @@
 //! sequence number), and the application is an infinite bulk source/sink
 //! (optionally bounded for transfer-completion experiments).
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::ackwindow::AckWindow;
 use udt_algo::clock::SYN;
 use udt_algo::timerctl::{nak_base_interval, ExpBackoff};
@@ -178,6 +183,7 @@ impl UdtSender {
         match self.cfg.total_pkts {
             None => false,
             Some(total) => {
+                // udt-lint: allow(seq-cmp) — compares a wrap-safe offset against a count
                 self.cfg.init_seq.offset_to(self.snd_una) as u64 >= total
             }
         }
@@ -190,7 +196,7 @@ impl UdtSender {
             bandwidth_pps: self.bandwidth_pps,
             recv_rate_pps: self.recv_rate_pps,
             mss: self.cfg.mss,
-            max_cwnd: self.cfg.max_flow_win as f64,
+            max_cwnd: f64::from(self.cfg.max_flow_win),
             snd_curr_seq: self.curr_seq,
             min_snd_period_us: 0.0,
         }
@@ -210,6 +216,7 @@ impl UdtSender {
     fn exhausted_new(&self) -> bool {
         match self.cfg.total_pkts {
             None => false,
+            // udt-lint: allow(seq-cmp) — compares a wrap-safe offset against a count
             Some(total) => self.cfg.init_seq.offset_to(self.next_new) as u64 >= total,
         }
     }
@@ -234,13 +241,16 @@ impl UdtSender {
             self.sent_new += 1;
             seq
         };
+        // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
         if self.snd_una.offset_to(seq) > self.snd_una.offset_to(self.curr_seq)
+            // udt-lint: allow(seq-cmp)
             || self.snd_una.offset_to(self.curr_seq) < 0
         {
             self.curr_seq = seq;
         }
         let pkt = Packet::Data(DataPacket {
             seq,
+            // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
             timestamp_us: (ctx.now.as_micros() & 0xFFFF_FFFF) as u32,
             conn_id: self.cfg.flow.0 as u32,
             payload: bytes::Bytes::new(), // simulated payload: size only
@@ -282,18 +292,18 @@ impl UdtSender {
         if let Some(rr) = data.recv_rate_pps {
             if rr > 0 {
                 self.recv_rate_pps = if self.recv_rate_pps > 0.0 {
-                    (self.recv_rate_pps * 7.0 + rr as f64) / 8.0
+                    (self.recv_rate_pps * 7.0 + f64::from(rr)) / 8.0
                 } else {
-                    rr as f64
+                    f64::from(rr)
                 };
             }
         }
         if let Some(bw) = data.link_cap_pps {
             if bw > 0 {
                 self.bandwidth_pps = if self.bandwidth_pps > 0.0 {
-                    (self.bandwidth_pps * 7.0 + bw as f64) / 8.0
+                    (self.bandwidth_pps * 7.0 + f64::from(bw)) / 8.0
                 } else {
-                    bw as f64
+                    f64::from(bw)
                 };
             }
         }
@@ -302,6 +312,7 @@ impl UdtSender {
         if !data.is_light() {
             // Answer full ACKs with ACK2 for the receiver's RTT sampling.
             let ack2 = ControlPacket {
+                // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
                 timestamp_us: (ctx.now.as_micros() & 0xFFFF_FFFF) as u32,
                 conn_id: self.cfg.flow.0 as u32,
                 body: ControlBody::Ack2 { ack_seq },
@@ -522,6 +533,7 @@ impl UdtReceiver {
 
     fn send_ctrl(&self, ctx: &mut Ctx, body: ControlBody, size: u32) {
         let ctrl = ControlPacket {
+            // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
             timestamp_us: (ctx.now.as_micros() & 0xFFFF_FFFF) as u32,
             conn_id: self.cfg.flow.0 as u32,
             body,
@@ -543,7 +555,7 @@ impl UdtReceiver {
         };
         if self.rcv_next.lt_seq(frontier) {
             let pkts = self.rcv_next.offset_to(frontier) as u64;
-            ctx.deliver(self.cfg.flow, pkts * self.cfg.mss as u64);
+            ctx.deliver(self.cfg.flow, pkts * u64::from(self.cfg.mss));
             self.rcv_next = frontier;
         }
     }
@@ -595,16 +607,20 @@ impl UdtReceiver {
         if ack_no == self.last_ack_sent && self.rtt.has_sample() {
             return;
         }
+        // udt-lint: allow(seq-cmp) — ack_seq is the ACK *message* counter, not a packet seqno
         self.ack_seq = self.ack_seq.wrapping_add(1);
         self.flow_win
             .update_with_syn(&self.history, &self.rtt, self.cfg.syn);
         // Buffered-but-undeliverable packets occupy receiver buffer.
         let held = self.rcv_next.offset_to(self.lrsn.next()).max(0) as u32;
         let avail = self.cfg.buffer_pkts.saturating_sub(held);
+        // RTT estimates fit the protocol's 32-bit microsecond fields.
+        // udt-lint: allow(as-cast)
+        let (rtt_us, rtt_var_us) = (self.rtt.rtt_us() as u32, self.rtt.rtt_var_us() as u32);
         let data = AckData::full(
             ack_no,
-            self.rtt.rtt_us() as u32,
-            self.rtt.rtt_var_us() as u32,
+            rtt_us,
+            rtt_var_us,
             self.flow_win.advertised(avail),
             self.history.pkt_recv_speed() as u32,
             self.history.bandwidth() as u32,

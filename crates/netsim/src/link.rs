@@ -127,7 +127,7 @@ impl Link {
 
     /// Serialization time for `size` bytes at this link's rate.
     pub fn tx_time(&self, size: u32) -> Nanos {
-        Nanos::from_secs_f64(size as f64 * 8.0 / self.rate_bps)
+        Nanos::from_secs_f64(f64::from(size) * 8.0 / self.rate_bps)
     }
 
     /// Offer a packet. Returns the packet to start transmitting immediately
@@ -155,7 +155,7 @@ impl Link {
     pub fn tx_done(&mut self, finished_size: u32) -> Option<SimPacket> {
         debug_assert!(self.busy, "tx_done on idle link");
         self.stats.tx_pkts += 1;
-        self.stats.tx_bytes += finished_size as u64;
+        self.stats.tx_bytes += u64::from(finished_size);
         match self.queue.pop_front() {
             Some(next) => Some(next),
             None => {

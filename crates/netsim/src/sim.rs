@@ -207,12 +207,17 @@ impl Simulator {
     }
 
     /// Borrow an agent downcast to its concrete type.
+    ///
+    /// Panics on a wrong `T` or a re-entrant call: both are programming
+    /// errors in harness code, not recoverable runtime conditions.
     pub fn agent_as<T: 'static>(&self, id: AgentId) -> &T {
         self.agents[id.0]
             .as_ref()
+            // udt-lint: allow(unwrap) — harness programming error, not runtime
             .expect("agent busy")
             .as_any()
             .downcast_ref::<T>()
+            // udt-lint: allow(unwrap) — harness programming error, not runtime
             .expect("agent type mismatch")
     }
 
@@ -235,12 +240,13 @@ impl Simulator {
             return;
         }
         let Some(link_id) = self.routes[node.0][pkt.dst.0] else {
+            // udt-lint: allow(unwrap) — topology misconfiguration is a harness bug
             panic!("no route from {node:?} to {:?}", pkt.dst);
         };
-        self.enqueue_on_link(link_id, pkt);
+        self.enqueue_on_link(link_id, &pkt);
     }
 
-    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: SimPacket) {
+    fn enqueue_on_link(&mut self, link_id: LinkId, pkt: &SimPacket) {
         // Impairment chain first: it may drop the packet, delay it, or fan
         // it out into several copies (each then offered to the real
         // rate/queue model independently).
@@ -272,6 +278,7 @@ impl Simulator {
 
     /// Take-call-putback so the agent can emit actions without aliasing.
     fn with_agent<F: FnOnce(&mut dyn Agent, &mut Ctx)>(&mut self, id: AgentId, f: F) {
+        // udt-lint: allow(unwrap) — re-entrancy is a harness programming error
         let mut agent = self.agents[id.0].take().expect("re-entrant agent call");
         let mut ctx = Ctx {
             now: self.now,
@@ -286,7 +293,7 @@ impl Simulator {
             match action {
                 Action::Send(pkt) => self.dispatch(node, pkt),
                 Action::TimerAt(at, token) => {
-                    self.schedule(at, EventKind::Timer { agent: id, token }, None)
+                    self.schedule(at, EventKind::Timer { agent: id, token }, None);
                 }
                 Action::Deliver(flow, bytes) => {
                     self.flow_delivered[flow.0] += bytes;
@@ -323,6 +330,7 @@ impl Simulator {
                     self.next_sample = self.next_sample.plus(interval);
                 }
             }
+            // udt-lint: allow(unwrap) — pop after a successful peek is infallible
             let Reverse(ev) = self.events.pop().expect("peeked");
             self.now = ev.time;
             match ev.kind {
@@ -345,6 +353,7 @@ impl Simulator {
                     }
                 }
                 EventKind::Arrive { link } => {
+                    // udt-lint: allow(unwrap) — Arrive events are only created with a packet
                     let pkt = ev.pkt.expect("arrive without packet");
                     let node = self.links[link.0].to;
                     if pkt.dst == node {
@@ -352,9 +361,10 @@ impl Simulator {
                     } else {
                         // Transit node: forward along the static route.
                         let Some(next_link) = self.routes[node.0][pkt.dst.0] else {
+                            // udt-lint: allow(unwrap) — topology misconfiguration is a harness bug
                             panic!("no route at {node:?} for {:?}", pkt.dst);
                         };
-                        self.enqueue_on_link(next_link, pkt);
+                        self.enqueue_on_link(next_link, &pkt);
                     }
                 }
                 EventKind::Timer { agent, token } => {

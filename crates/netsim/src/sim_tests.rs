@@ -181,7 +181,7 @@ fn sampling_records_monotone_cumulative_series() {
     struct CountingEcho(FlowId);
     impl Agent for CountingEcho {
         fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
-            ctx.deliver(self.0, pkt.size as u64);
+            ctx.deliver(self.0, u64::from(pkt.size));
             ctx.send(SimPacket::new(ctx.node, pkt.src, pkt.flow, pkt.size, Payload::Raw));
         }
         fn as_any(&self) -> &dyn std::any::Any {
@@ -228,7 +228,7 @@ fn random_loss_drops_expected_fraction() {
     struct Count(FlowId);
     impl Agent for Count {
         fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
-            ctx.deliver(self.0, pkt.size as u64);
+            ctx.deliver(self.0, u64::from(pkt.size));
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self

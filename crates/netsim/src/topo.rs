@@ -9,6 +9,11 @@
 //! Access links are provisioned faster than the bottleneck (10×) so the
 //! bottleneck is unambiguous, matching the NS-2 setups.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_algo::Nanos;
 
 use crate::link::Link;
@@ -132,7 +137,7 @@ pub struct DumbbellCfg {
 
 /// The paper's queue sizing rule: `max(100, BDP in packets)`.
 pub fn paper_queue_cap(rate_bps: f64, rtt: Nanos, mss: u32) -> usize {
-    let bdp_pkts = rate_bps * rtt.as_secs_f64() / (mss as f64 * 8.0);
+    let bdp_pkts = rate_bps * rtt.as_secs_f64() / (f64::from(mss) * 8.0);
     (bdp_pkts.ceil() as usize).max(100)
 }
 
@@ -291,7 +296,7 @@ mod tests {
     impl Agent for Counter {
         fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
             self.got += 1;
-            ctx.deliver(self.flow, pkt.size as u64);
+            ctx.deliver(self.flow, u64::from(pkt.size));
         }
         fn as_any(&self) -> &dyn std::any::Any {
             self

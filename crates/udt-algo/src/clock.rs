@@ -4,6 +4,11 @@
 //! since an arbitrary per-connection epoch. The host decides what the epoch
 //! is (connection start in the real library, simulation start in `netsim`).
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 /// Nanoseconds per second.
 pub const NANOS_PER_SEC: u64 = 1_000_000_000;
 /// Nanoseconds per microsecond.
@@ -110,7 +115,7 @@ impl std::ops::Sub for Nanos {
 
 impl From<std::time::Duration> for Nanos {
     fn from(d: std::time::Duration) -> Nanos {
-        Nanos(d.as_nanos().min(u64::MAX as u128) as u64)
+        Nanos(d.as_nanos().min(u128::from(u64::MAX)) as u64)
     }
 }
 

@@ -20,6 +20,11 @@
 //! `min(W, available receiver buffer)`, which folds flow control proper into
 //! the same field.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use crate::clock::SYN;
 use crate::history::PktTimeWindow;
 use crate::rtt::RttEstimator;
@@ -113,7 +118,7 @@ mod tests {
         rtt.update(Nanos::from_millis(90)); // RTT 90 ms
         let got = w.update(&h, &rtt);
         // 10_000 pps * (0.01 + 0.09) s = 1000 packets.
-        assert!((got as i64 - 1000).abs() <= 2, "got={got}");
+        assert!((i64::from(got) - 1000).abs() <= 2, "got={got}");
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //! require at least half the window to survive; the estimate is
 //! `survivors / sum(survivor intervals)`.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use crate::clock::Nanos;
 
 /// Size of the arrival-interval window (UDT uses 16).

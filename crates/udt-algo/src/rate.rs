@@ -37,6 +37,11 @@
 //! faster flows cannot increase faster, which is what drives convergence to
 //! fairness (Figure 2).
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use udt_proto::{SeqNo, SeqRange};
@@ -132,7 +137,7 @@ impl Default for UdtCcConfig {
 /// Exposed as a free function so Table 1 can be pinned by tests and printed
 /// by `exp_tbl1`.
 pub fn increase_param(bw_avail_bits: f64, mss: u32) -> f64 {
-    let mss = mss as f64;
+    let mss = f64::from(mss);
     if bw_avail_bits <= 0.0 {
         return 1.0 / mss;
     }
@@ -234,7 +239,7 @@ impl RateControl for UdtCc {
         }
 
         if self.slow_start {
-            let advanced = self.last_ack.offset_to(ack).max(0) as f64;
+            let advanced = f64::from(self.last_ack.offset_to(ack).max(0));
             self.cwnd += advanced;
             self.last_ack = ack;
             if self.cwnd > ctx.max_cwnd {
@@ -273,9 +278,9 @@ impl RateControl for UdtCc {
                 avail_pps = ctx.bandwidth_pps / 9.0;
             }
             if avail_pps <= 0.0 {
-                1.0 / ctx.mss as f64
+                1.0 / f64::from(ctx.mss)
             } else {
-                increase_param(avail_pps * ctx.mss as f64 * 8.0, ctx.mss)
+                increase_param(avail_pps * f64::from(ctx.mss) * 8.0, ctx.mss)
             }
         } else {
             self.cfg.fixed_inc_pkts
@@ -312,7 +317,7 @@ impl RateControl for UdtCc {
             self.decrease(ctx);
             self.freeze = true;
             self.avg_nak_num =
-                (self.avg_nak_num as f64 * 0.875 + self.nak_count as f64 * 0.125).ceil() as u32;
+                (f64::from(self.avg_nak_num) * 0.875 + f64::from(self.nak_count) * 0.125).ceil() as u32;
             self.nak_count = 1;
             self.dec_count = 1;
             self.dec_random = self.rng.gen_range(1..=self.avg_nak_num.max(1));
@@ -506,7 +511,7 @@ mod tests {
         // Losses behind the last-decrease horizon: bounded extra decreases,
         // never more than 5 → period ≤ p · 1.125^5.
         for s in 0..50u32 {
-            cc.on_loss(&[SeqRange::single(SeqNo::new(401 + s))], &ctx(2_000_000 + s as u64, 500));
+            cc.on_loss(&[SeqRange::single(SeqNo::new(401 + s))], &ctx(2_000_000 + u64::from(s), 500));
         }
         let cap = p_after_event * 1.125f64.powi(5) + 1e-6;
         assert!(
@@ -566,7 +571,7 @@ mod tests {
             c.bandwidth_pps = capacity_pps;
             cc.on_ack(SeqNo::new(syns * 900), &c);
         }
-        let secs = syns as f64 * SYN_US / 1e6;
+        let secs = f64::from(syns) * SYN_US / 1e6;
         assert!(
             (6.0..9.0).contains(&secs),
             "took {secs:.2}s to recover to 90% of 1 Gb/s; paper derives 7.5s"

@@ -4,6 +4,11 @@
 //! [`crate::ackwindow`]) with the classic exponential weights also used by
 //! TCP: 7/8 on the mean, 3/4 on the variance.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use crate::clock::Nanos;
 
 /// Exponentially-weighted RTT estimator.
@@ -71,12 +76,12 @@ impl RttEstimator {
             return;
         }
         if !self.initialized {
-            self.rtt_us = rtt_us as f64;
-            self.rtt_var_us = rtt_var_us as f64;
+            self.rtt_us = f64::from(rtt_us);
+            self.rtt_var_us = f64::from(rtt_var_us);
             self.initialized = true;
         } else {
-            self.rtt_var_us = self.rtt_var_us * 0.75 + (self.rtt_us - rtt_us as f64).abs() * 0.25;
-            self.rtt_us = self.rtt_us * 0.875 + rtt_us as f64 * 0.125;
+            self.rtt_var_us = self.rtt_var_us * 0.75 + (self.rtt_us - f64::from(rtt_us)).abs() * 0.25;
+            self.rtt_us = self.rtt_us * 0.875 + f64::from(rtt_us) * 0.125;
         }
     }
 }

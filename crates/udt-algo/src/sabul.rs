@@ -8,6 +8,11 @@
 //! `exp_abl_sabul`). Efficiency is comparable to UDT, which is exactly the
 //! paper's point: the congestion-control change bought fairness, not speed.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use udt_proto::{SeqNo, SeqRange};
 
 use crate::clock::Nanos;
@@ -60,7 +65,7 @@ impl RateControl for SabulCc {
             _ => self.last_rc_time = Some(ctx.now),
         }
         if self.slow_start {
-            self.cwnd += self.last_ack.offset_to(ack).max(0) as f64;
+            self.cwnd += f64::from(self.last_ack.offset_to(ack).max(0));
             self.last_ack = ack;
             if self.cwnd > ctx.max_cwnd {
                 self.slow_start = false;

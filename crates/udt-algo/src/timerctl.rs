@@ -7,6 +7,11 @@
 //! The defence is to grow the expiration interval each time the same packet
 //! times out again.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use crate::clock::{Nanos, SYN};
 
 /// Floor for the EXP interval (the reference implementation uses 300 ms so
@@ -32,8 +37,8 @@ impl ExpBackoff {
     /// Current interval to wait before declaring the next expiration.
     pub fn interval(&self, rtt_us: f64, rtt_var_us: f64) -> Nanos {
         let base = Nanos::from_micros((rtt_us + 4.0 * rtt_var_us) as u64);
-        let scaled = base.scaled(self.count as f64).plus(SYN);
-        let floor = MIN_EXP_INTERVAL.scaled(self.count as f64);
+        let scaled = base.scaled(f64::from(self.count)).plus(SYN);
+        let floor = MIN_EXP_INTERVAL.scaled(f64::from(self.count));
         scaled.max(floor)
     }
 
@@ -75,7 +80,7 @@ impl Default for ExpBackoff {
 /// `due ⇔ now − last_report > report_count · (RTT + 4·RTTVar)`.
 #[inline]
 pub fn nak_resend_due(now: Nanos, last_report: Nanos, report_count: u32, base: Nanos) -> bool {
-    now.since(last_report) > base.scaled(report_count.max(1) as f64)
+    now.since(last_report) > base.scaled(f64::from(report_count.max(1)))
 }
 
 /// The base interval for NAK resends: `RTT + 4·RTTVar`.

@@ -2,6 +2,9 @@
 //! like a reference `BTreeSet<u32>` of lost sequence numbers under arbitrary
 //! operation sequences, including near the sequence-number wrap point.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use udt_algo::losslist::LossList;

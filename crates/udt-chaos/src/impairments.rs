@@ -4,6 +4,11 @@
 //! [`crate::scenario::Scenario::build`]), so its decisions are a pure
 //! function of the seed and the packet sequence it observes.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

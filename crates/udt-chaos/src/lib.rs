@@ -218,9 +218,9 @@ impl ImpairmentChain {
                     };
                 }
                 Fate::Duplicate(n) => {
-                    counters.record_duplicated(n as u64);
+                    counters.record_duplicated(u64::from(n));
                     extra_copies += n;
-                    (FateKind::Duplicate, n as u64)
+                    (FateKind::Duplicate, u64::from(n))
                 }
                 Fate::Corrupt => {
                     counters.record_corrupted();
@@ -237,7 +237,7 @@ impl ImpairmentChain {
                 });
             }
         }
-        let copies = (0..=extra_copies as u64)
+        let copies = (0..=u64::from(extra_copies))
             .map(|i| delay_us + i * DUP_GAP_US)
             .collect();
         Verdict { copies, corrupted }

@@ -17,6 +17,11 @@
 //! from its first datagram, exactly like `linkemu`, so UDT sockets work
 //! through it unchanged.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::io;
@@ -91,6 +96,7 @@ impl RelayDir {
         let mut buf = vec![0u8; 65_536];
         self.rx
             .set_read_timeout(Some(POLL))
+            // udt-lint: allow(unwrap) — only fails for a zero Duration; POLL is non-zero
             .expect("set_read_timeout");
         while !self.stop.load(Ordering::Relaxed) {
             // Release everything due. The heap may hold packets far in the
@@ -98,6 +104,7 @@ impl RelayDir {
             // the bounded recv timeout below keeps the loop live.
             let now = Instant::now();
             while heap.peek().is_some_and(|p| p.release_at <= now) {
+                // udt-lint: allow(unwrap) — pop after a successful peek is infallible
                 let p = heap.pop().expect("peeked");
                 let dest = if self.fixed_peer.is_some() {
                     self.fixed_peer

@@ -1,0 +1,205 @@
+//! udt-lint: workspace-native static analysis for the UDT repo.
+//!
+//! Walks every `crates/*/src` tree, lexes each file with the hand-rolled
+//! lexer (no external parser) and applies the repo-specific deny rules in
+//! [`rules`]. Findings not covered by an inline
+//! `// udt-lint: allow(<rule>)` directive are denied: they are printed as
+//! `path:line: deny[rule]: message` and the process exits non-zero.
+//!
+//! Usage:
+//!   udt-lint [--root <dir>] [--json] [--list-rules]
+
+mod lexer;
+mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rules::{Finding, Scope};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => {
+                let Some(d) = args.next() else {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                };
+                root = PathBuf::from(d);
+            }
+            "--json" => json = true,
+            "--list-rules" => {
+                for r in rules::RULES {
+                    println!("{r}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --root/--json/--list-rules)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // Ground truth for lock-order: the numbered list in conn.rs's docs.
+    let conn_rs = root.join("crates/udt/src/conn.rs");
+    let lock_order = match fs::read_to_string(&conn_rs) {
+        Ok(src) => {
+            let order = rules::parse_lock_order(&src);
+            if order.is_empty() {
+                eprintln!(
+                    "warning: no lock-order list found in {} (expected `//! <n>. \\`name\\``); \
+                     lock-order rule disabled",
+                    conn_rs.display()
+                );
+            }
+            order
+        }
+        Err(e) => {
+            eprintln!(
+                "warning: cannot read {} ({e}); lock-order rule disabled",
+                conn_rs.display()
+            );
+            Vec::new()
+        }
+    };
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    match fs::read_dir(&crates_dir) {
+        Ok(entries) => {
+            let mut dirs: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_dir())
+                .collect();
+            dirs.sort();
+            for d in dirs {
+                collect_rs(&d.join("src"), &mut files);
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", crates_dir.display());
+            return ExitCode::from(2);
+        }
+    }
+    files.sort();
+
+    let mut findings: Vec<Finding> = Vec::new();
+    for path in &files {
+        let Ok(src) = fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        let scope: Scope = rules::scope_for(rel);
+        let lexed = lexer::lex(&src);
+        if scope.any() {
+            for (line, names) in &lexed.allows {
+                for n in names {
+                    if !rules::RULES.contains(&n.as_str()) {
+                        eprintln!(
+                            "warning: {rel_str}:{line}: unknown rule `{n}` in udt-lint allow directive"
+                        );
+                    }
+                }
+            }
+        }
+        if scope.seq_cmp {
+            findings.extend(rules::seq_cmp(&rel_str, &lexed));
+        }
+        if scope.wall_clock {
+            findings.extend(rules::wall_clock(&rel_str, &lexed));
+        }
+        if scope.unwrap {
+            findings.extend(rules::unwrap_rule(&rel_str, &lexed));
+        }
+        if scope.as_cast {
+            findings.extend(rules::as_cast(&rel_str, &lexed));
+        }
+        if scope.lock_order && !lock_order.is_empty() {
+            findings.extend(rules::lock_order(&rel_str, &lexed, &lock_order));
+        }
+    }
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    let denied = findings.iter().filter(|f| !f.allowed).count();
+    let allowed = findings.len() - denied;
+
+    if json {
+        println!("{}", to_json(&findings));
+    } else {
+        for f in &findings {
+            if f.allowed {
+                continue;
+            }
+            println!("{}:{}: deny[{}]: {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "udt-lint: {} file(s), {denied} denied, {allowed} allowed via directive",
+            files.len()
+        );
+    }
+
+    if denied > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+/// Minimal JSON serialisation (no external crates): an array of finding
+/// objects, `allowed` included so tooling can see suppressions too.
+fn to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"allowed\":{}}}",
+            json_str(&f.file),
+            f.line,
+            json_str(f.rule),
+            json_str(&f.message),
+            f.allowed
+        ));
+    }
+    s.push_str("\n]");
+    s
+}
+
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}

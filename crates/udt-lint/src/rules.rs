@@ -1,0 +1,613 @@
+//! The deny rules. Each rule scans a token stream (see [`crate::lexer`])
+//! plus small look-around windows; none of them needs a syntax tree.
+//!
+//! | rule        | hazard                                                        |
+//! |-------------|---------------------------------------------------------------|
+//! | `seq-cmp`   | raw `<`/`>`/`wrapping_*` on sequence numbers outside `SeqNo`  |
+//! | `wall-clock`| `Instant::now`/`SystemTime::now` in deterministic crates      |
+//! | `unwrap`    | `unwrap`/`expect`/`panic!` in library (non-test) code         |
+//! | `as-cast`   | `as` narrowing casts on sequence/timestamp values             |
+//! | `lock-order`| lock acquisition violating the documented order               |
+//!
+//! Every rule honours the `// udt-lint: allow(<rule>)` escape hatch on the
+//! finding's line or the line above it.
+
+use std::path::Path;
+
+use crate::lexer::{Kind, LexedFile, Token};
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Path relative to the repo root.
+    pub file: String,
+    pub line: u32,
+    pub rule: &'static str,
+    pub message: String,
+    /// True when an inline `udt-lint: allow` directive covers it.
+    pub allowed: bool,
+}
+
+/// All rule names, for `--list-rules` and directive validation.
+pub const RULES: &[&str] = &["seq-cmp", "wall-clock", "unwrap", "as-cast", "lock-order"];
+
+/// Identifiers treated as sequence-number-typed. Field and local names in
+/// this workspace are consistent enough that a name-based judgement works;
+/// the escape hatch covers the rest.
+fn is_seqish(name: &str) -> bool {
+    matches!(
+        name,
+        "seq" | "seqno"
+            | "snd_una"
+            | "next_new"
+            | "curr_seq"
+            | "lrsn"
+            | "init_seq"
+            | "base_seq"
+            | "ack_no"
+            | "last_ack_sent"
+            | "last_ack_acked"
+            | "snd_init"
+            | "rcv_init"
+            | "first_seq"
+            | "last_seq"
+            | "start_seq"
+            | "end_seq"
+    ) || (name.ends_with("_seq") || name.starts_with("seq_"))
+}
+
+/// Identifiers that smell like timestamps (for `as-cast`).
+fn is_timeish(name: &str) -> bool {
+    name == "timestamp_us"
+        || name == "as_micros"
+        || name == "as_nanos"
+        || name == "as_millis"
+        || name.ends_with("_us")
+        || name.ends_with("_ns")
+        || name.ends_with("_ts")
+        || name == "nanos"
+        || name == "micros"
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+fn punct_at(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == p)
+}
+
+/// Collect identifiers in a window around `i` (inclusive bounds clamped).
+fn idents_around(tokens: &[Token], i: usize, back: usize, fwd: usize) -> Vec<&str> {
+    let lo = i.saturating_sub(back);
+    let hi = (i + fwd).min(tokens.len().saturating_sub(1));
+    tokens[lo..=hi]
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+        .collect()
+}
+
+fn finding(
+    file: &str,
+    lexed: &LexedFile,
+    line: u32,
+    rule: &'static str,
+    message: String,
+) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        allowed: lexed.is_allowed(line, rule),
+    }
+}
+
+/// `seq-cmp`: raw ordered comparisons or wrapping arithmetic on
+/// sequence-number values outside the blessed `SeqNo` helpers.
+///
+/// Raw `<` on two live sequence numbers is wrong half the time once the
+/// space wraps at 2^31 (§4 of the paper); every comparison must go through
+/// `cmp_seq`/`lt_seq`/`le_seq`/`offset_to`. Comparisons are told apart
+/// from generics by spacing (the whole tree is rustfmt-formatted: `a < b`
+/// vs `Vec<T>`).
+pub fn seq_cmp(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        match (t.kind, t.text.as_str()) {
+            (Kind::Punct, "<" | ">" | "<=" | ">=") if t.ws_before && t.ws_after => {
+                let near = idents_around(tokens, i, 4, 4);
+                if let Some(name) = near.iter().find(|n| is_seqish(n)) {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        "seq-cmp",
+                        format!(
+                            "raw `{}` comparison near sequence-number `{name}`: use \
+                             SeqNo::{{cmp_seq,lt_seq,le_seq,offset_to}} (wrap-safe)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            (Kind::Ident, "wrapping_sub" | "wrapping_add") if punct_at(tokens, i.wrapping_sub(1), ".") => {
+                let near = idents_around(tokens, i, 6, 0);
+                if let Some(name) = near.iter().find(|n| is_seqish(n)) {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        "seq-cmp",
+                        format!(
+                            "raw `{}` on sequence-number `{name}`: use SeqNo::{{add,sub,offset_to}} \
+                             so the 31-bit mask is applied",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `wall-clock`: `Instant::now()` / `SystemTime::now()` in crates whose
+/// value is determinism (`netsim`, `udt-algo`). Simulated time must come
+/// from the simulator's clock; a wall-clock read makes runs unrepeatable.
+pub fn wall_clock(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].in_test {
+            continue;
+        }
+        let Some(ty) = ident_at(tokens, i) else {
+            continue;
+        };
+        if (ty == "Instant" || ty == "SystemTime")
+            && punct_at(tokens, i + 1, "::")
+            && ident_at(tokens, i + 2) == Some("now")
+        {
+            out.push(finding(
+                file,
+                lexed,
+                tokens[i].line,
+                "wall-clock",
+                format!(
+                    "`{ty}::now()` in a deterministic crate: take time from the \
+                     simulation clock so runs replay exactly"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// `unwrap`: `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`, `todo!`,
+/// `unimplemented!` in library (non-test) code. Library paths must return
+/// `UdtError`; a panic tears down the caller's protocol threads.
+pub fn unwrap_rule(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect"
+                if punct_at(tokens, i.wrapping_sub(1), ".") && punct_at(tokens, i + 1, "(") => {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        "unwrap",
+                        format!(
+                            "`.{}()` in library code: return an error (or annotate why \
+                             this cannot fail)",
+                            t.text
+                        ),
+                    ));
+                }
+            "panic" | "unreachable" | "todo" | "unimplemented"
+                if punct_at(tokens, i + 1, "!") => {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        "unwrap",
+                        format!("`{}!` in library code: return an error instead", t.text),
+                    ));
+                }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `as-cast`: `as` narrowing casts in expressions that mention sequence or
+/// timestamp values. Truncating either silently corrupts wrap arithmetic;
+/// deliberate protocol-field truncation gets an annotation.
+pub fn as_cast(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for i in 0..tokens.len() {
+        if tokens[i].in_test {
+            continue;
+        }
+        if ident_at(tokens, i) != Some("as") {
+            continue;
+        }
+        let Some(ty) = ident_at(tokens, i + 1) else {
+            continue;
+        };
+        if !NARROW.contains(&ty) {
+            continue;
+        }
+        let near = idents_around(tokens, i, 8, 0);
+        if let Some(name) = near
+            .iter()
+            .find(|n| is_seqish(n) || is_timeish(n))
+        {
+            out.push(finding(
+                file,
+                lexed,
+                tokens[i].line,
+                "as-cast",
+                format!(
+                    "`as {ty}` narrowing near `{name}`: sequence/timestamp values \
+                     must not be silently truncated"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// One lock the order rule tracks.
+#[derive(Debug, Clone)]
+struct Held {
+    name: String,
+    /// Position in the canonical order (lower = outer).
+    order: usize,
+    /// Brace depth at acquisition; popped when the scope closes.
+    depth: i32,
+    /// `let`-bound guard variable, if any; `drop(var)` releases it early.
+    var: Option<String>,
+    /// Temporary guard (no binding): released at the end of the statement.
+    temp: bool,
+}
+
+/// Parse the canonical lock order out of `conn.rs` doc comments: lines of
+/// the form ``//! 1. `name` — …``. Returns names in order.
+pub fn parse_lock_order(conn_rs_source: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in conn_rs_source.lines() {
+        let line = line.trim_start();
+        let Some(rest) = line.strip_prefix("//!") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        // "<n>. `name`"
+        let mut chars = rest.chars();
+        let digits: String = chars.by_ref().take_while(|c| c.is_ascii_digit()).collect();
+        if digits.is_empty() {
+            continue;
+        }
+        let Some(after) = rest[digits.len()..].strip_prefix(". `") else {
+            continue;
+        };
+        let Some(end) = after.find('`') else {
+            continue;
+        };
+        out.push(after[..end].to_string());
+    }
+    out
+}
+
+/// `lock-order`: intra-function analysis of `<name>.lock()` acquisitions
+/// against the canonical order from the `conn.rs` module docs. Holding
+/// lock A and acquiring B is legal only when A precedes B in that order;
+/// re-acquiring a held lock is always flagged (parking_lot mutexes are not
+/// reentrant).
+pub fn lock_order(file: &str, lexed: &LexedFile, order: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    let pos = |name: &str| order.iter().position(|n| n == name);
+    let mut i = 0;
+    while i < tokens.len() {
+        // Find the next function (test code included: a deadlock in a test
+        // hangs CI just as hard).
+        if ident_at(tokens, i) != Some("fn") {
+            i += 1;
+            continue;
+        }
+        // Skip to the body's opening brace ( `;` = trait method, no body).
+        let mut j = i + 1;
+        while j < tokens.len()
+            && !(tokens[j].kind == Kind::Punct && (tokens[j].text == "{" || tokens[j].text == ";"))
+        {
+            j += 1;
+        }
+        if j >= tokens.len() || tokens[j].text == ";" {
+            i = j + 1;
+            continue;
+        }
+        // Walk the body.
+        let mut held: Vec<Held> = Vec::new();
+        let mut depth = 1i32;
+        let mut k = j + 1;
+        while k < tokens.len() && depth > 0 {
+            let t = &tokens[k];
+            if t.kind == Kind::Punct {
+                match t.text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        held.retain(|h| h.depth <= depth);
+                    }
+                    ";" => held.retain(|h| !(h.temp && h.depth == depth)),
+                    _ => {}
+                }
+                k += 1;
+                continue;
+            }
+            // drop(var) releases a named guard.
+            if t.kind == Kind::Ident
+                && t.text == "drop"
+                && punct_at(tokens, k + 1, "(")
+                && tokens.get(k + 2).is_some_and(|v| v.kind == Kind::Ident)
+                && punct_at(tokens, k + 3, ")")
+            {
+                let var = &tokens[k + 2].text;
+                held.retain(|h| h.var.as_deref() != Some(var.as_str()));
+                k += 4;
+                continue;
+            }
+            // <name>.lock()
+            if t.kind == Kind::Ident
+                && punct_at(tokens, k + 1, ".")
+                && ident_at(tokens, k + 2) == Some("lock")
+                && punct_at(tokens, k + 3, "(")
+                && punct_at(tokens, k + 4, ")")
+            {
+                if let Some(ord) = pos(&t.text) {
+                    for h in &held {
+                        if ord <= h.order {
+                            out.push(finding(
+                                file,
+                                lexed,
+                                t.line,
+                                "lock-order",
+                                if h.name == t.text {
+                                    format!("`{}` re-locked while already held (deadlock)", t.text)
+                                } else {
+                                    format!(
+                                        "`{}` locked while holding `{}`: canonical order is {}",
+                                        t.text,
+                                        h.name,
+                                        order.join(" -> ")
+                                    )
+                                },
+                            ));
+                        }
+                    }
+                    // Bound or temporary? Look back for `let [mut] v = … .lock()`
+                    // within the current statement.
+                    let var = binding_for(tokens, k);
+                    held.push(Held {
+                        name: t.text.clone(),
+                        order: ord,
+                        depth,
+                        temp: var.is_none(),
+                        var,
+                    });
+                }
+                k += 5;
+                continue;
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    out
+}
+
+/// For an acquisition at token `k` (the lock-name ident), find the `let`
+/// binding that receives the guard, if any: scan back to the statement
+/// start (`;`, `{`, `}`) looking for `let [mut] <var> =`.
+fn binding_for(tokens: &[Token], k: usize) -> Option<String> {
+    let mut j = k;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.kind == Kind::Punct && matches!(t.text.as_str(), ";" | "{" | "}") {
+            return None;
+        }
+        if t.kind == Kind::Ident && t.text == "let" {
+            let mut v = j + 1;
+            if ident_at(tokens, v) == Some("mut") {
+                v += 1;
+            }
+            let name = ident_at(tokens, v)?;
+            return Some(name.to_string());
+        }
+    }
+    None
+}
+
+/// Which rule set applies to `path` (relative to the repo root)?
+pub struct Scope {
+    pub seq_cmp: bool,
+    pub wall_clock: bool,
+    pub unwrap: bool,
+    pub as_cast: bool,
+    pub lock_order: bool,
+}
+
+impl Scope {
+    /// Does any rule apply to this file at all?
+    pub fn any(&self) -> bool {
+        self.seq_cmp || self.wall_clock || self.unwrap || self.as_cast || self.lock_order
+    }
+}
+
+/// Compute rule applicability from the path alone. The conventions:
+/// `udt-proto/src/seqno.rs` is the blessed implementation of wrap
+/// arithmetic; `netsim`/`udt-algo` are the deterministic crates; binaries,
+/// the bench/test harnesses and the verification tools themselves are not
+/// library code.
+pub fn scope_for(rel: &Path) -> Scope {
+    let p = rel.to_string_lossy().replace('\\', "/");
+    let is_blessed_seqno = p.ends_with("udt-proto/src/seqno.rs");
+    // The TCP reference agent models sequence space as unbounded u64
+    // counters — no wrap by construction, so raw comparisons are sound.
+    let is_tcp_model = p.ends_with("netsim/src/agents/tcp.rs");
+    let in_bin = p.contains("/src/bin/") || p.ends_with("/src/main.rs");
+    let crate_name = p
+        .strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("");
+    let harness = matches!(crate_name, "bench" | "testsuite" | "udt-lint" | "udt-verify");
+    let lib_crate = matches!(
+        crate_name,
+        "udt" | "udt-proto" | "udt-algo" | "netsim" | "linkemu" | "udt-metrics" | "udt-chaos"
+    );
+    let test_file = p.ends_with("_tests.rs") || p.ends_with("/tests.rs");
+    Scope {
+        seq_cmp: !is_blessed_seqno && !is_tcp_model && !harness,
+        wall_clock: matches!(crate_name, "netsim" | "udt-algo"),
+        unwrap: lib_crate && !in_bin && !test_file,
+        as_cast: !is_blessed_seqno && !is_tcp_model && !harness,
+        lock_order: crate_name == "udt",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run<F: Fn(&str, &LexedFile) -> Vec<Finding>>(src: &str, f: F) -> Vec<Finding> {
+        f("test.rs", &lex(src))
+    }
+
+    #[test]
+    fn seq_cmp_catches_raw_comparison() {
+        let fs = run("fn f() { if snd_una < ack { } }", seq_cmp);
+        assert_eq!(fs.len(), 1);
+        assert!(!fs[0].allowed);
+    }
+
+    #[test]
+    fn seq_cmp_ignores_generics_and_unrelated_idents() {
+        assert!(run("fn f(v: Vec<SeqNo>) { let n: Option<u32> = None; }", seq_cmp).is_empty());
+        assert!(run("fn f() { if count < limit { } }", seq_cmp).is_empty());
+    }
+
+    #[test]
+    fn seq_cmp_catches_wrapping_arith() {
+        let fs = run("fn f() { let d = seq.raw().wrapping_sub(base_seq.raw()); }", seq_cmp);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn seq_cmp_honours_allow() {
+        let fs = run(
+            "fn f() {\n // udt-lint: allow(seq-cmp)\n if snd_una < ack { }\n}",
+            seq_cmp,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn wall_clock_catches_instant_now() {
+        let fs = run("fn f() { let t = Instant::now(); }", wall_clock);
+        assert_eq!(fs.len(), 1);
+        let fs = run("fn f() { let t = SystemTime::now(); }", wall_clock);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn wall_clock_skips_tests() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { let x = Instant::now(); } }";
+        assert!(run(src, wall_clock).is_empty());
+    }
+
+    #[test]
+    fn unwrap_catches_library_panics() {
+        let fs = run(
+            "fn f() { x.unwrap(); y.expect(\"m\"); panic!(\"boom\"); }",
+            unwrap_rule,
+        );
+        assert_eq!(fs.len(), 3);
+    }
+
+    #[test]
+    fn unwrap_skips_tests_and_lookalikes() {
+        assert!(run("#[test]\nfn t() { x.unwrap(); }", unwrap_rule).is_empty());
+        assert!(run("fn f() { x.unwrap_or(0); x.unwrap_or_else(|| 1); }", unwrap_rule).is_empty());
+    }
+
+    #[test]
+    fn as_cast_catches_narrowing_near_seq() {
+        let fs = run("fn f() { let x = (seq.raw() + 1) as u16; }", as_cast);
+        assert_eq!(fs.len(), 1);
+        let fs = run("fn f() { let t = now.as_micros() as u32; }", as_cast);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn as_cast_ignores_widening_and_unrelated() {
+        assert!(run("fn f() { let x = seq.raw() as u64; }", as_cast).is_empty());
+        assert!(run("fn f() { let x = count as u16; }", as_cast).is_empty());
+    }
+
+    #[test]
+    fn lock_order_doc_parse() {
+        let src = "//! # Lock order\n//!\n//! 1. `conn_table` — registry.\n//! 2. `snd` — sender.\n//! 3. `rcv` — receiver.\n";
+        assert_eq!(parse_lock_order(src), vec!["conn_table", "snd", "rcv"]);
+    }
+
+    #[test]
+    fn lock_order_catches_inversion_and_reentry() {
+        let order: Vec<String> = ["conn_table", "snd", "rcv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let bad = "fn f(sh: &S) { let r = sh.rcv.lock(); let s = sh.snd.lock(); }";
+        let fs = lock_order("t.rs", &lex(bad), &order);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let re = "fn f(sh: &S) { let a = sh.snd.lock(); let b = sh.snd.lock(); }";
+        assert_eq!(lock_order("t.rs", &lex(re), &order).len(), 1);
+    }
+
+    #[test]
+    fn lock_order_accepts_sequential_scopes_and_drop() {
+        let order: Vec<String> = ["conn_table", "snd", "rcv"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let seq = "fn f(sh: &S) { { let s = sh.snd.lock(); } { let r = sh.rcv.lock(); } }";
+        assert!(lock_order("t.rs", &lex(seq), &order).is_empty());
+        let nested_ok = "fn f(sh: &S) { let s = sh.snd.lock(); let r = sh.rcv.lock(); }";
+        assert!(lock_order("t.rs", &lex(nested_ok), &order).is_empty());
+        let dropped = "fn f(sh: &S) { let r = sh.rcv.lock(); drop(r); let s = sh.snd.lock(); }";
+        assert!(lock_order("t.rs", &lex(dropped), &order).is_empty());
+        let temp = "fn f(sh: &S) { sh.rcv.lock().x(); sh.snd.lock().y(); }";
+        assert!(lock_order("t.rs", &lex(temp), &order).is_empty());
+    }
+}

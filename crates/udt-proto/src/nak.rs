@@ -148,4 +148,42 @@ mod tests {
         let decoded = decode_loss_list(&encode_loss_list(&ranges)).unwrap();
         assert_eq!(decoded, ranges);
     }
+
+    /// A range *starting* at SEQ_MAX sets every bit of the word (raw
+    /// 0x7FFF_FFFF | flag = 0xFFFF_FFFF); the decoder must strip the flag
+    /// and recover SEQ_MAX, not misread the start.
+    #[test]
+    fn range_starting_at_seq_max_roundtrips() {
+        use crate::seqno::SEQ_MAX;
+        let ranges = vec![r(SEQ_MAX, 1)];
+        let words = encode_loss_list(&ranges);
+        assert_eq!(words, vec![0xFFFF_FFFF, 1]);
+        assert_eq!(decode_loss_list(&words).unwrap(), ranges);
+    }
+
+    /// A single loss of SEQ_MAX itself must not be mistaken for a flagged
+    /// range start: its top (flag) bit is 0 in the 31-bit space.
+    #[test]
+    fn single_loss_at_seq_max_is_unflagged() {
+        use crate::seqno::SEQ_MAX;
+        let ranges = vec![SeqRange::single(SeqNo::new(SEQ_MAX))];
+        let words = encode_loss_list(&ranges);
+        assert_eq!(words, vec![0x7FFF_FFFF]);
+        assert_eq!(decode_loss_list(&words).unwrap(), ranges);
+    }
+
+    /// Mixed singles and wrap-straddling runs, oldest-first, survive a full
+    /// encode/decode cycle in order.
+    #[test]
+    fn wrap_mixed_list_roundtrips_in_order() {
+        use crate::seqno::SEQ_MAX;
+        let ranges = vec![
+            SeqRange::single(SeqNo::new(SEQ_MAX - 4)),
+            r(SEQ_MAX - 2, 1),
+            SeqRange::single(SeqNo::new(3)),
+            r(5, 9),
+        ];
+        let decoded = decode_loss_list(&encode_loss_list(&ranges)).unwrap();
+        assert_eq!(decoded, ranges);
+    }
 }

@@ -11,6 +11,11 @@
 //! live sequence numbers are never more than half the space (`SEQ_TH =
 //! 0x3FFF_FFFF`) apart.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 /// Number of distinct sequence values (`2^31`).
 pub const SEQ_SPACE: u32 = 0x8000_0000;
 /// Largest sequence value.
@@ -75,8 +80,8 @@ impl SeqNo {
     /// makes wraparound work).
     #[inline]
     pub fn cmp_seq(self, other: SeqNo) -> i32 {
-        let (a, b) = (self.0 as i64, other.0 as i64);
-        if (a - b).abs() < SEQ_TH as i64 {
+        let (a, b) = (i64::from(self.0), i64::from(other.0));
+        if (a - b).abs() < i64::from(SEQ_TH) {
             (a - b) as i32
         } else {
             (b - a) as i32
@@ -99,14 +104,14 @@ impl SeqNo {
     /// `other`; negative if `other` is behind). Mirrors UDT's `seqoff`.
     #[inline]
     pub fn offset_to(self, other: SeqNo) -> i32 {
-        let (a, b) = (self.0 as i64, other.0 as i64);
+        let (a, b) = (i64::from(self.0), i64::from(other.0));
         let d = b - a;
-        if d.abs() < SEQ_TH as i64 {
+        if d.abs() < i64::from(SEQ_TH) {
             d as i32
         } else if d < 0 {
-            (d + SEQ_SPACE as i64) as i32
+            (d + i64::from(SEQ_SPACE)) as i32
         } else {
-            (d - SEQ_SPACE as i64) as i32
+            (d - i64::from(SEQ_SPACE)) as i32
         }
     }
 

@@ -4,6 +4,11 @@
 //! data payloads: `decode` slices the payload out of the input `Bytes`
 //! without copying.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::ctrl::{
@@ -100,7 +105,7 @@ pub fn encode(pkt: &Packet, buf: &mut BytesMut) {
             buf.put_slice(&d.payload);
         }
         Packet::Control(c) => {
-            let type_word = CTRL_FLAG | ((c.type_code() as u32) << 16);
+            let type_word = CTRL_FLAG | (u32::from(c.type_code()) << 16);
             buf.put_u32(type_word);
             let additional = match &c.body {
                 ControlBody::Ack { ack_seq, .. } | ControlBody::Ack2 { ack_seq } => *ack_seq,
@@ -146,6 +151,7 @@ pub fn encode(pkt: &Packet, buf: &mut BytesMut) {
 
 /// Decode one datagram into a packet. The data payload aliases `datagram`
 /// (no copy).
+#[allow(clippy::needless_pass_by_value)] // Bytes is a refcounted handle; the payload aliases it
 pub fn decode(datagram: Bytes) -> Result<Packet, WireError> {
     let mut buf = datagram.clone();
     if buf.remaining() < 4 {
@@ -269,6 +275,7 @@ mod tests {
     use super::*;
     use crate::seqno::SeqRange;
 
+    #[allow(clippy::needless_pass_by_value)] // test helper: literal call sites
     fn roundtrip(pkt: Packet) {
         let mut buf = BytesMut::new();
         encode(&pkt, &mut buf);

@@ -1,0 +1,660 @@
+//! The protocol model: one sender, one receiver, one lossy network, built
+//! from the *real* data structures (`SndBuffer`/`RcvBuffer` from `udt`,
+//! the static-array loss lists from `udt-algo`) and mirroring the event
+//! core of `conn.rs` (`handle_data`/`handle_ack`/`handle_nak`/EXP
+//! requeue). There are no threads, no clocks and no randomness: the model
+//! checker owns the schedule, so every interleaving the transport could
+//! experience — reorder, loss, duplication, crossing ACKs and NAKs — is a
+//! path in a finite graph.
+//!
+//! Payload bytes encode their position in the stream, which is what lets
+//! [`Model::check`] prove end-to-end properties ("no byte delivered twice
+//! or out of order") and not just structural ones.
+
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
+use std::hash::{Hash, Hasher};
+
+use bytes::Bytes;
+use udt::buffer::{RcvBuffer, SndBuffer};
+use udt_algo::clock::Nanos;
+use udt_algo::{RcvLossList, SndLossList};
+use udt_proto::SeqNo;
+#[cfg(test)]
+use udt_proto::SeqRange;
+
+/// Payload bytes per modelled packet. Two bytes encode offsets up to
+/// 65535, far beyond any bounded run.
+pub const PAYLOAD: usize = 2;
+
+/// One bounded-run configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Data packets the sender must move (4–8 keeps runs exhaustive).
+    pub total_pkts: u32,
+    /// Initial sequence number (straddle 2^31 by starting near `SEQ_MAX`).
+    pub init_seq: SeqNo,
+    /// Flow window in packets: hard cap on sent-but-unacknowledged data.
+    pub window: u32,
+    /// Network fault budget: packets the schedule may destroy.
+    pub max_drops: u32,
+    /// Network fault budget: packets the schedule may duplicate.
+    pub max_dups: u32,
+    /// Receiver buffer capacity, packets.
+    pub buf_pkts: usize,
+}
+
+impl Config {
+    /// Compact textual form, embedded in replay seeds:
+    /// `p<total>w<win>d<drops>u<dups>b<buf>s<init_seq>`.
+    pub fn encode(&self) -> String {
+        format!(
+            "p{}w{}d{}u{}b{}s{}",
+            self.total_pkts,
+            self.window,
+            self.max_drops,
+            self.max_dups,
+            self.buf_pkts,
+            self.init_seq.raw()
+        )
+    }
+
+    /// Parse the [`Config::encode`] form.
+    pub fn decode(s: &str) -> Option<Config> {
+        let mut vals = Vec::new();
+        let mut cur = String::new();
+        for c in s.chars() {
+            if c.is_ascii_digit() {
+                cur.push(c);
+            } else {
+                if !cur.is_empty() {
+                    vals.push(cur.parse::<u64>().ok()?);
+                    cur.clear();
+                }
+                if !matches!(c, 'p' | 'w' | 'd' | 'u' | 'b' | 's') {
+                    return None;
+                }
+            }
+        }
+        if !cur.is_empty() {
+            vals.push(cur.parse::<u64>().ok()?);
+        }
+        if vals.len() != 6 {
+            return None;
+        }
+        Some(Config {
+            total_pkts: vals[0] as u32,
+            window: vals[1] as u32,
+            max_drops: vals[2] as u32,
+            max_dups: vals[3] as u32,
+            buf_pkts: vals[4] as usize,
+            init_seq: SeqNo::new(vals[5] as u32),
+        })
+    }
+}
+
+/// A packet in flight. The network is a bag, not a queue: any element may
+/// be delivered, dropped or duplicated next, which models arbitrary
+/// reordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pkt {
+    Data { seq: SeqNo, retx: bool },
+    Ack { ack_no: SeqNo },
+    Nak { from: SeqNo, to: SeqNo },
+}
+
+impl Pkt {
+    fn describe(&self) -> String {
+        match self {
+            Pkt::Data { seq, retx: false } => format!("DATA {seq}"),
+            Pkt::Data { seq, retx: true } => format!("DATA {seq} (retx)"),
+            Pkt::Ack { ack_no } => format!("ACK {ack_no}"),
+            Pkt::Nak { from, to } => format!("NAK {from}..={to}"),
+        }
+    }
+
+    /// Canonical encoding for state hashing (bag semantics: the hash must
+    /// not depend on arrival order into the vector).
+    fn encode(&self) -> (u8, u32, u32) {
+        match self {
+            Pkt::Data { seq, retx } => (0, seq.raw(), u32::from(*retx)),
+            Pkt::Ack { ack_no } => (1, ack_no.raw(), 0),
+            Pkt::Nak { from, to } => (2, from.raw(), to.raw()),
+        }
+    }
+}
+
+/// One scheduler step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Sender transmits its next packet (loss list first, then new data).
+    Transmit,
+    /// Network delivers in-flight packet `i` to its destination.
+    Deliver(usize),
+    /// Network destroys in-flight packet `i` (consumes drop budget).
+    Drop(usize),
+    /// Network duplicates in-flight packet `i` (consumes dup budget).
+    Dup(usize),
+    /// Receiver's ACK timer fires.
+    AckEmit,
+    /// Sender's EXP timer fires with the loss list empty: requeue all
+    /// in-flight data (`conn.rs` `check_exp` haunted-territory path).
+    ExpRequeue,
+}
+
+impl Action {
+    pub fn encode(&self) -> String {
+        match self {
+            Action::Transmit => "T".into(),
+            Action::Deliver(i) => format!("D{i}"),
+            Action::Drop(i) => format!("X{i}"),
+            Action::Dup(i) => format!("U{i}"),
+            Action::AckEmit => "A".into(),
+            Action::ExpRequeue => "E".into(),
+        }
+    }
+
+    pub fn decode(s: &str) -> Option<Action> {
+        let mut chars = s.chars();
+        let head = chars.next()?;
+        let rest: String = chars.collect();
+        let idx = || rest.parse::<usize>().ok();
+        Some(match head {
+            'T' if rest.is_empty() => Action::Transmit,
+            'A' if rest.is_empty() => Action::AckEmit,
+            'E' if rest.is_empty() => Action::ExpRequeue,
+            'D' => Action::Deliver(idx()?),
+            'X' => Action::Drop(idx()?),
+            'U' => Action::Dup(idx()?),
+            _ => return None,
+        })
+    }
+}
+
+/// The full model state.
+#[derive(Clone)]
+pub struct Model {
+    pub cfg: Config,
+    // --- sender (mirrors `SndCtl`) ---
+    snd_buffer: SndBuffer,
+    snd_loss: SndLossList,
+    snd_una: SeqNo,
+    next_new: SeqNo,
+    // --- receiver (mirrors `RcvCtl`) ---
+    rcv_buffer: RcvBuffer,
+    rcv_loss: RcvLossList,
+    lrsn: SeqNo,
+    last_ack_sent: SeqNo,
+    // --- application ---
+    delivered: Vec<u8>,
+    // --- network ---
+    net: Vec<Pkt>,
+    drops_used: u32,
+    dups_used: u32,
+    /// Logical clock: ticks once per event so loss-list timestamps are
+    /// distinct and deterministic.
+    now: Nanos,
+}
+
+impl Model {
+    pub fn new(cfg: Config) -> Model {
+        let total = cfg.total_pkts as usize;
+        let mut snd_buffer = SndBuffer::new(total.max(1), PAYLOAD);
+        // Pre-load the whole transfer; byte i of the stream is `i & 0xFF`.
+        let stream: Vec<u8> = (0..total * PAYLOAD).map(|i| i as u8).collect();
+        let pushed = snd_buffer.append(&stream);
+        assert_eq!(pushed, stream.len(), "send buffer sized for the transfer");
+        Model {
+            snd_buffer,
+            snd_loss: SndLossList::new((total * 2).max(16)),
+            snd_una: cfg.init_seq,
+            next_new: cfg.init_seq,
+            rcv_buffer: RcvBuffer::new(cfg.buf_pkts, cfg.init_seq),
+            rcv_loss: RcvLossList::new((total * 2).max(16)),
+            lrsn: cfg.init_seq.prev(),
+            last_ack_sent: cfg.init_seq.prev(),
+            delivered: Vec::new(),
+            net: Vec::new(),
+            drops_used: 0,
+            dups_used: 0,
+            now: Nanos::ZERO,
+            cfg,
+        }
+    }
+
+    /// The byte stream the receiver must observe, in order.
+    fn expected_stream(&self) -> Vec<u8> {
+        (0..self.cfg.total_pkts as usize * PAYLOAD)
+            .map(|i| i as u8)
+            .collect()
+    }
+
+    /// Receiver's delivery frontier: first loss, or one past the largest
+    /// received.
+    fn rcv_frontier(&self) -> SeqNo {
+        self.rcv_loss.first().unwrap_or_else(|| self.lrsn.next())
+    }
+
+    /// Packets sent but not yet acknowledged.
+    fn in_flight(&self) -> i32 {
+        self.snd_una.offset_to(self.next_new)
+    }
+
+    /// Is the transfer fully done (everything delivered and acknowledged,
+    /// wire drained)?
+    pub fn complete(&self) -> bool {
+        self.delivered.len() == self.cfg.total_pkts as usize * PAYLOAD
+            && self.in_flight() == 0
+            && self.net.is_empty()
+    }
+
+    pub fn delivered_bytes(&self) -> usize {
+        self.delivered.len()
+    }
+
+    /// All actions enabled in this state. Enabledness encodes the timers'
+    /// gating in `conn.rs`: EXP requeue only fires when the wire has gone
+    /// silent with data outstanding, the ACK timer is suppressed when it
+    /// would repeat itself with an identical ACK already in flight.
+    pub fn enabled(&self) -> Vec<Action> {
+        let mut acts = Vec::new();
+        if self.can_transmit() {
+            acts.push(Action::Transmit);
+        }
+        for i in 0..self.net.len() {
+            acts.push(Action::Deliver(i));
+        }
+        if self.drops_used < self.cfg.max_drops {
+            for i in 0..self.net.len() {
+                acts.push(Action::Drop(i));
+            }
+        }
+        if self.dups_used < self.cfg.max_dups {
+            for i in 0..self.net.len() {
+                acts.push(Action::Dup(i));
+            }
+        }
+        if self.can_ack_emit() {
+            acts.push(Action::AckEmit);
+        }
+        if self.can_exp_requeue() {
+            acts.push(Action::ExpRequeue);
+        }
+        acts
+    }
+
+    fn can_transmit(&self) -> bool {
+        if !self.snd_loss.is_empty() {
+            return true;
+        }
+        let sent = self.cfg.init_seq.offset_to(self.next_new);
+        sent < self.cfg.total_pkts as i32 && self.in_flight() < self.cfg.window as i32
+    }
+
+    fn can_ack_emit(&self) -> bool {
+        let ack_no = self.rcv_frontier();
+        if ack_no != self.last_ack_sent {
+            return true;
+        }
+        // Re-ACK path: a lost ACK must be recoverable, but only allow it
+        // when no identical ACK is already in flight (keeps the graph
+        // finite, like the real timer's duplicate suppression).
+        self.in_flight() > 0
+            && ack_no != self.cfg.init_seq.prev()
+            && !self.net.iter().any(|p| matches!(p, Pkt::Ack { ack_no: a } if *a == ack_no))
+    }
+
+    fn can_exp_requeue(&self) -> bool {
+        // `check_exp`: wire silent, nothing queued for retransmission,
+        // data outstanding.
+        self.net.is_empty() && self.snd_loss.is_empty() && self.in_flight() > 0
+    }
+
+    /// Apply one action. Returns a human-readable description of what
+    /// happened (for `--replay`). Panics if the action is not enabled —
+    /// the search only feeds enabled actions, and replay validates first.
+    pub fn step(&mut self, a: Action) -> String {
+        self.now = self.now.plus(Nanos::from_micros(1));
+        match a {
+            Action::Transmit => {
+                let (seq, retx) = if let Some(seq) = self.snd_loss.pop_first() {
+                    (seq, true)
+                } else {
+                    let seq = self.next_new;
+                    self.next_new = self.next_new.next();
+                    (seq, false)
+                };
+                self.net.push(Pkt::Data { seq, retx });
+                format!("sender transmits {}", self.net.last().map(Pkt::describe).unwrap_or_default())
+            }
+            Action::Deliver(i) => {
+                let pkt = self.net.remove(i);
+                let desc = format!("deliver {}", pkt.describe());
+                match pkt {
+                    Pkt::Data { seq, .. } => self.recv_data(seq),
+                    Pkt::Ack { ack_no } => self.recv_ack(ack_no),
+                    Pkt::Nak { from, to } => self.recv_nak(from, to),
+                }
+                desc
+            }
+            Action::Drop(i) => {
+                let pkt = self.net.remove(i);
+                self.drops_used += 1;
+                format!("network drops {}", pkt.describe())
+            }
+            Action::Dup(i) => {
+                let pkt = self.net[i].clone();
+                self.dups_used += 1;
+                let desc = format!("network duplicates {}", pkt.describe());
+                self.net.push(pkt);
+                desc
+            }
+            Action::AckEmit => {
+                let ack_no = self.rcv_frontier();
+                self.last_ack_sent = ack_no;
+                self.net.push(Pkt::Ack { ack_no });
+                format!("receiver emits ACK {ack_no}")
+            }
+            Action::ExpRequeue => {
+                let from = self.snd_una;
+                let to = self.next_new.prev();
+                self.snd_loss.insert_at(from, to, self.now);
+                format!("EXP requeues {from}..={to}")
+            }
+        }
+    }
+
+    /// Receiver side of a data arrival — mirrors `handle_data`.
+    fn recv_data(&mut self, seq: SeqNo) {
+        // Plausibility gate: far-future packets are rejected wholesale.
+        if self.rcv_buffer.base_seq().offset_to(seq) >= self.rcv_buffer.cap_pkts() as i32 {
+            return;
+        }
+        let off = self.lrsn.offset_to(seq);
+        if off > 0 {
+            if off > 1 {
+                let from = self.lrsn.next();
+                let to = seq.prev();
+                let added = self.rcv_loss.insert_at(from, to, self.now);
+                if added > 0 {
+                    // Automatic NAK on gap detection.
+                    self.net.push(Pkt::Nak { from, to });
+                }
+            }
+            self.lrsn = seq;
+        } else {
+            self.rcv_loss.remove(seq);
+        }
+        let payload = self.payload_for(seq);
+        let _ = self.rcv_buffer.insert(seq, payload);
+        // The application drains everything deliverable immediately.
+        let upto = self.rcv_frontier();
+        let mut buf = [0u8; 64];
+        loop {
+            let n = self.rcv_buffer.read(&mut buf, upto);
+            if n == 0 {
+                break;
+            }
+            self.delivered.extend_from_slice(&buf[..n]);
+        }
+    }
+
+    /// Sender side of an ACK arrival — mirrors `handle_ack`.
+    fn recv_ack(&mut self, ack: SeqNo) {
+        if self.next_new.lt_seq(ack) {
+            return; // corrupted/hostile: beyond the send frontier
+        }
+        if self.snd_una.lt_seq(ack) {
+            let n = self.snd_una.offset_to(ack);
+            self.snd_buffer.ack(n as usize);
+            self.snd_una = ack;
+            self.snd_loss.remove_upto(ack.prev());
+        }
+    }
+
+    /// Sender side of a NAK arrival — mirrors `handle_nak` (with the
+    /// live-span clamp).
+    fn recv_nak(&mut self, from: SeqNo, to: SeqNo) {
+        let span = self.snd_una.offset_to(self.next_new);
+        if span <= 0 {
+            return;
+        }
+        let lo = self.snd_una.offset_to(from).max(0);
+        let hi = self.snd_una.offset_to(to).min(span - 1);
+        if lo > hi {
+            return;
+        }
+        self.snd_loss
+            .insert_at(self.snd_una.add(lo as u32), self.snd_una.add(hi as u32), self.now);
+    }
+
+    /// The payload the sender would put in packet `seq` (position-encoded
+    /// bytes, so delivery order is externally checkable).
+    fn payload_for(&self, seq: SeqNo) -> Bytes {
+        let idx = self.cfg.init_seq.offset_to(seq);
+        debug_assert!(idx >= 0);
+        let start = idx as usize * PAYLOAD;
+        let bytes: Vec<u8> = (start..start + PAYLOAD).map(|i| i as u8).collect();
+        Bytes::from(bytes)
+    }
+
+    /// Check every invariant. Called by the search after every step.
+    pub fn check(&self) -> Result<(), String> {
+        // Structural invariants of the real data structures.
+        self.snd_loss
+            .check_invariants()
+            .map_err(|e| format!("snd loss list: {e}"))?;
+        self.rcv_loss
+            .check_invariants()
+            .map_err(|e| format!("rcv loss list: {e}"))?;
+        self.snd_buffer
+            .check_invariants()
+            .map_err(|e| format!("snd buffer: {e}"))?;
+        self.rcv_buffer
+            .check_invariants()
+            .map_err(|e| format!("rcv buffer: {e}"))?;
+
+        // snd_una within [init, next_new]; next_new within the transfer.
+        if !self.snd_una.le_seq(self.next_new) {
+            return Err(format!(
+                "snd_una {} passed send frontier {}",
+                self.snd_una, self.next_new
+            ));
+        }
+        let sent = self.cfg.init_seq.offset_to(self.next_new);
+        if sent < 0 || sent > self.cfg.total_pkts as i32 {
+            return Err(format!("next_new {} outside the transfer", self.next_new));
+        }
+
+        // Flow window never exceeded.
+        if self.in_flight() > self.cfg.window as i32 {
+            return Err(format!(
+                "flow window exceeded: {} in flight, window {}",
+                self.in_flight(),
+                self.cfg.window
+            ));
+        }
+
+        // Sender loss list entirely within the live span [snd_una, next_new).
+        for r in self.snd_loss.ranges() {
+            if self.snd_una.offset_to(r.from) < 0 || self.snd_una.offset_to(r.to) >= self.in_flight()
+            {
+                return Err(format!(
+                    "snd loss range {}..={} outside live span [{}, {})",
+                    r.from, r.to, self.snd_una, self.next_new
+                ));
+            }
+        }
+
+        // Receiver loss list within (base, lrsn).
+        for r in self.rcv_loss.ranges() {
+            let base = self.rcv_buffer.base_seq();
+            if base.offset_to(r.from) < 0 || !r.to.lt_seq(self.lrsn) {
+                return Err(format!(
+                    "rcv loss range {}..={} outside ({}, {})",
+                    r.from, r.to, base, self.lrsn
+                ));
+            }
+        }
+
+        // No byte delivered twice, dropped, or out of order: the delivered
+        // stream must be a prefix of the expected stream.
+        let expected = self.expected_stream();
+        if self.delivered.len() > expected.len()
+            || self.delivered[..] != expected[..self.delivered.len()]
+        {
+            return Err(format!(
+                "delivered stream diverges at byte {} (got {} bytes)",
+                self.delivered
+                    .iter()
+                    .zip(&expected)
+                    .position(|(a, b)| a != b)
+                    .unwrap_or(expected.len().min(self.delivered.len())),
+                self.delivered.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Canonical 64-bit fingerprint for the transposition table. The
+    /// network is hashed as a sorted bag so permutations of the in-flight
+    /// vector (which enable identical futures) collapse.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.snd_una.raw().hash(&mut h);
+        self.next_new.raw().hash(&mut h);
+        for r in self.snd_loss.ranges() {
+            (r.from.raw(), r.to.raw()).hash(&mut h);
+        }
+        self.lrsn.raw().hash(&mut h);
+        self.last_ack_sent.raw().hash(&mut h);
+        for r in self.rcv_loss.ranges() {
+            (r.from.raw(), r.to.raw()).hash(&mut h);
+        }
+        self.delivered.len().hash(&mut h);
+        let mut bag: Vec<(u8, u32, u32)> = self.net.iter().map(Pkt::encode).collect();
+        bag.sort_unstable();
+        bag.hash(&mut h);
+        self.drops_used.hash(&mut h);
+        self.dups_used.hash(&mut h);
+        h.finish()
+    }
+
+    /// Ranges currently queued for retransmission (test introspection).
+    #[cfg(test)]
+    pub fn snd_loss_ranges(&self) -> Vec<SeqRange> {
+        self.snd_loss.ranges()
+    }
+
+    /// Receiver loss ranges (test introspection).
+    #[cfg(test)]
+    pub fn rcv_loss_ranges(&self) -> Vec<SeqRange> {
+        self.rcv_loss.ranges()
+    }
+
+    /// In-flight packet descriptions (test introspection / replay).
+    pub fn net_contents(&self) -> Vec<String> {
+        self.net.iter().map(Pkt::describe).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_proto::SEQ_MAX;
+
+    fn cfg(total: u32, init: u32) -> Config {
+        Config {
+            total_pkts: total,
+            init_seq: SeqNo::new(init),
+            window: 4,
+            max_drops: 1,
+            max_dups: 1,
+            buf_pkts: 16,
+        }
+    }
+
+    /// Happy path: transmit-deliver-ack round trips complete the transfer.
+    #[test]
+    fn lockstep_transfer_completes() {
+        let mut m = Model::new(cfg(4, 0));
+        while !m.complete() {
+            let acts = m.enabled();
+            // Deterministic schedule: prefer Deliver, then AckEmit, then
+            // Transmit — a lossless in-order network.
+            let a = acts
+                .iter()
+                .find(|a| matches!(a, Action::Deliver(0)))
+                .or_else(|| acts.iter().find(|a| matches!(a, Action::AckEmit)))
+                .or_else(|| acts.iter().find(|a| matches!(a, Action::Transmit)))
+                .copied()
+                .expect("transfer must not get stuck");
+            m.step(a);
+            m.check().expect("invariants");
+        }
+        assert_eq!(m.delivered_bytes(), 4 * PAYLOAD);
+    }
+
+    /// Same lockstep run straddling the 2^31 wrap.
+    #[test]
+    fn lockstep_transfer_completes_across_wrap() {
+        let mut m = Model::new(cfg(6, SEQ_MAX - 2));
+        while !m.complete() {
+            let acts = m.enabled();
+            let a = acts
+                .iter()
+                .find(|a| matches!(a, Action::Deliver(0)))
+                .or_else(|| acts.iter().find(|a| matches!(a, Action::AckEmit)))
+                .or_else(|| acts.iter().find(|a| matches!(a, Action::Transmit)))
+                .copied()
+                .expect("transfer must not get stuck");
+            m.step(a);
+            m.check().expect("invariants");
+        }
+        assert_eq!(m.delivered_bytes(), 6 * PAYLOAD);
+        assert!(m.snd_una.raw() < 16, "snd_una wrapped past zero");
+    }
+
+    /// A dropped packet is NAKed on gap detection and retransmitted.
+    #[test]
+    fn drop_triggers_nak_and_retransmit() {
+        let mut m = Model::new(cfg(2, 0));
+        m.step(Action::Transmit); // DATA 0
+        m.step(Action::Transmit); // DATA 1
+        m.step(Action::Drop(0)); // destroy DATA 0
+        m.step(Action::Deliver(0)); // DATA 1 arrives -> gap -> NAK 0..=0
+        assert_eq!(m.net_contents(), vec!["NAK 0..=0".to_string()]);
+        assert_eq!(m.rcv_loss_ranges(), vec![SeqRange::single(SeqNo::ZERO)]);
+        m.step(Action::Deliver(0)); // NAK arrives -> 0 queued for retx
+        assert_eq!(m.snd_loss_ranges(), vec![SeqRange::single(SeqNo::ZERO)]);
+        m.step(Action::Transmit); // retransmit 0
+        m.step(Action::Deliver(0));
+        m.check().expect("invariants");
+        assert_eq!(m.delivered_bytes(), 2 * PAYLOAD);
+    }
+
+    #[test]
+    fn config_seed_round_trips() {
+        let c = cfg(5, SEQ_MAX - 1);
+        let enc = c.encode();
+        let back = Config::decode(&enc).expect("decodes");
+        assert_eq!(back.encode(), enc);
+    }
+
+    #[test]
+    fn action_encoding_round_trips() {
+        for a in [
+            Action::Transmit,
+            Action::Deliver(3),
+            Action::Drop(0),
+            Action::Dup(12),
+            Action::AckEmit,
+            Action::ExpRequeue,
+        ] {
+            assert_eq!(Action::decode(&a.encode()), Some(a));
+        }
+    }
+}

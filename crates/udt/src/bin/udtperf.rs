@@ -13,6 +13,11 @@
 //! congestion state, loss), then a summary — the numbers of the paper's
 //! Figure 11, for your own network.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

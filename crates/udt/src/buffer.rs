@@ -12,11 +12,16 @@
 //! where the application will read them, with no staging buffer, and the
 //! address computation subsumes the guess.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+
 use bytes::Bytes;
 use udt_proto::SeqNo;
 
 /// Packet-granular send buffer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SndBuffer {
     /// `chunks[i]` is the payload of sequence `snd_una + i`.
     chunks: std::collections::VecDeque<Bytes>,
@@ -84,6 +89,40 @@ impl SndBuffer {
     pub fn ack(&mut self, n: usize) {
         let n = n.min(self.chunks.len());
         self.chunks.drain(..n);
+        self.debug_check();
+    }
+
+    /// Structural invariants, shared by the debug-build hooks and the
+    /// `udt-verify` model checker: occupancy within capacity and every
+    /// chunk within the packet payload size (an oversized chunk would not
+    /// fit one data packet; losing that property silently corrupts framing).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.chunks.len() > self.cap_pkts {
+            return Err(format!(
+                "send buffer holds {} packets, capacity {}",
+                self.chunks.len(),
+                self.cap_pkts
+            ));
+        }
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.len() > self.payload_size {
+                return Err(format!(
+                    "chunk {i} is {} bytes, payload size {}",
+                    c.len(),
+                    self.payload_size
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(e) = self.check_invariants() {
+            // udt-lint: allow(unwrap) — debug-assertions-only invariant hook
+            panic!("send-buffer invariant violated: {e}");
+        }
     }
 }
 
@@ -99,7 +138,7 @@ pub enum InsertOutcome {
 }
 
 /// Sequence-addressed receive ring.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RcvBuffer {
     slots: Vec<Option<Bytes>>,
     /// First undelivered sequence number.
@@ -153,6 +192,7 @@ impl RcvBuffer {
         }
         self.buffered_bytes += payload.len();
         self.slots[slot] = Some(payload);
+        self.debug_check();
         InsertOutcome::Stored
     }
 
@@ -200,7 +240,66 @@ impl RcvBuffer {
                 self.front_consumed = 0;
             }
         }
+        self.debug_check();
         copied
+    }
+
+    /// Structural invariants, shared by the debug-build hooks and the
+    /// `udt-verify` model checker: the byte ledger must match the slots
+    /// (drift either way means bytes were dropped or delivered twice), and
+    /// the partial-read cursor must sit strictly inside the front chunk.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.base_slot >= self.slots.len() {
+            return Err(format!("base slot {} out of range", self.base_slot));
+        }
+        let mut total = 0usize;
+        for s in self.slots.iter().flatten() {
+            total += s.len();
+        }
+        let total = total - self.front_consumed;
+        if total != self.buffered_bytes {
+            return Err(format!(
+                "buffered_bytes ledger {} disagrees with slot contents {total}",
+                self.buffered_bytes
+            ));
+        }
+        if self.front_consumed > 0 {
+            match &self.slots[self.base_slot] {
+                Some(front) if self.front_consumed < front.len() => {}
+                Some(front) => {
+                    return Err(format!(
+                        "front cursor {} not inside front chunk of {} bytes",
+                        self.front_consumed,
+                        front.len()
+                    ));
+                }
+                None => {
+                    return Err("front cursor set but front slot is empty".into());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The full check is O(capacity) and `insert` runs once per received
+    /// packet, so at production capacities this samples 1-in-64 calls (an
+    /// unoptimized debug build would otherwise stall transfers past
+    /// protocol timeouts). Small buffers — unit tests, the model checker —
+    /// are checked every call.
+    #[inline]
+    fn debug_check(&self) {
+        #[cfg(debug_assertions)]
+        {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            static NTH: AtomicU64 = AtomicU64::new(0);
+            if self.slots.len() > 512 && !NTH.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
+                return;
+            }
+            if let Err(e) = self.check_invariants() {
+                // udt-lint: allow(unwrap) — debug-assertions-only invariant hook
+                panic!("receive-buffer invariant violated: {e}");
+            }
+        }
     }
 
     /// Packets held in the buffer counted against the advertised window:

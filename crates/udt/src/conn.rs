@@ -9,6 +9,29 @@
 //! SYN, and EXP timers… checked after each time-bounded UDP receiving call.
 //! Both data and control packets are processed in the receiver, which also
 //! sends out control packets."*
+//!
+//! # Lock order
+//!
+//! Canonical acquisition order for the connection-level locks. A thread may
+//! acquire a lock only if every lock it already holds appears *earlier* in
+//! this list; re-acquiring a held lock is always a deadlock. `udt-lint`'s
+//! `lock-order` rule parses this numbered list as its ground truth, so the
+//! documentation and the enforced order cannot diverge — edit here and the
+//! lint follows.
+//!
+//! 1. `conn_table` — listener/rendezvous connection registry (`socket.rs`).
+//! 2. `snd` — sender-side protocol state ([`SndCtl`]).
+//! 3. `rcv` — receiver-side protocol state ([`RcvCtl`]).
+//! 4. `threads` — join-handle registry, leaf lock.
+//!
+//! Most paths hold exactly one of these at a time (`perfmon` takes `snd`
+//! then `rcv` in two separate scopes, which is legal); the order exists so
+//! that the rare nested acquisition is forced to be consistent.
+
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
 
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -109,6 +132,130 @@ pub(crate) struct RcvCtl {
     pub loss_events: Vec<u32>,
 }
 
+impl SndCtl {
+    /// Cross-field invariants of the sender state, checked after every
+    /// protocol event in debug builds and by the `udt-verify` model
+    /// checker. These are the properties the ACK/NAK/EXP machinery relies
+    /// on but the types cannot express.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn check_invariants(&self) -> std::result::Result<(), String> {
+        self.loss.check_invariants()?;
+        if !self.snd_una.le_seq(self.next_new) {
+            return Err(format!(
+                "snd_una {} ahead of the send frontier {}",
+                self.snd_una, self.next_new
+            ));
+        }
+        let in_flight = self.snd_una.offset_to(self.next_new);
+        if in_flight as usize > self.buffer.len_pkts() {
+            return Err(format!(
+                "{in_flight} packets in flight but only {} buffered",
+                self.buffer.len_pkts()
+            ));
+        }
+        if !self.curr_seq.lt_seq(self.next_new) {
+            return Err(format!(
+                "curr_seq {} at or past the send frontier {}",
+                self.curr_seq, self.next_new
+            ));
+        }
+        for r in self.loss.ranges() {
+            if r.from.lt_seq(self.snd_una) || !r.to.lt_seq(self.next_new) {
+                return Err(format!(
+                    "loss range [{}, {}] outside the live span [{}, {})",
+                    r.from, r.to, self.snd_una, self.next_new
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl RcvCtl {
+    /// Cross-field invariants of the receiver state (see
+    /// [`SndCtl::check_invariants`]).
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    pub(crate) fn check_invariants(&self) -> std::result::Result<(), String> {
+        self.buffer.check_invariants()?;
+        self.loss.check_invariants()?;
+        let frontier = self.loss.first().unwrap_or_else(|| self.lrsn.next());
+        if !self.buffer.base_seq().le_seq(frontier) {
+            return Err(format!(
+                "delivery base {} past the in-order frontier {frontier}",
+                self.buffer.base_seq()
+            ));
+        }
+        for r in self.loss.ranges() {
+            if r.from.lt_seq(self.buffer.base_seq()) || !r.to.lt_seq(self.lrsn) {
+                return Err(format!(
+                    "loss range [{}, {}] outside [{}, {})",
+                    r.from,
+                    r.to,
+                    self.buffer.base_seq(),
+                    self.lrsn
+                ));
+            }
+        }
+        if !self.last_ack_acked.le_seq(self.last_ack_sent) {
+            return Err(format!(
+                "ACK2-confirmed {} ahead of last ACK sent {}",
+                self.last_ack_acked, self.last_ack_sent
+            ));
+        }
+        if !self.last_ack_sent.le_seq(frontier) {
+            return Err(format!(
+                "last ACK sent {} past the in-order frontier {frontier}",
+                self.last_ack_sent
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Debug-build hook: panic loudly (inside whichever test is running) when a
+/// protocol event leaves the sender state inconsistent.
+#[inline]
+fn debug_check_snd(s: &SndCtl) {
+    #[cfg(debug_assertions)]
+    if let Err(e) = s.check_invariants() {
+        // udt-lint: allow(unwrap) — debug-assertions-only invariant hook
+        panic!("sender invariant violated: {e}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = s;
+}
+
+/// Debug-build hook for the receiver state.
+#[inline]
+fn debug_check_rcv(r: &RcvCtl) {
+    #[cfg(debug_assertions)]
+    if let Err(e) = r.check_invariants() {
+        // udt-lint: allow(unwrap) — debug-assertions-only invariant hook
+        panic!("receiver invariant violated: {e}");
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = r;
+}
+
+/// Sampled variant for the per-data-packet path: the full receiver check
+/// is O(buffer capacity), which an unoptimized debug build cannot afford
+/// on every packet without stalling transfers past protocol timeouts.
+/// Small buffers (unit tests, the model checker) are checked every call;
+/// production-sized ones 1-in-64.
+#[inline]
+fn debug_check_rcv_sampled(r: &RcvCtl) {
+    #[cfg(debug_assertions)]
+    {
+        static NTH: AtomicU64 = AtomicU64::new(0);
+        if r.buffer.cap_pkts() > 512 && !NTH.fetch_add(1, Ordering::Relaxed).is_multiple_of(64) {
+            return;
+        }
+        debug_check_rcv(r);
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = r;
+}
+
 /// Resumable-session identity attached to a connection at handshake time
 /// (see the handshake extension in `udt-proto` and [`crate::resilience`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -161,7 +308,7 @@ impl Shared {
             bandwidth_pps: s.bandwidth_pps,
             recv_rate_pps: s.recv_rate_pps,
             mss: self.cfg.mss,
-            max_cwnd: s.peer_window.max(16) as f64,
+            max_cwnd: f64::from(s.peer_window.max(16)),
             snd_curr_seq: s.curr_seq,
             min_snd_period_us: self.send_cost_ns.load(Ordering::Relaxed) as f64 / 1_000.0,
         }
@@ -169,6 +316,7 @@ impl Shared {
 
     fn send_ctrl(&self, body: ControlBody, now: Nanos) {
         let pkt = Packet::Control(ControlPacket {
+            // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
             timestamp_us: (now.as_micros() & 0xFFFF_FFFF) as u32,
             conn_id: self.peer_id,
             body,
@@ -196,7 +344,9 @@ pub struct UdtConnection {
 
 impl UdtConnection {
     /// Create the shared state and spawn the protocol threads. Used by
-    /// both `connect` and `accept` (see [`crate::socket`]).
+    /// both `connect` and `accept` (see [`crate::socket`]). Fails with
+    /// [`UdtError::Io`] when a protocol thread cannot be spawned (resource
+    /// exhaustion); the half-built connection is unregistered again.
     #[allow(clippy::too_many_arguments)] // the two call sites read clearly
     pub(crate) fn establish(
         mux: Arc<Mux>,
@@ -208,7 +358,7 @@ impl UdtConnection {
         rcv_init: SeqNo,
         rx: Receiver<MuxMsg>,
         meta: SessionMeta,
-    ) -> UdtConnection {
+    ) -> Result<UdtConnection> {
         let payload = cfg.payload_size();
         let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
         let sh = Arc::new(Shared {
@@ -257,28 +407,37 @@ impl UdtConnection {
             mux,
         });
         let mut threads = Vec::new();
+        let bail = |sh: &Arc<Shared>, e: std::io::Error| {
+            // The already-spawned thread (if any) exits promptly on the
+            // Closed state; nothing else references this connection yet.
+            sh.set_state(State::Closed);
+            sh.mux.unregister(sh.local_id);
+            UdtError::Io(e)
+        };
         {
             let sh2 = Arc::clone(&sh);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("udt-snd-{local_id}"))
-                    .spawn(move || sender_loop(sh2))
-                    .expect("spawn sender"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("udt-snd-{local_id}"))
+                .spawn(move || sender_loop(sh2))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => return Err(bail(&sh, e)),
+            }
         }
         {
             let sh2 = Arc::clone(&sh);
-            threads.push(
-                std::thread::Builder::new()
-                    .name(format!("udt-rcv-{local_id}"))
-                    .spawn(move || receiver_loop(sh2, rx))
-                    .expect("spawn receiver"),
-            );
+            match std::thread::Builder::new()
+                .name(format!("udt-rcv-{local_id}"))
+                .spawn(move || receiver_loop(sh2, rx))
+            {
+                Ok(t) => threads.push(t),
+                Err(e) => return Err(bail(&sh, e)),
+            }
         }
-        UdtConnection {
+        Ok(UdtConnection {
             sh,
             threads: Mutex::new(threads),
-        }
+        })
     }
 
     /// The peer's socket address.
@@ -489,6 +648,9 @@ fn pick_packet(s: &mut SndCtl) -> Option<(SeqNo, Bytes, bool)> {
     }
     let window = (s.cc.cwnd() as u32).min(s.peer_window).max(2);
     let in_flight = s.snd_una.offset_to(s.next_new);
+    // Compares in-flight *counts* (window is capped far below i32::MAX),
+    // not raw sequence numbers.
+    // udt-lint: allow(as-cast, seq-cmp)
     if in_flight >= window as i32 {
         return None;
     }
@@ -502,12 +664,14 @@ fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
     let now = sh.clock.now();
     {
         let mut s = sh.snd.lock();
+        // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
         if s.snd_una.offset_to(seq) > s.snd_una.offset_to(s.curr_seq) {
             s.curr_seq = seq;
         }
     }
     let pkt = Packet::Data(DataPacket {
         seq,
+        // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
         timestamp_us: (now.as_micros() & 0xFFFF_FFFF) as u32,
         conn_id: sh.peer_id,
         payload,
@@ -527,6 +691,7 @@ fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
 
 /// The sender thread: pace data packets by the rate controller's period,
 /// loss list first, bounded by the flow window.
+#[allow(clippy::needless_pass_by_value)] // thread entry point: owns its Arc for the thread lifetime
 pub(crate) fn sender_loop(sh: Arc<Shared>) {
     let spin = sh.cfg.timer_spin;
     let mut next_time = Instant::now();
@@ -548,20 +713,21 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
                 next_time = Instant::now() + SYN.into();
                 continue;
             }
-            let p = pick_packet(&mut s);
-            if p.is_none() {
-                if sh.state() == State::Closing && s.buffer.is_empty() {
-                    // Flushed: nothing left to do; close() finishes up.
-                    sh.snd_cv.notify_all();
+            match pick_packet(&mut s) {
+                Some(p) => p,
+                None => {
+                    if sh.state() == State::Closing && s.buffer.is_empty() {
+                        // Flushed: nothing left to do; close() finishes up.
+                        sh.snd_cv.notify_all();
+                    }
+                    // Wait for data / window space / ACK progress.
+                    sh.snd_cv.wait_for(&mut s, Duration::from_millis(10));
+                    next_time = Instant::now();
+                    continue;
                 }
-                // Wait for data / window space / ACK progress.
-                sh.snd_cv.wait_for(&mut s, Duration::from_millis(10));
-                next_time = Instant::now();
-                continue;
             }
-            p
         };
-        let (seq, payload, retx) = picked.expect("checked above");
+        let (seq, payload, retx) = picked;
         transmit(&sh, seq, payload, retx);
         if seq.raw() % PROBE_INTERVAL == 0 {
             // §3.4: send the probe pair's second packet back-to-back.
@@ -588,6 +754,7 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
 
 /// The receiver thread: bounded receive, then the ACK / NAK / EXP timer
 /// checks (§4.8).
+#[allow(clippy::needless_pass_by_value)] // thread entry point: owns its Arc and channel
 pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxMsg>) {
     let mut next_ack = sh.clock.now().plus(SYN);
     let mut next_nak = sh.clock.now().plus(SYN);
@@ -677,6 +844,7 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
     // loss ranges, a wedged advertised window). Far-future packets are
     // dropped here; far-past ones fall through to the duplicate path below,
     // which is already idempotent.
+    // udt-lint: allow(seq-cmp) — compares a wrap-safe offset against capacity
     if r.buffer.base_seq().offset_to(d.seq) >= r.buffer.cap_pkts() as i32 {
         drop(r);
         ConnStats::inc(&sh.stats.pkts_rejected, 1);
@@ -693,7 +861,7 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
             if added > 0 {
                 r.loss_events.push(added);
                 ConnStats::inc(&sh.stats.loss_events, 1);
-                ConnStats::inc(&sh.stats.pkts_lost, added as u64);
+                ConnStats::inc(&sh.stats.pkts_lost, u64::from(added));
                 ConnStats::inc(&sh.stats.naks_sent, 1);
                 sh.send_ctrl(ControlBody::Nak(vec![SeqRange::new(from, to)]), now);
             }
@@ -711,9 +879,10 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
     match stored {
         InsertOutcome::Stored => ConnStats::inc(&sh.stats.pkts_received, 1),
         InsertOutcome::Duplicate | InsertOutcome::OutOfWindow => {
-            ConnStats::inc(&sh.stats.pkts_duplicate, 1)
+            ConnStats::inc(&sh.stats.pkts_duplicate, 1);
         }
     }
+    debug_check_rcv_sampled(&r);
     drop(r);
     sh.rcv_cv.notify_all();
 }
@@ -750,23 +919,24 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
         if let Some(rr) = data.recv_rate_pps {
             if rr > 0 {
                 s.recv_rate_pps = if s.recv_rate_pps > 0.0 {
-                    (s.recv_rate_pps * 7.0 + rr as f64) / 8.0
+                    (s.recv_rate_pps * 7.0 + f64::from(rr)) / 8.0
                 } else {
-                    rr as f64
+                    f64::from(rr)
                 };
             }
         }
         if let Some(bw) = data.link_cap_pps {
             if bw > 0 {
                 s.bandwidth_pps = if s.bandwidth_pps > 0.0 {
-                    (s.bandwidth_pps * 7.0 + bw as f64) / 8.0
+                    (s.bandwidth_pps * 7.0 + f64::from(bw)) / 8.0
                 } else {
-                    bw as f64
+                    f64::from(bw)
                 };
             }
         }
         let ctx = sh.cc_ctx(&s, now);
         s.cc.on_ack(data.rcv_next, &ctx);
+        debug_check_snd(&s);
     }
     sh.snd_cv.notify_all();
     if !data.is_light() {
@@ -774,24 +944,57 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
     }
 }
 
+/// Clamp one NAK range to the sender's live span `[snd_una, next_new)`.
+///
+/// A NAK can legitimately lag an ACK that crossed it on the wire (the low
+/// end falls below `snd_una`), but its high end naming data *never sent* is
+/// corrupted or hostile: absorbing it would strand phantom entries in the
+/// loss list (the retransmission path would pop sequence numbers with no
+/// backing payload forever) and feed a spurious loss event to the rate
+/// controller. Returns `None` when nothing of the range is live.
+fn clamp_nak_range(
+    from: SeqNo,
+    to: SeqNo,
+    snd_una: SeqNo,
+    next_new: SeqNo,
+) -> Option<(SeqNo, SeqNo)> {
+    let span = snd_una.offset_to(next_new); // sent-but-unacknowledged count
+    if span <= 0 {
+        return None; // nothing in flight: any NAK is stale or fabricated
+    }
+    let lo = snd_una.offset_to(from).max(0);
+    let hi = snd_una.offset_to(to).min(span - 1);
+    if lo > hi {
+        return None; // entirely below the ACK point or past the frontier
+    }
+    // udt-lint: allow(as-cast) — lo/hi proven in [0, span) above, span ≤ 2^30
+    Some((snd_una.add(lo as u32), snd_una.add(hi as u32)))
+}
+
 fn handle_nak(sh: &Shared, ranges: &[SeqRange], now: Nanos) {
     ConnStats::inc(&sh.stats.naks_received, 1);
     let mut s = sh.snd.lock();
+    // Validate against the live span before anything absorbs the ranges.
+    let clamped: Vec<SeqRange> = ranges
+        .iter()
+        .filter_map(|r| clamp_nak_range(r.from, r.to, s.snd_una, s.next_new))
+        .map(|(from, to)| SeqRange::new(from, to))
+        .collect();
+    if clamped.len() < ranges.len() {
+        ConnStats::inc(&sh.stats.pkts_rejected, 1);
+    }
+    if clamped.is_empty() {
+        return;
+    }
     let ctx = sh.cc_ctx(&s, now);
-    s.cc.on_loss(ranges, &ctx);
+    s.cc.on_loss(&clamped, &ctx);
     {
         let _l = sh.instr.scope(Category::Loss);
-        for r in ranges {
-            let from = if r.from.lt_seq(s.snd_una) {
-                s.snd_una
-            } else {
-                r.from
-            };
-            if from.le_seq(r.to) {
-                s.loss.insert(from, r.to);
-            }
+        for r in &clamped {
+            s.loss.insert(r.from, r.to);
         }
     }
+    debug_check_snd(&s);
     drop(s);
     sh.snd_cv.notify_all();
 }
@@ -829,11 +1032,15 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
     }
     let held = r.buffer.held_pkts(r.lrsn);
     let avail = (r.buffer.cap_pkts() as u32).saturating_sub(held);
+    // udt-lint: allow(seq-cmp) — ack_seq is the ACK *message* counter, not a packet seqno
     r.ack_seq = r.ack_seq.wrapping_add(1);
+    // RTT estimates fit the protocol's 32-bit microsecond fields.
+    // udt-lint: allow(as-cast)
+    let (rtt_us, rtt_var_us) = (r.rtt.rtt_us() as u32, r.rtt.rtt_var_us() as u32);
     let data = AckData::full(
         ack_no,
-        r.rtt.rtt_us() as u32,
-        r.rtt.rtt_var_us() as u32,
+        rtt_us,
+        rtt_var_us,
         r.flow.advertised(avail),
         r.history.pkt_recv_speed() as u32,
         r.history.bandwidth() as u32,
@@ -842,6 +1049,7 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
     r.ackw.store(ack_seq, ack_no, now);
     r.last_ack_sent = ack_no;
     r.last_ack_time = now;
+    debug_check_rcv(r);
     drop(guard);
     ConnStats::inc(&sh.stats.acks_sent, 1);
     sh.send_ctrl(
@@ -919,7 +1127,85 @@ fn check_exp(sh: &Shared, now: Nanos) {
         let (from, to) = (s.snd_una, s.next_new.prev());
         s.loss.insert(from, to);
         s.last_progress = now; // pace the next re-queue
+        debug_check_snd(&s);
         drop(s);
         sh.snd_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_proto::{SEQ_MAX, SEQ_TH};
+
+    fn sq(v: u32) -> SeqNo {
+        SeqNo::new(v)
+    }
+
+    #[test]
+    fn nak_clamp_passes_live_ranges_through() {
+        assert_eq!(
+            clamp_nak_range(sq(10), sq(14), sq(5), sq(20)),
+            Some((sq(10), sq(14)))
+        );
+        // Single-packet range at each edge of the live span.
+        assert_eq!(
+            clamp_nak_range(sq(5), sq(5), sq(5), sq(20)),
+            Some((sq(5), sq(5)))
+        );
+        assert_eq!(
+            clamp_nak_range(sq(19), sq(19), sq(5), sq(20)),
+            Some((sq(19), sq(19)))
+        );
+    }
+
+    #[test]
+    fn nak_clamp_trims_stale_low_end() {
+        // The NAK raced an ACK: its low end is already acknowledged.
+        assert_eq!(
+            clamp_nak_range(sq(2), sq(8), sq(5), sq(20)),
+            Some((sq(5), sq(8)))
+        );
+    }
+
+    #[test]
+    fn nak_clamp_rejects_data_never_sent() {
+        // High end past the send frontier: trimmed to the frontier.
+        assert_eq!(
+            clamp_nak_range(sq(18), sq(30), sq(5), sq(20)),
+            Some((sq(18), sq(19)))
+        );
+        // Entirely past the frontier: fabricated, dropped outright.
+        assert_eq!(clamp_nak_range(sq(25), sq(30), sq(5), sq(20)), None);
+        // Entirely below the ACK point: stale, dropped outright.
+        assert_eq!(clamp_nak_range(sq(1), sq(4), sq(5), sq(20)), None);
+        // Nothing in flight at all.
+        assert_eq!(clamp_nak_range(sq(5), sq(6), sq(5), sq(5)), None);
+    }
+
+    #[test]
+    fn nak_clamp_is_wrap_safe() {
+        // Live span straddles the 2^31 wrap: [SEQ_MAX - 1, 3).
+        let una = sq(SEQ_MAX - 1);
+        let frontier = sq(3);
+        assert_eq!(
+            clamp_nak_range(sq(SEQ_MAX), sq(1), una, frontier),
+            Some((sq(SEQ_MAX), sq(1)))
+        );
+        // Low end pre-wrap and already acknowledged, high end post-wrap.
+        assert_eq!(
+            clamp_nak_range(sq(SEQ_MAX - 5), sq(0), una, frontier),
+            Some((una, sq(0)))
+        );
+        // High end past the post-wrap frontier gets trimmed back to it.
+        assert_eq!(
+            clamp_nak_range(sq(0), sq(100), una, frontier),
+            Some((sq(0), sq(2)))
+        );
+        // Fabricated range on the far side of the space.
+        assert_eq!(
+            clamp_nak_range(sq(SEQ_TH), sq(SEQ_TH + 10), una, frontier),
+            None
+        );
     }
 }

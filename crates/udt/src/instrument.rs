@@ -7,6 +7,11 @@
 //! around the same code regions; `exp_tbl3` prints the resulting ratio
 //! table.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;

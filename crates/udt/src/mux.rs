@@ -7,6 +7,11 @@
 //! thread. This mirrors how the released UDT library lets many connections
 //! share one UDP port.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};

@@ -38,6 +38,11 @@
 //!                            attempts/deadline exhausted ─▶ Failed
 //! ```
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::collections::HashMap;
 use std::fs::OpenOptions;
 use std::io::{Seek, SeekFrom, Write};
@@ -156,7 +161,10 @@ fn read_preamble(conn: &UdtConnection) -> Result<(u64, u64)> {
         }
         got += n;
     }
+    // Both 8-byte slices of the fixed 16-byte header: infallible conversions.
+    // udt-lint: allow(unwrap)
     let start = u64::from_be_bytes(buf[..8].try_into().expect("8 bytes"));
+    // udt-lint: allow(unwrap)
     let total = u64::from_be_bytes(buf[8..].try_into().expect("8 bytes"));
     Ok((start, total))
 }

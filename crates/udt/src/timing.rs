@@ -8,6 +8,11 @@
 //! other jobs are allowed to continue" and that blocking UDP sends shrink
 //! the spin time as speed rises.
 
+// Numeric casts in this module are deliberate: bounded protocol arithmetic,
+// 32-bit wire fields, and clock/rate conversions whose ranges are argued at
+// the cast sites. Sequence/timestamp casts are separately policed by udt-lint.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::{Duration, Instant};
 
 use udt_algo::Nanos;
@@ -30,7 +35,7 @@ impl EpochClock {
     /// Current time since the epoch.
     #[inline]
     pub fn now(&self) -> Nanos {
-        Nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+        Nanos(self.epoch.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64)
     }
 
     /// Convert a `Nanos` deadline back to an `Instant`.

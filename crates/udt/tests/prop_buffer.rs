@@ -2,6 +2,9 @@
 //! duplicated or reordered, regardless of chunking, arrival order, or
 //! interleaving of reads.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use bytes::Bytes;
 use proptest::prelude::*;
 use udt::buffer::{InsertOutcome, RcvBuffer, SndBuffer};

@@ -10,6 +10,9 @@
 //! cargo run --release -p bench --example file_transfer
 //! ```
 
+// Example code: sizes fit comfortably in the cast-to types.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::io::Write;
 use std::time::{Duration, Instant};
 

@@ -8,6 +8,9 @@
 //! cargo run --release -p bench --example quickstart
 //! ```
 
+// Example code: sizes fit comfortably in the cast-to types.
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
 use std::time::Instant;
 
 use udt::{UdtConfig, UdtConnection, UdtListener};
@@ -35,7 +38,7 @@ fn main() {
             }
             received += n as u64;
             for &b in &buf[..n] {
-                checksum = checksum.wrapping_mul(31).wrapping_add(b as u64);
+                checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(b));
             }
         }
         (received, checksum)
@@ -52,7 +55,7 @@ fn main() {
         let n = (TOTAL - sent).min(chunk.len());
         conn.send(&chunk[..n]).expect("send");
         for &b in &chunk[..n] {
-            checksum = checksum.wrapping_mul(31).wrapping_add(b as u64);
+            checksum = checksum.wrapping_mul(31).wrapping_add(u64::from(b));
         }
         sent += n;
     }

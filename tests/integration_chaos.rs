@@ -9,6 +9,9 @@
 //!    Gilbert–Elliott bursty loss (40% in the bad state), reordering,
 //!    duplication, and a 200 ms blackout — without panic or deadlock.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Duration;
 
 use udt::{ConnStats, UdtConfig, UdtConnection, UdtListener};

@@ -1,5 +1,8 @@
 //! Cross-crate integration: real UDT sockets over clean loopback.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use udt::{ConnStats, UdtConfig, UdtConnection, UdtError, UdtListener};

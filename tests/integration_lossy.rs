@@ -2,6 +2,9 @@
 //! paths — loss, delay, bandwidth limits. Reliability must hold under all
 //! of them (the whole point of the protocol).
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Duration;
 
 use linkemu::{LinkEmu, LinkSpec};

@@ -15,6 +15,9 @@
 //! allocates nothing for attackers, keeps serving legitimate peers, and
 //! garbage-collects what it cached.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::net::UdpSocket;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -222,7 +225,7 @@ fn download_resumes_after_mid_stream_break() {
     let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone()).unwrap();
     let relay = ChaosRelay::start(&scenario, listener.local_addr()).unwrap();
 
-    let served_src = src.clone();
+    let served_src = src;
     let server = std::thread::spawn(move || {
         // Each accepted connection serves from the offset the client
         // advertised (its staged `.part` length); an outage mid-serve just

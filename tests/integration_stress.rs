@@ -2,6 +2,9 @@
 //! churn, and application-limited (bursty) senders. Serialized — each case
 //! saturates a small host on its own.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::time::Duration;
 
 use udt::{UdtConfig, UdtConnection, UdtListener};
@@ -48,7 +51,7 @@ fn connection_churn() {
     }
     let totals = server.join().unwrap();
     let mut want: Vec<usize> = (0..12).map(|k| 10_000 + k * 1_000).collect();
-    let mut got = totals.clone();
+    let mut got = totals;
     got.sort_unstable();
     want.sort_unstable();
     assert_eq!(got, want);

@@ -3,6 +3,9 @@
 //! excuse the code from handling it. `force_init_seq` starts a connection
 //! a few thousand packets below 2³¹ so a moderate transfer crosses it.
 
+// Test data patterns use deliberate truncating casts.
+#![allow(clippy::cast_possible_truncation)]
+
 use udt::{UdtConfig, UdtConnection, UdtListener};
 use udt_proto::SEQ_MAX;
 
@@ -48,6 +51,39 @@ fn transfer_across_wrap_clean() {
     let conn = UdtConnection::connect(addr, wrap_cfg()).unwrap();
     // ~6700 packets at 1488 B payload: crosses the wrap point by ~4700.
     let data = pattern(10_000_000);
+    conn.send(&data).unwrap();
+    conn.close().unwrap();
+    assert_eq!(server.join().unwrap(), data);
+}
+
+/// Fast variant for tight CI loops: the first data packet carries
+/// `SEQ_MAX` itself and the second wraps to zero — the earliest possible
+/// wrap position — over a small transfer that completes in well under a
+/// second.
+#[test]
+fn transfer_wraps_on_second_packet_fast() {
+    let _serial = serial();
+    let cfg = UdtConfig {
+        force_init_seq: Some(SEQ_MAX),
+        ..UdtConfig::default()
+    };
+    let listener = UdtListener::bind("127.0.0.1:0".parse().unwrap(), cfg.clone()).unwrap();
+    let addr = listener.local_addr();
+    let server = std::thread::spawn(move || {
+        let conn = listener.accept().unwrap();
+        let mut buf = vec![0u8; 1 << 16];
+        let mut out = Vec::new();
+        loop {
+            let n = conn.recv(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        out
+    });
+    let conn = UdtConnection::connect(addr, cfg).unwrap();
+    let data = pattern(200_000);
     conn.send(&data).unwrap();
     conn.close().unwrap();
     assert_eq!(server.join().unwrap(), data);
