@@ -24,6 +24,13 @@ timeout 120 cargo run --release -p udt-verify -- --quick
 # soak is `exp_soak` without --quick).
 timeout 120 ./target/release/exp_soak --quick
 
+# Observability gates: a seeded chaos blackout must leave a parseable
+# flight-recorder dump with faults and NAK/EXP/Broken reactions on one
+# timeline, and enabled tracing must stay within 5% of untraced loopback
+# goodput (most-favorable interleaved pair; see exp_trace_overhead docs).
+timeout 120 ./target/release/exp_flightrec
+timeout 180 ./target/release/exp_trace_overhead --quick
+
 # One release-codegen pass with the runtime invariant hooks compiled in
 # (conn/buffer/losslist check_invariants fire on the live data path).
 # Kept last: the different RUSTFLAGS rebuild replaces target/release

@@ -1,5 +1,23 @@
 //! Regenerate the paper's fig7 artifact. See DESIGN.md for the experiment index.
+//!
+//! `--trace <path>` instead runs a scaled (100 Mb/s, 10 s) traced variant
+//! of the flow-control scenario and exports the full event timeline as
+//! JSONL for `udtmon --once` or offline analysis.
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let path = std::path::PathBuf::from(
+            args.get(i + 1).map_or("fig7-trace.jsonl", String::as_str),
+        );
+        match bench::experiments::fig7::export_trace(&path, 1e8, 10.0) {
+            Ok(n) => println!("wrote {n} events to {}", path.display()),
+            Err(e) => {
+                eprintln!("trace export failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
     let report = bench::experiments::fig7::run();
     report.print();
     if !report.all_ok() {

@@ -1,0 +1,20 @@
+//! Flight-recorder drill: seeded chaos must break a real-socket transfer
+//! and leave a parseable JSONL post-mortem with faults and protocol
+//! reactions on one timeline. `--keep <dir>` preserves the dump for
+//! inspection (e.g. with `udtmon --once <file>`).
+//! See DESIGN.md for the experiment index.
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let report = if let Some(i) = args.iter().position(|a| a == "--keep") {
+        let dir = std::path::PathBuf::from(
+            args.get(i + 1).map_or("flightrec-dumps", String::as_str),
+        );
+        bench::experiments::flightrec::run_in(&dir)
+    } else {
+        bench::experiments::flightrec::run()
+    };
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

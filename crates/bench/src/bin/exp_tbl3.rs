@@ -1,6 +1,12 @@
 //! Regenerate the paper's tbl3 artifact. See DESIGN.md for the experiment index.
+//! `--quick` runs the CI-sized ratio-stability variant instead.
 fn main() {
-    let report = bench::experiments::tbl3::run();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        bench::experiments::tbl3::run_quick()
+    } else {
+        bench::experiments::tbl3::run()
+    };
     report.print();
     if !report.all_ok() {
         std::process::exit(1);

@@ -1,0 +1,15 @@
+//! Tracing-overhead smoke: enabled tracing must stay within 5% of the
+//! untraced loopback goodput. `--quick` shrinks the transfer for CI.
+//! See DESIGN.md for the experiment index.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        bench::experiments::trace_overhead::run_with(60_000_000)
+    } else {
+        bench::experiments::trace_overhead::run()
+    };
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -97,3 +97,33 @@ pub fn run_with(rate_bps: f64, secs: f64) -> Report {
 pub fn run() -> Report {
     run_with(1e9, 30.0)
 }
+
+/// Run the flow-control scenario traced and export its event timeline as
+/// JSONL at `path` (`exp_fig7 --trace`). Returns the event count written.
+/// The file round-trips through `udt_trace::json::parse_line` — the same
+/// schema real-socket runs export — so sim and socket timelines can be
+/// compared with one toolchain (`udtmon --once`, plotting scripts).
+pub fn export_trace(path: &std::path::Path, rate_bps: f64, secs: f64) -> std::io::Result<usize> {
+    let rtt = Nanos::from_millis(100);
+    let bdp_pkts = (rate_bps * rtt.as_secs_f64() / (1500.0 * 8.0)) as usize;
+    let sc = Scenario {
+        topo: crate::scenarios::Topology::Dumbbell {
+            rate_bps,
+            one_way: Nanos::from_millis(50),
+        },
+        flows: vec![FlowSpec::bulk(Proto::Udt {
+            cc: CcKind::Udt(UdtCcConfig::default()),
+            flow_control: true,
+        })],
+        secs,
+        warmup_s: 5.0,
+        sample_s: 0.5,
+        queue_cap: Some(bdp_pkts),
+        mss: 1500,
+        run_to_completion: false,
+        bottleneck_loss: 0.0,
+    };
+    let tracer = udt_trace::Tracer::ring(1 << 16);
+    let _ = crate::scenarios::run_traced(&sc, &tracer);
+    crate::trace_export::write_jsonl(path, &crate::trace_export::sorted_snapshot(&tracer))
+}

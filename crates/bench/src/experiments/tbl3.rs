@@ -75,3 +75,53 @@ pub fn run_with(total_bytes: u64) -> Report {
 pub fn run() -> Report {
     run_with(300_000_000)
 }
+
+/// CI-sized stability check (`exp_tbl3 --quick`): two small blasts must
+/// agree on the dominant categories and produce close ratios. A profile
+/// whose percentages wander run-to-run cannot support Table 3-style
+/// conclusions, so the quick gate checks reproducibility rather than the
+/// absolute paper numbers (which need the full-size transfer).
+pub fn run_quick() -> Report {
+    let total: u64 = 40_000_000;
+    let mut rep = Report::new(
+        "tbl3-quick",
+        "CPU-time ratios are stable across repeated blasts",
+        format!("2 × {} MB loopback blasts, ratios compared", total / 1_000_000),
+    );
+    let a = run_loopback_blast(UdtConfig::default(), total);
+    let b = run_loopback_blast(UdtConfig::default(), total);
+    for (tag, out) in [("run A", &a), ("run B", &b)] {
+        let (sname, sratio) = out.snd_instr.table()[0];
+        let (rname, rratio) = out.rcv_instr.table()[0];
+        rep.row(format!(
+            "{tag}: {} Mb/s; sender top {sname} {:.1}%, receiver top {rname} {:.1}%",
+            mbps(out.throughput_bps()),
+            sratio * 100.0,
+            rratio * 100.0
+        ));
+    }
+    let snd_delta =
+        (a.snd_instr.ratio_of("UDP writing") - b.snd_instr.ratio_of("UDP writing")).abs();
+    let rcv_delta =
+        (a.rcv_instr.ratio_of("UDP reading") - b.rcv_instr.ratio_of("UDP reading")).abs();
+    rep.shape(
+        "sender's dominant category agrees across runs",
+        a.snd_instr.table()[0].0 == b.snd_instr.table()[0].0,
+        format!(
+            "{} vs {}",
+            a.snd_instr.table()[0].0,
+            b.snd_instr.table()[0].0
+        ),
+    );
+    rep.shape(
+        "UDP-writing ratio is stable (|delta| < 0.25)",
+        snd_delta < 0.25,
+        format!("|delta| = {snd_delta:.3}"),
+    );
+    rep.shape(
+        "UDP-reading ratio is stable (|delta| < 0.25)",
+        rcv_delta < 0.25,
+        format!("|delta| = {rcv_delta:.3}"),
+    );
+    rep
+}

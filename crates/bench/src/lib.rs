@@ -17,6 +17,7 @@ pub mod instrshot;
 pub mod realnet;
 pub mod report;
 pub mod scenarios;
+pub mod trace_export;
 
 pub mod experiments {
     //! One module per paper artifact.
@@ -27,6 +28,8 @@ pub mod experiments {
     pub mod abl_syn;
     pub mod chaos;
     pub mod cmp_protocols;
+    pub mod flightrec;
+    pub mod trace_overhead;
     pub mod multibottleneck;
     pub mod soak;
     pub mod fig1;
@@ -78,5 +81,7 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
         experiments::cmp_protocols::run,
         experiments::chaos::run,
         experiments::multibottleneck::run,
+        experiments::trace_overhead::run,
+        experiments::flightrec::run,
     ]
 }

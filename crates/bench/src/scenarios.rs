@@ -14,6 +14,7 @@ use netsim::{dumbbell, paper_queue_cap, two_branch, Dumbbell, DumbbellCfg, TwoBr
 use netsim::{AgentId, FlowId, LinkId, NodeId, Simulator};
 use udt_algo::{Nanos, UdtCcConfig};
 use udt_proto::SeqNo;
+use udt_trace::Tracer;
 
 /// Which protocol a flow runs.
 #[derive(Debug, Clone)]
@@ -158,6 +159,20 @@ pub struct RunOut {
 
 /// Run a scenario.
 pub fn run(s: &Scenario) -> RunOut {
+    run_with_tracer(s, None)
+}
+
+/// Run a scenario with every UDT endpoint emitting into `tracer`.
+///
+/// Agents stamp events with simulated time directly (`emit_at`), so a plain
+/// ring tracer works — no clock wiring needed. Events carry the scenario's
+/// `FlowId` index as their `conn` tag, so multi-flow runs stay separable.
+/// TCP flows are not traced (the event vocabulary is UDT's).
+pub fn run_traced(s: &Scenario, tracer: &Tracer) -> RunOut {
+    run_with_tracer(s, Some(tracer))
+}
+
+fn run_with_tracer(s: &Scenario, tracer: Option<&Tracer>) -> RunOut {
     let (mut sim, sources, sinks, bottleneck, rtts) = build(s);
     if s.bottleneck_loss > 0.0 {
         sim.link_mut(bottleneck).set_random_loss(s.bottleneck_loss, 0xF13);
@@ -194,8 +209,14 @@ pub fn run(s: &Scenario) -> RunOut {
                     buffer_pkts: win,
                     syn: cc.syn(),
                 };
-                let sid = sim.add_agent(src, Box::new(UdtSender::new(snd_cfg)));
-                let rid = sim.add_agent(dst, Box::new(UdtReceiver::new(rcv_cfg)));
+                let mut snd = UdtSender::new(snd_cfg);
+                let mut rcv = UdtReceiver::new(rcv_cfg);
+                if let Some(t) = tracer {
+                    snd = snd.with_tracer(t.clone());
+                    rcv = rcv.with_tracer(t.clone());
+                }
+                let sid = sim.add_agent(src, Box::new(snd));
+                let rid = sim.add_agent(dst, Box::new(rcv));
                 senders.push(SenderHandle::Udt(sid));
                 receivers.push(Some(rid));
             }

@@ -1,0 +1,93 @@
+//! Export a tracer's ring as JSONL or CSV artifacts.
+//!
+//! Every experiment that runs traced (`exp_fig7 --trace`, the overhead
+//! audit, the flight-recorder drill) funnels through these writers, so the
+//! files on disk always match the schema `udt_trace::json::parse_line`
+//! validates and `udtmon` consumes.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use udt_trace::{json, TraceEvent, Tracer};
+
+/// Snapshot `tracer`, sorted by timestamp. The ring preserves push order,
+/// but clones feeding one ring from several threads can interleave
+/// slightly out of order; exports are canonically time-sorted.
+pub fn sorted_snapshot(tracer: &Tracer) -> Vec<TraceEvent> {
+    let mut events = tracer.snapshot();
+    events.sort_by_key(|e| e.t_ns);
+    events
+}
+
+/// Write `events` as JSONL (one event per line). Returns the event count.
+pub fn write_jsonl(path: &Path, events: &[TraceEvent]) -> std::io::Result<usize> {
+    let mut out = String::with_capacity(events.len() * 128 + 16);
+    for ev in events {
+        out.push_str(&json::encode(ev));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    f.flush()?;
+    Ok(events.len())
+}
+
+/// Write `events` as CSV with the shared header. Returns the event count.
+pub fn write_csv(path: &Path, events: &[TraceEvent]) -> std::io::Result<usize> {
+    let mut out = String::with_capacity(events.len() * 96 + 32);
+    out.push_str(json::CSV_HEADER);
+    out.push('\n');
+    for ev in events {
+        out.push_str(&json::to_csv_row(ev));
+        out.push('\n');
+    }
+    let mut f = fs::File::create(path)?;
+    f.write_all(out.as_bytes())?;
+    f.flush()?;
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_trace::flight;
+    use udt_trace::EventKind;
+
+    #[test]
+    fn jsonl_export_roundtrips_through_shared_parser() {
+        let tracer = Tracer::ring(64);
+        tracer.emit_at(
+            20,
+            1,
+            EventKind::DataSend {
+                seq: 5,
+                bytes: 1500,
+                retx: false,
+            },
+        );
+        tracer.emit_at(
+            10,
+            1,
+            EventKind::RateUpdate {
+                period_us: 12.5,
+                cwnd: 42.0,
+            },
+        );
+        let dir = std::env::temp_dir().join(format!("udt-trace-export-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("t.jsonl");
+        let events = sorted_snapshot(&tracer);
+        assert_eq!(events[0].t_ns, 10, "export must be time-sorted");
+        assert_eq!(write_jsonl(&path, &events).expect("write"), 2);
+        let back = flight::read_jsonl(&path).expect("parse");
+        assert_eq!(back, events);
+        let csv = dir.join("t.csv");
+        assert_eq!(write_csv(&csv, &events).expect("write csv"), 2);
+        let text = fs::read_to_string(&csv).expect("read csv");
+        assert!(text.starts_with(json::CSV_HEADER));
+        assert_eq!(text.lines().count(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

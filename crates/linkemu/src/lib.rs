@@ -35,6 +35,7 @@ use rand::{Rng, SeedableRng};
 use udt_chaos::scenario::{Direction as ChaosDir, ImpairmentSpec, Scenario};
 use udt_chaos::ImpairmentChain;
 use udt_metrics::counters::FaultCounters;
+use udt_trace::{DropReason, EventKind, Tracer};
 
 /// Impairments for one direction of the emulated link.
 #[derive(Debug, Clone)]
@@ -63,6 +64,12 @@ pub struct LinkSpec {
     /// [`ImpairmentSpec::Bernoulli`]`{ loss, mtu }` — kept as dedicated
     /// fields for the existing experiments' ergonomics.
     pub impairments: Vec<ImpairmentSpec>,
+    /// Trace sink: link-level drops (DropTail queue, legacy random loss)
+    /// and every chaos-chain fault are emitted as events, timestamped
+    /// relative to the relay's start epoch. Disabled by default.
+    pub tracer: Tracer,
+    /// Connection/flow tag carried by this direction's trace events.
+    pub trace_conn: u32,
 }
 
 impl LinkSpec {
@@ -77,12 +84,24 @@ impl LinkSpec {
             mtu: 65_535,
             seed: 7,
             impairments: Vec::new(),
+            tracer: Tracer::disabled(),
+            trace_conn: 0,
         }
     }
 
     /// Append an impairment stage to this direction's chain.
     pub fn impair(mut self, spec: ImpairmentSpec) -> LinkSpec {
         self.impairments.push(spec);
+        self
+    }
+
+    /// Emit this direction's drops and injected faults into `tracer`,
+    /// tagging events with `conn` (use the flow/socket id the traced
+    /// connection reports, so link and protocol events join up).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer, conn: u32) -> LinkSpec {
+        self.tracer = tracer;
+        self.trace_conn = conn;
         self
     }
 
@@ -94,6 +113,7 @@ impl LinkSpec {
         sc.forward = self.impairments.clone();
         sc.reverse = self.impairments.clone();
         sc.build(dir)
+            .with_tracer(self.tracer.clone(), self.trace_conn)
     }
 }
 
@@ -177,6 +197,17 @@ struct Direction {
 }
 
 impl Direction {
+    /// Record a link-level drop on the trace timeline (relay-epoch time,
+    /// so chain faults and drops share one clock). Single branch when
+    /// tracing is off.
+    fn trace_drop(&self, reason: DropReason) {
+        self.spec.tracer.emit_at(
+            self.epoch.elapsed().as_nanos() as u64,
+            self.spec.trace_conn,
+            EventKind::DataDrop { seq: 0, reason },
+        );
+    }
+
     fn run(mut self) {
         let mut rng = SmallRng::seed_from_u64(self.spec.seed);
         let mut queue: BinaryHeap<Queued> = BinaryHeap::new();
@@ -221,6 +252,7 @@ impl Direction {
                         let survive = (1.0 - self.spec.loss_prob).powi(fragments as i32);
                         if rng.gen::<f64>() >= survive {
                             self.stats.random_drops.fetch_add(1, Ordering::Relaxed);
+                            self.trace_drop(DropReason::RandomLoss);
                             continue;
                         }
                     }
@@ -244,6 +276,7 @@ impl Direction {
                     for extra_us in copies {
                         if queue.len() >= self.spec.queue_pkts {
                             self.stats.queue_drops.fetch_add(1, Ordering::Relaxed);
+                            self.trace_drop(DropReason::Queue);
                             continue;
                         }
                         let now = Instant::now();
@@ -530,5 +563,49 @@ mod tests {
             "~50% should drop; got {dropped}/{seen}"
         );
         emu.shutdown();
+    }
+
+    #[test]
+    fn traced_link_records_drops_by_reason() {
+        let server = udp();
+        let tracer = Tracer::ring(1 << 12);
+        // Slow line + tiny queue + heavy random loss: both drop paths fire.
+        let mut spec =
+            LinkSpec::clean(1e6, Duration::from_millis(1)).with_tracer(tracer.clone(), 9);
+        spec.queue_pkts = 5;
+        spec.loss_prob = 0.3;
+        let emu = LinkEmu::start(
+            spec,
+            LinkSpec::clean(1e9, Duration::ZERO),
+            server.local_addr().unwrap(),
+        )
+        .unwrap();
+        let client = udp();
+        client.connect(emu.client_addr()).unwrap();
+        for i in 0..300 {
+            client.send(&[0u8; 1200]).unwrap();
+            if i % 20 == 19 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        std::thread::sleep(Duration::from_millis(300));
+        let random_drops = emu.a_to_b.random_drops.load(Ordering::Relaxed);
+        let queue_drops = emu.a_to_b.queue_drops.load(Ordering::Relaxed);
+        emu.shutdown();
+        assert!(random_drops > 0, "no random drops at 30% loss");
+        assert!(queue_drops > 0, "no queue drops with a 5-packet queue");
+        // The trace mirrors the counters exactly, tagged and attributed.
+        let events = tracer.snapshot();
+        let count = |want: DropReason| {
+            events
+                .iter()
+                .filter(|e| {
+                    e.conn == 9
+                        && matches!(e.kind, EventKind::DataDrop { reason, .. } if reason == want)
+                })
+                .count() as u64
+        };
+        assert_eq!(count(DropReason::RandomLoss), random_drops);
+        assert_eq!(count(DropReason::Queue), queue_drops);
     }
 }

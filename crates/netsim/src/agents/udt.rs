@@ -26,6 +26,7 @@ use udt_algo::{
 };
 use udt_proto::ctrl::{AckData, ControlBody, ControlPacket};
 use udt_proto::{DataPacket, Packet, SeqNo, SeqRange};
+use udt_trace::{DropReason, EventKind, TimerKind, Tracer};
 
 use crate::packet::{FlowId, NodeId, Payload, SimPacket};
 use crate::sim::{Agent, Ctx};
@@ -131,6 +132,8 @@ pub struct UdtSender {
     sent_retx: u64,
     started: bool,
     finished: bool,
+    /// Structured event sink; disabled by default (one branch per emit).
+    tracer: Tracer,
 }
 
 impl UdtSender {
@@ -158,9 +161,24 @@ impl UdtSender {
             sent_retx: 0,
             started: false,
             finished: false,
+            tracer: Tracer::disabled(),
             cfg,
             cc,
         }
+    }
+
+    /// Attach a tracer (builder style, so config structs stay plain
+    /// literals). Events are stamped with simulated time and tagged with
+    /// the flow id, matching the real-socket trace schema.
+    #[must_use]
+    pub fn with_tracer(mut self, t: Tracer) -> UdtSender {
+        self.tracer = t;
+        self
+    }
+
+    #[inline]
+    fn trace(&self, ctx: &Ctx, kind: EventKind) {
+        self.tracer.emit_at(ctx.now.0, self.cfg.flow.0 as u32, kind);
     }
 
     /// Data packets sent (first transmissions).
@@ -225,9 +243,9 @@ impl UdtSender {
     /// then new data within the window. Returns whether a packet went out
     /// and whether it opened a probe pair.
     fn send_one(&mut self, ctx: &mut Ctx) -> Option<SeqNo> {
-        let seq = if let Some(seq) = self.loss.pop_first() {
+        let (seq, retx) = if let Some(seq) = self.loss.pop_first() {
             self.sent_retx += 1;
-            seq
+            (seq, true)
         } else {
             if self.exhausted_new() {
                 return None;
@@ -239,7 +257,7 @@ impl UdtSender {
             let seq = self.next_new;
             self.next_new = self.next_new.next();
             self.sent_new += 1;
-            seq
+            (seq, false)
         };
         // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
         if self.snd_una.offset_to(seq) > self.snd_una.offset_to(self.curr_seq)
@@ -262,6 +280,14 @@ impl UdtSender {
             self.cfg.mss,
             Payload::Udt(pkt),
         ));
+        self.trace(
+            ctx,
+            EventKind::DataSend {
+                seq: seq.raw(),
+                bytes: self.cfg.mss,
+                retx,
+            },
+        );
         Some(seq)
     }
 
@@ -279,12 +305,23 @@ impl UdtSender {
 
     fn on_ack(&mut self, ack_seq: u32, data: AckData, ctx: &mut Ctx) {
         let ack = data.rcv_next;
+        self.trace(
+            ctx,
+            EventKind::AckRecv {
+                ack_no: ack_seq,
+                ack_seq: ack.raw(),
+            },
+        );
         if self.snd_una.lt_seq(ack) {
             self.snd_una = ack;
             self.loss.remove_upto(ack.prev());
         }
         if let (Some(rtt), Some(var)) = (data.rtt_us, data.rtt_var_us) {
             self.rtt.absorb_peer(rtt, var);
+            // RTT estimates fit the protocol's 32-bit microsecond fields.
+            // udt-lint: allow(as-cast)
+            let (rtt_us, var_us) = (self.rtt.rtt_us() as u32, self.rtt.rtt_var_us() as u32);
+            self.trace(ctx, EventKind::RttUpdate { rtt_us, var_us });
         }
         if let Some(w) = data.avail_buf_pkts {
             self.peer_window = w;
@@ -305,10 +342,23 @@ impl UdtSender {
                 } else {
                     f64::from(bw)
                 };
+                self.trace(
+                    ctx,
+                    EventKind::BwEstimate {
+                        pps: self.bandwidth_pps,
+                    },
+                );
             }
         }
         let cc_ctx = self.ctx_for_cc(ctx.now);
         self.cc.on_ack(ack, &cc_ctx);
+        self.trace(
+            ctx,
+            EventKind::RateUpdate {
+                period_us: self.cc.pkt_snd_period_us(),
+                cwnd: self.cc.cwnd(),
+            },
+        );
         if !data.is_light() {
             // Answer full ACKs with ACK2 for the receiver's RTT sampling.
             let ack2 = ControlPacket {
@@ -324,10 +374,21 @@ impl UdtSender {
                 32,
                 Payload::Udt(Packet::Control(ack2)),
             ));
+            self.trace(ctx, EventKind::Ack2Send { ack_no: ack_seq });
         }
     }
 
     fn on_nak(&mut self, ranges: &[SeqRange], ctx: &mut Ctx) {
+        if let Some(first) = ranges.first() {
+            self.trace(
+                ctx,
+                EventKind::NakRecv {
+                    first_lo: first.from.raw(),
+                    first_hi: first.to.raw(),
+                    ranges: ranges.len() as u32,
+                },
+            );
+        }
         let cc_ctx = self.ctx_for_cc(ctx.now);
         self.cc.on_loss(ranges, &cc_ctx);
         for r in ranges {
@@ -416,6 +477,13 @@ impl Agent for UdtSender {
                 )) <= ctx.now
                 {
                     self.exp.on_expired();
+                    self.trace(
+                        ctx,
+                        EventKind::TimerFire {
+                            timer: TimerKind::Exp,
+                            count: self.exp.count(),
+                        },
+                    );
                     let cc_ctx = self.ctx_for_cc(ctx.now);
                     self.cc.on_timeout(&cc_ctx);
                     // Re-queue all in-flight data for repair (UDT's EXP
@@ -486,6 +554,8 @@ pub struct UdtReceiver {
     loss_events: Vec<u32>,
     received_pkts: u64,
     duplicate_pkts: u64,
+    /// Structured event sink; disabled by default (one branch per emit).
+    tracer: Tracer,
 }
 
 impl UdtReceiver {
@@ -507,8 +577,21 @@ impl UdtReceiver {
             loss_events: Vec::new(),
             received_pkts: 0,
             duplicate_pkts: 0,
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a tracer (builder style; see [`UdtSender::with_tracer`]).
+    #[must_use]
+    pub fn with_tracer(mut self, t: Tracer) -> UdtReceiver {
+        self.tracer = t;
+        self
+    }
+
+    #[inline]
+    fn trace(&self, ctx: &Ctx, kind: EventKind) {
+        self.tracer.emit_at(ctx.now.0, self.cfg.flow.0 as u32, kind);
     }
 
     /// Per-event loss sizes observed (Figure 8).
@@ -577,21 +660,57 @@ impl UdtReceiver {
                 let added = self.loss.insert_at(from, to, ctx.now);
                 if added > 0 {
                     self.loss_events.push(added);
+                    self.trace(
+                        ctx,
+                        EventKind::LossDetected {
+                            first_lo: from.raw(),
+                            first_hi: to.raw(),
+                        },
+                    );
                     self.send_ctrl(
                         ctx,
                         ControlBody::Nak(vec![SeqRange::new(from, to)]),
                         16 + 8,
                     );
+                    self.trace(
+                        ctx,
+                        EventKind::NakSend {
+                            first_lo: from.raw(),
+                            first_hi: to.raw(),
+                            ranges: 1,
+                        },
+                    );
                 }
             }
             self.lrsn = seq;
             self.received_pkts += 1;
+            self.trace(
+                ctx,
+                EventKind::DataRecv {
+                    seq: seq.raw(),
+                    bytes: self.cfg.mss,
+                },
+            );
         } else {
             // At or below the largest seen: retransmission or duplicate.
             if self.loss.remove(seq) {
                 self.received_pkts += 1;
+                self.trace(
+                    ctx,
+                    EventKind::DataRecv {
+                        seq: seq.raw(),
+                        bytes: self.cfg.mss,
+                    },
+                );
             } else {
                 self.duplicate_pkts += 1;
+                self.trace(
+                    ctx,
+                    EventKind::DataDrop {
+                        seq: seq.raw(),
+                        reason: DropReason::Duplicate,
+                    },
+                );
             }
         }
         self.advance_delivery(ctx);
@@ -635,6 +754,13 @@ impl UdtReceiver {
             },
             40,
         );
+        self.trace(
+            ctx,
+            EventKind::AckSend {
+                ack_no: self.ack_seq,
+                ack_seq: ack_no.raw(),
+            },
+        );
     }
 
     fn resend_naks(&mut self, ctx: &mut Ctx) {
@@ -642,7 +768,17 @@ impl UdtReceiver {
         let due = self.loss.due_reports(ctx.now, base, 64);
         if !due.is_empty() {
             let size = 16 + 8 * due.len() as u32;
+            let (first_lo, first_hi) = (due[0].from.raw(), due[0].to.raw());
+            let ranges = due.len() as u32;
             self.send_ctrl(ctx, ControlBody::Nak(due), size);
+            self.trace(
+                ctx,
+                EventKind::NakSend {
+                    first_lo,
+                    first_hi,
+                    ranges,
+                },
+            );
         }
     }
 }
@@ -660,8 +796,14 @@ impl Agent for UdtReceiver {
             Payload::Udt(Packet::Data(d)) => self.on_data(d.seq, ctx),
             Payload::Udt(Packet::Control(ctrl)) => {
                 if let ControlBody::Ack2 { ack_seq } = ctrl.body {
+                    self.trace(ctx, EventKind::Ack2Recv { ack_no: ack_seq });
                     if let Some((sample, _seq)) = self.ackw.acknowledge(ack_seq, ctx.now) {
                         self.rtt.update(sample);
+                        // RTT estimates fit the 32-bit microsecond fields.
+                        let (rtt_us, var_us) =
+                            // udt-lint: allow(as-cast)
+                            (self.rtt.rtt_us() as u32, self.rtt.rtt_var_us() as u32);
+                        self.trace(ctx, EventKind::RttUpdate { rtt_us, var_us });
                     }
                 }
             }
@@ -714,6 +856,36 @@ pub fn attach_udt_flow(
     };
     let s = sim.add_agent(src, Box::new(UdtSender::new(snd_cfg)));
     let r = sim.add_agent(dst, Box::new(UdtReceiver::new(rcv_cfg)));
+    (s, r)
+}
+
+/// Like [`attach_udt_flow`], with both endpoints emitting into `tracer`.
+/// Use a tracer built over [`crate::sim::Simulator::trace_clock`] so any
+/// out-of-band emits share the simulated timeline; the agents themselves
+/// always stamp events with the event-loop clock.
+pub fn attach_udt_flow_traced(
+    sim: &mut crate::sim::Simulator,
+    src: NodeId,
+    dst: NodeId,
+    snd_cfg: UdtSenderCfg,
+    tracer: &Tracer,
+) -> (crate::packet::AgentId, crate::packet::AgentId) {
+    let rcv_cfg = UdtReceiverCfg {
+        src,
+        flow: snd_cfg.flow,
+        mss: snd_cfg.mss,
+        init_seq: snd_cfg.init_seq,
+        buffer_pkts: snd_cfg.max_flow_win,
+        syn: snd_cfg.cc.syn(),
+    };
+    let s = sim.add_agent(
+        src,
+        Box::new(UdtSender::new(snd_cfg).with_tracer(tracer.clone())),
+    );
+    let r = sim.add_agent(
+        dst,
+        Box::new(UdtReceiver::new(rcv_cfg).with_tracer(tracer.clone())),
+    );
     (s, r)
 }
 
@@ -832,5 +1004,44 @@ mod tests {
         );
         let total = (t1 + t2) * 8.0 / 40.0;
         assert!(total > 0.8 * rate, "aggregate {total:.2e} too low");
+    }
+
+    #[test]
+    fn traced_flow_emits_schema_events_on_sim_timeline() {
+        let mut d = dumbbell(DumbbellCfg {
+            flows: 1,
+            rate_bps: 1e7,
+            one_way_delay: Nanos::from_millis(5),
+            queue_cap: 10, // force drops so loss/NAK events appear
+        });
+        let f = d.sim.add_flow();
+        let tracer = Tracer::with_clock(1 << 14, d.sim.trace_clock());
+        let mut cfg = UdtSenderCfg::bulk(d.sinks[0], f);
+        cfg.total_pkts = Some(2_000);
+        attach_udt_flow_traced(&mut d.sim, d.sources[0], d.sinks[0], cfg, &tracer);
+        d.sim.run_until(Nanos::from_secs(30));
+
+        let events = tracer.snapshot();
+        assert!(!events.is_empty(), "traced run produced no events");
+        // Timestamps are simulated time: monotone non-decreasing (the ring
+        // preserves emit order) and bounded by the run horizon.
+        let mut prev = 0;
+        for ev in &events {
+            assert!(ev.t_ns >= prev, "timeline goes backwards");
+            assert!(ev.t_ns <= Nanos::from_secs(30).0);
+            assert_eq!(ev.conn, f.0 as u32);
+            prev = ev.t_ns;
+        }
+        // Both endpoints and the loss machinery left their marks.
+        let has = |name: &str| events.iter().any(|e| e.kind.name() == name);
+        for name in ["data_send", "data_recv", "ack_send", "ack_recv", "loss", "nak_send", "nak_recv", "rate"] {
+            assert!(has(name), "missing {name} events");
+        }
+        // Every event round-trips through the shared JSONL codec.
+        for ev in &events {
+            let line = udt_trace::json::encode(ev);
+            let back = udt_trace::json::parse_line(&line).expect("codec round-trip");
+            assert_eq!(back, *ev);
+        }
     }
 }

@@ -11,8 +11,10 @@
 use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use udt_algo::Nanos;
+use udt_trace::VirtualClock;
 
 use crate::link::Link;
 use crate::packet::{AgentId, FlowId, LinkId, NodeId, SimPacket};
@@ -129,6 +131,9 @@ pub struct Simulator {
     next_sample: Nanos,
     samples: Vec<Sample>,
     started: bool,
+    /// Mirrors `now` so tracers built with [`Simulator::trace_clock`] stamp
+    /// events in simulated (not wall-clock) time.
+    trace_clock: Arc<VirtualClock>,
 }
 
 impl Simulator {
@@ -148,12 +153,21 @@ impl Simulator {
             next_sample: Nanos::ZERO,
             samples: Vec::new(),
             started: false,
+            trace_clock: Arc::new(VirtualClock::new()),
         }
     }
 
     /// Current simulation time.
     pub fn now(&self) -> Nanos {
         self.now
+    }
+
+    /// A trace clock that follows simulated time. Build a tracer with
+    /// `Tracer::with_clock(cap, sim.trace_clock())` and events emitted
+    /// through it carry simulation timestamps, so netsim exports share the
+    /// exact schema (and timeline semantics) of real-socket traces.
+    pub fn trace_clock(&self) -> Arc<VirtualClock> {
+        Arc::clone(&self.trace_clock)
     }
 
     /// Attach an agent to a node (one agent per node).
@@ -333,6 +347,7 @@ impl Simulator {
             // udt-lint: allow(unwrap) — pop after a successful peek is infallible
             let Reverse(ev) = self.events.pop().expect("peeked");
             self.now = ev.time;
+            self.trace_clock.set_ns(self.now.0);
             match ev.kind {
                 EventKind::TxFree { link, size } => {
                     if let Some(next) = self.links[link.0].tx_done(size) {
@@ -383,5 +398,6 @@ impl Simulator {
             }
         }
         self.now = self.now.max(until);
+        self.trace_clock.set_ns(self.now.0);
     }
 }

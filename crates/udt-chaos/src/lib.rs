@@ -33,6 +33,7 @@
 use std::sync::Arc;
 
 use udt_metrics::counters::FaultCounters;
+use udt_trace::{EventKind, Label, Tracer};
 
 pub mod impairments;
 pub mod relay;
@@ -136,6 +137,11 @@ pub struct ImpairmentChain {
     counters: Vec<Arc<FaultCounters>>,
     log: Option<Vec<FaultEvent>>,
     next_index: u64,
+    /// Structured event sink: every injected fault also lands on the
+    /// trace timeline as a `chaos` event. Disabled by default.
+    tracer: Tracer,
+    /// Connection/flow tag for emitted chaos events.
+    trace_conn: u32,
 }
 
 impl ImpairmentChain {
@@ -150,6 +156,8 @@ impl ImpairmentChain {
             counters,
             log: None,
             next_index: 0,
+            tracer: Tracer::disabled(),
+            trace_conn: 0,
         }
     }
 
@@ -162,6 +170,47 @@ impl ImpairmentChain {
     pub fn with_log(mut self) -> ImpairmentChain {
         self.log = Some(Vec::new());
         self
+    }
+
+    /// Also emit every injected fault as a [`EventKind::ChaosFault`] trace
+    /// event tagged with `conn`, so impairments and the protocol's
+    /// reactions (NAK, EXP, Broken) interleave on one timeline. The
+    /// event timestamp is the chain's own clock (`now_us` of `apply`),
+    /// which each layer already aligns with its trace clock.
+    pub fn with_tracer(mut self, tracer: Tracer, conn: u32) -> ImpairmentChain {
+        self.tracer = tracer;
+        self.trace_conn = conn;
+        self
+    }
+
+    /// Static so it can run while `apply` holds a mutable borrow of the
+    /// stage list (a cloned [`Tracer`] shares the same ring).
+    fn trace_fault(
+        tracer: &Tracer,
+        conn: u32,
+        now_us: u64,
+        stage: &'static str,
+        kind: FateKind,
+        magnitude: u64,
+    ) {
+        if !tracer.is_enabled() {
+            return;
+        }
+        let kind = match kind {
+            FateKind::Delay => "delay",
+            FateKind::Drop => "drop",
+            FateKind::Duplicate => "dup",
+            FateKind::Corrupt => "corrupt",
+        };
+        tracer.emit_at(
+            now_us.saturating_mul(1000),
+            conn,
+            EventKind::ChaosFault {
+                stage: Label::new(stage),
+                kind: Label::new(kind),
+                magnitude,
+            },
+        );
     }
 
     /// Whether the chain has no stages.
@@ -188,6 +237,7 @@ impl ImpairmentChain {
     pub fn apply(&mut self, now_us: u64, size: usize, data: Option<&mut Vec<u8>>) -> Verdict {
         let index = self.next_index;
         self.next_index += 1;
+        let (tracer, trace_conn) = (self.tracer.clone(), self.trace_conn);
         let mut pkt = ChaosPacket { index, size, data };
         let mut delay_us = 0u64;
         let mut extra_copies = 0u32;
@@ -212,6 +262,7 @@ impl ImpairmentChain {
                             magnitude: 0,
                         });
                     }
+                    Self::trace_fault(&tracer, trace_conn, now_us, stage.name(), FateKind::Drop, 0);
                     return Verdict {
                         copies: Vec::new(),
                         corrupted,
@@ -236,6 +287,7 @@ impl ImpairmentChain {
                     magnitude,
                 });
             }
+            Self::trace_fault(&tracer, trace_conn, now_us, stage.name(), kind, magnitude);
         }
         let copies = (0..=u64::from(extra_copies))
             .map(|i| delay_us + i * DUP_GAP_US)
@@ -376,5 +428,44 @@ mod tests {
             (0.02..0.35).contains(&rate),
             "implausible GE loss rate {rate}"
         );
+    }
+
+    #[test]
+    fn traced_chain_mirrors_fault_log() {
+        let tracer = Tracer::ring(1 << 12);
+        let mut chain = bursty_scenario()
+            .build(Direction::Forward)
+            .with_log()
+            .with_tracer(tracer.clone(), 42);
+        for i in 0..2_000u64 {
+            let _ = chain.apply(i * 100, 1472, None);
+        }
+        let log = chain.fault_log();
+        assert!(!log.is_empty(), "scenario injected nothing");
+        let events = tracer.snapshot();
+        // Every logged fault has a matching chaos trace event (same order,
+        // same stage/kind/magnitude, µs → ns timestamps, conn tag 42).
+        assert_eq!(events.len(), log.len());
+        for (ev, fault) in events.iter().zip(log) {
+            assert_eq!(ev.conn, 42);
+            let EventKind::ChaosFault {
+                stage,
+                kind,
+                magnitude,
+            } = &ev.kind
+            else {
+                panic!("non-chaos event {ev:?} in chaos-only tracer");
+            };
+            assert_eq!(stage.as_str(), fault.stage);
+            assert_eq!(*magnitude, fault.magnitude);
+            let want = match fault.kind {
+                FateKind::Delay => "delay",
+                FateKind::Drop => "drop",
+                FateKind::Duplicate => "dup",
+                FateKind::Corrupt => "corrupt",
+            };
+            assert_eq!(kind.as_str(), want);
+            assert_eq!(ev.t_ns, fault.pkt * 100 * 1000);
+        }
     }
 }

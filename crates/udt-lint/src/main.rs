@@ -123,6 +123,9 @@ fn main() -> ExitCode {
         if scope.lock_order && !lock_order.is_empty() {
             findings.extend(rules::lock_order(&rel_str, &lexed, &lock_order));
         }
+        if scope.println {
+            findings.extend(rules::println_rule(&rel_str, &lexed));
+        }
     }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

@@ -8,6 +8,7 @@
 //! | `unwrap`    | `unwrap`/`expect`/`panic!` in library (non-test) code         |
 //! | `as-cast`   | `as` narrowing casts on sequence/timestamp values             |
 //! | `lock-order`| lock acquisition violating the documented order               |
+//! | `println`   | `println!`/`eprintln!` in library crates (use udt-trace)      |
 //!
 //! Every rule honours the `// udt-lint: allow(<rule>)` escape hatch on the
 //! finding's line or the line above it.
@@ -29,7 +30,8 @@ pub struct Finding {
 }
 
 /// All rule names, for `--list-rules` and directive validation.
-pub const RULES: &[&str] = &["seq-cmp", "wall-clock", "unwrap", "as-cast", "lock-order"];
+pub const RULES: &[&str] =
+    &["seq-cmp", "wall-clock", "unwrap", "as-cast", "lock-order", "println"];
 
 /// Identifiers treated as sequence-number-typed. Field and local names in
 /// this workspace are consistent enough that a name-based judgement works;
@@ -276,6 +278,37 @@ pub fn as_cast(file: &str, lexed: &LexedFile) -> Vec<Finding> {
     out
 }
 
+/// `println`: `println!`/`eprintln!`/`print!`/`eprint!` in library crates.
+/// A library layer that writes to the process's stdio is unusable under a
+/// TUI, pollutes experiment artifacts, and hides information from the
+/// flight recorder — emit a `udt-trace` event instead. CLI binaries
+/// (`src/bin/`) and the bench/report harnesses are exempt by scope.
+pub fn println_rule(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        if matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && punct_at(tokens, i + 1, "!")
+        {
+            out.push(finding(
+                file,
+                lexed,
+                t.line,
+                "println",
+                format!(
+                    "`{}!` in library code: emit a udt-trace event (or return \
+                     the text to the caller) instead of writing to stdio",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// One lock the order rule tracks.
 #[derive(Debug, Clone)]
 struct Held {
@@ -455,12 +488,18 @@ pub struct Scope {
     pub unwrap: bool,
     pub as_cast: bool,
     pub lock_order: bool,
+    pub println: bool,
 }
 
 impl Scope {
     /// Does any rule apply to this file at all?
     pub fn any(&self) -> bool {
-        self.seq_cmp || self.wall_clock || self.unwrap || self.as_cast || self.lock_order
+        self.seq_cmp
+            || self.wall_clock
+            || self.unwrap
+            || self.as_cast
+            || self.lock_order
+            || self.println
     }
 }
 
@@ -483,7 +522,14 @@ pub fn scope_for(rel: &Path) -> Scope {
     let harness = matches!(crate_name, "bench" | "testsuite" | "udt-lint" | "udt-verify");
     let lib_crate = matches!(
         crate_name,
-        "udt" | "udt-proto" | "udt-algo" | "netsim" | "linkemu" | "udt-metrics" | "udt-chaos"
+        "udt"
+            | "udt-proto"
+            | "udt-algo"
+            | "netsim"
+            | "linkemu"
+            | "udt-metrics"
+            | "udt-chaos"
+            | "udt-trace"
     );
     let test_file = p.ends_with("_tests.rs") || p.ends_with("/tests.rs");
     Scope {
@@ -492,6 +538,7 @@ pub fn scope_for(rel: &Path) -> Scope {
         unwrap: lib_crate && !in_bin && !test_file,
         as_cast: !is_blessed_seqno && !is_tcp_model && !harness,
         lock_order: crate_name == "udt",
+        println: lib_crate && !in_bin && !test_file,
     }
 }
 
@@ -574,6 +621,39 @@ mod tests {
     fn as_cast_ignores_widening_and_unrelated() {
         assert!(run("fn f() { let x = seq.raw() as u64; }", as_cast).is_empty());
         assert!(run("fn f() { let x = count as u16; }", as_cast).is_empty());
+    }
+
+    #[test]
+    fn println_catches_stdio_macros() {
+        let fs = run(
+            "fn f() { println!(\"x\"); eprintln!(\"y\"); print!(\"z\"); eprint!(\"w\"); }",
+            println_rule,
+        );
+        assert_eq!(fs.len(), 4);
+        assert!(!fs[0].allowed);
+    }
+
+    #[test]
+    fn println_skips_tests_writeln_and_allows() {
+        assert!(run("#[test]\nfn t() { println!(\"dbg\"); }", println_rule).is_empty());
+        assert!(run("fn f() { writeln!(out, \"x\").ok(); }", println_rule).is_empty());
+        let fs = run(
+            "fn f() {\n // udt-lint: allow(println)\n println!(\"banner\");\n}",
+            println_rule,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn println_scope_covers_lib_crates_only() {
+        use std::path::Path;
+        assert!(scope_for(Path::new("crates/udt/src/conn.rs")).println);
+        assert!(scope_for(Path::new("crates/udt-trace/src/lib.rs")).println);
+        assert!(scope_for(Path::new("crates/udt-trace/src/lib.rs")).unwrap);
+        assert!(!scope_for(Path::new("crates/udt/src/bin/udtperf.rs")).println);
+        assert!(!scope_for(Path::new("crates/bench/src/report.rs")).println);
+        assert!(!scope_for(Path::new("crates/udt-lint/src/main.rs")).println);
     }
 
     #[test]

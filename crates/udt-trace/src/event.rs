@@ -1,0 +1,562 @@
+//! Typed trace events.
+//!
+//! Every event is `Copy` with a fixed in-memory size so the ring buffer
+//! ([`crate::TraceBuf`]) never allocates on the hot path. Variable-length
+//! information (loss lists, fault-stage names) is condensed to fixed-size
+//! summaries: a NAK carries its first compressed range plus the range
+//! count, chaos faults carry a bounded [`Label`].
+
+use std::fmt;
+
+/// Number of CPU cost categories in the Table 3 breakdown.
+///
+/// Must match `udt::instrument::N_CATEGORIES`; a cross-crate test in the
+/// `udt` crate pins the two together.
+pub const CPU_CATEGORY_COUNT: usize = 9;
+
+/// Names of the Table 3 CPU categories, in `udt::instrument` order.
+pub const CPU_CATEGORIES: [&str; CPU_CATEGORY_COUNT] = [
+    "UDP writing",
+    "UDP reading",
+    "Timing",
+    "Packing data",
+    "Unpacking data",
+    "Processing control packets",
+    "Loss processing",
+    "Application interaction",
+    "Bandwidth/RTT/arrival measurement",
+];
+
+/// A bounded, `Copy`, allocation-free ASCII label (up to 15 bytes; longer
+/// inputs are truncated). Used where an event must carry a short name that
+/// is only known at runtime (chaos impairment stages, fault kinds).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Label {
+    len: u8,
+    buf: [u8; 15],
+}
+
+impl Label {
+    /// Build from a string, truncating to 15 bytes on a char boundary.
+    pub fn new(s: &str) -> Label {
+        let mut end = s.len().min(15);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; 15];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        Label {
+            len: u8::try_from(end).unwrap_or(15),
+            buf,
+        }
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..usize::from(self.len)]).unwrap_or("")
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Why a packet was dropped (receive-side or in an emulated link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Failed the receive-side plausibility gate (far outside the window).
+    Implausible,
+    /// Already delivered or buffered.
+    Duplicate,
+    /// No space in the receive buffer.
+    BufferFull,
+    /// Tail-dropped by an emulated link queue.
+    Queue,
+    /// Random loss injected by an emulated link.
+    RandomLoss,
+    /// Shed by the UDP demultiplexer (per-connection queue full).
+    Shed,
+}
+
+impl DropReason {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DropReason::Implausible => "implausible",
+            DropReason::Duplicate => "duplicate",
+            DropReason::BufferFull => "buffer_full",
+            DropReason::Queue => "queue",
+            DropReason::RandomLoss => "random_loss",
+            DropReason::Shed => "shed",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<DropReason> {
+        Some(match s {
+            "implausible" => DropReason::Implausible,
+            "duplicate" => DropReason::Duplicate,
+            "buffer_full" => DropReason::BufferFull,
+            "queue" => DropReason::Queue,
+            "random_loss" => DropReason::RandomLoss,
+            "shed" => DropReason::Shed,
+            _ => return None,
+        })
+    }
+}
+
+/// Which protocol timer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Periodic ACK timer (SYN-paced).
+    Ack,
+    /// NAK retransmission timer.
+    Nak,
+    /// Expiration / keep-alive timer.
+    Exp,
+    /// Send pacing timer (reported only on freeze/resume, not per packet).
+    Snd,
+}
+
+impl TimerKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TimerKind::Ack => "ack",
+            TimerKind::Nak => "nak",
+            TimerKind::Exp => "exp",
+            TimerKind::Snd => "snd",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<TimerKind> {
+        Some(match s {
+            "ack" => TimerKind::Ack,
+            "nak" => TimerKind::Nak,
+            "exp" => TimerKind::Exp,
+            "snd" => TimerKind::Snd,
+            _ => return None,
+        })
+    }
+}
+
+/// Connection lifecycle states, as seen by the tracer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Handshake in progress.
+    Connecting,
+    /// Established.
+    Connected,
+    /// Local close initiated.
+    Closing,
+    /// Fully closed.
+    Closed,
+    /// Peer unresponsive past the expiration ladder.
+    Broken,
+}
+
+impl ConnState {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConnState::Connecting => "connecting",
+            ConnState::Connected => "connected",
+            ConnState::Closing => "closing",
+            ConnState::Closed => "closed",
+            ConnState::Broken => "broken",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<ConnState> {
+        Some(match s {
+            "connecting" => ConnState::Connecting,
+            "connected" => ConnState::Connected,
+            "closing" => ConnState::Closing,
+            "closed" => ConnState::Closed,
+            "broken" => ConnState::Broken,
+            _ => return None,
+        })
+    }
+}
+
+/// Handshake phases (client and listener sides share the vocabulary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HsPhase {
+    /// Client sent a connection request.
+    Request,
+    /// Listener answered with a SYN-cookie challenge.
+    Challenge,
+    /// Listener sent (or client received) the final response.
+    Response,
+    /// Connection accepted/established.
+    Accepted,
+    /// Handshake rejected (bad version, MSS, cookie …).
+    Rejected,
+    /// Listener shed the request due to rate limiting.
+    RateLimited,
+    /// Listener shed the request because the accept backlog was full.
+    BacklogDrop,
+}
+
+impl HsPhase {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HsPhase::Request => "request",
+            HsPhase::Challenge => "challenge",
+            HsPhase::Response => "response",
+            HsPhase::Accepted => "accepted",
+            HsPhase::Rejected => "rejected",
+            HsPhase::RateLimited => "rate_limited",
+            HsPhase::BacklogDrop => "backlog_drop",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<HsPhase> {
+        Some(match s {
+            "request" => HsPhase::Request,
+            "challenge" => HsPhase::Challenge,
+            "response" => HsPhase::Response,
+            "accepted" => HsPhase::Accepted,
+            "rejected" => HsPhase::Rejected,
+            "rate_limited" => HsPhase::RateLimited,
+            "backlog_drop" => HsPhase::BacklogDrop,
+            _ => return None,
+        })
+    }
+}
+
+/// Which buffer a watermark event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufSide {
+    /// Send buffer.
+    Snd,
+    /// Receive buffer.
+    Rcv,
+}
+
+impl BufSide {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BufSide::Snd => "snd",
+            BufSide::Rcv => "rcv",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn from_name(s: &str) -> Option<BufSide> {
+        Some(match s {
+            "snd" => BufSide::Snd,
+            "rcv" => BufSide::Rcv,
+            _ => return None,
+        })
+    }
+}
+
+/// The event payload. All variants are fixed-size and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A data packet left the sender (`retx` = retransmission).
+    DataSend {
+        /// Packet sequence number.
+        seq: u32,
+        /// Payload bytes.
+        bytes: u32,
+        /// True when popped from the loss list.
+        retx: bool,
+    },
+    /// A data packet arrived at the receiver.
+    DataRecv {
+        /// Packet sequence number.
+        seq: u32,
+        /// Payload bytes.
+        bytes: u32,
+    },
+    /// A packet was discarded.
+    DataDrop {
+        /// Packet sequence number (0 when unknown, e.g. link-level drops).
+        seq: u32,
+        /// Why.
+        reason: DropReason,
+    },
+    /// ACK transmitted.
+    AckSend {
+        /// ACK sub-sequence number.
+        ack_no: u32,
+        /// Acknowledged data sequence number.
+        ack_seq: u32,
+    },
+    /// ACK received.
+    AckRecv {
+        /// ACK sub-sequence number.
+        ack_no: u32,
+        /// Acknowledged data sequence number.
+        ack_seq: u32,
+    },
+    /// ACK2 transmitted.
+    Ack2Send {
+        /// Echoed ACK sub-sequence number.
+        ack_no: u32,
+    },
+    /// ACK2 received.
+    Ack2Recv {
+        /// Echoed ACK sub-sequence number.
+        ack_no: u32,
+    },
+    /// NAK transmitted; `first_lo..=first_hi` is the first compressed
+    /// range, `ranges` the total number of ranges in the packet.
+    NakSend {
+        /// First range start.
+        first_lo: u32,
+        /// First range end (inclusive).
+        first_hi: u32,
+        /// Number of compressed ranges.
+        ranges: u32,
+    },
+    /// NAK received (same encoding as [`EventKind::NakSend`]).
+    NakRecv {
+        /// First range start.
+        first_lo: u32,
+        /// First range end (inclusive).
+        first_hi: u32,
+        /// Number of compressed ranges.
+        ranges: u32,
+    },
+    /// Receiver detected a sequence gap.
+    LossDetected {
+        /// First missing sequence number.
+        first_lo: u32,
+        /// Last missing sequence number (inclusive).
+        first_hi: u32,
+    },
+    /// Rate-control update (inter-packet period and window).
+    RateUpdate {
+        /// Inter-packet send period, microseconds.
+        period_us: f64,
+        /// Congestion window, packets.
+        cwnd: f64,
+    },
+    /// RTT estimator update.
+    RttUpdate {
+        /// Smoothed RTT, microseconds.
+        rtt_us: u32,
+        /// RTT variance, microseconds.
+        var_us: u32,
+    },
+    /// Packet-pair bandwidth estimate update.
+    BwEstimate {
+        /// Estimated capacity, packets per second.
+        pps: f64,
+    },
+    /// A protocol timer fired.
+    TimerFire {
+        /// Which timer.
+        timer: TimerKind,
+        /// Consecutive fire count (EXP ladder position, etc.).
+        count: u32,
+    },
+    /// Connection state transition.
+    StateChange {
+        /// Previous state.
+        from: ConnState,
+        /// New state.
+        to: ConnState,
+    },
+    /// Handshake progress.
+    Handshake {
+        /// Phase.
+        phase: HsPhase,
+        /// Peer socket id (0 when unknown).
+        peer: u32,
+    },
+    /// Resilient-session reconnect attempt.
+    Reconnect {
+        /// Attempt number (1-based).
+        attempt: u32,
+        /// Backoff applied before the attempt, milliseconds.
+        backoff_ms: u32,
+    },
+    /// Resumable transfer resumed at an offset.
+    Resume {
+        /// Byte offset the transfer resumed from.
+        offset: u64,
+    },
+    /// Buffer occupancy watermark.
+    BufLevel {
+        /// Which buffer.
+        side: BufSide,
+        /// Packets in use.
+        used: u32,
+        /// Capacity, packets.
+        cap: u32,
+    },
+    /// A chaos impairment decision (injected fault).
+    ChaosFault {
+        /// Impairment stage name (e.g. "loss", "reorder").
+        stage: Label,
+        /// Fault kind (e.g. "drop", "delay", "dup", "corrupt").
+        kind: Label,
+        /// Stage-specific magnitude (delay µs, dup copies …).
+        magnitude: u64,
+    },
+    /// Periodic performance sample (udtperf `--trace`).
+    PerfSample {
+        /// Smoothed RTT, microseconds.
+        rtt_us: f64,
+        /// Inter-packet send period, microseconds.
+        period_us: f64,
+        /// Congestion window, packets.
+        cwnd: f64,
+        /// Send rate over the interval, packets per second.
+        rate_pps: f64,
+        /// Estimated link capacity, packets per second.
+        bw_pps: f64,
+        /// Cumulative packets sent.
+        sent: u64,
+        /// Cumulative packets retransmitted.
+        retx_pkts: u64,
+        /// Cumulative payload bytes handed to the socket.
+        bytes: u64,
+        /// Cumulative payload bytes delivered to the peer application.
+        delivered: u64,
+    },
+    /// Table 3 CPU breakdown snapshot (cumulative nanoseconds per
+    /// category, `udt::instrument` order).
+    CpuBreakdown {
+        /// Cumulative nanoseconds per category.
+        nanos: [u64; CPU_CATEGORY_COUNT],
+    },
+}
+
+impl EventKind {
+    /// Stable wire name of the variant (the `"ev"` JSON field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::DataSend { .. } => "data_send",
+            EventKind::DataRecv { .. } => "data_recv",
+            EventKind::DataDrop { .. } => "data_drop",
+            EventKind::AckSend { .. } => "ack_send",
+            EventKind::AckRecv { .. } => "ack_recv",
+            EventKind::Ack2Send { .. } => "ack2_send",
+            EventKind::Ack2Recv { .. } => "ack2_recv",
+            EventKind::NakSend { .. } => "nak_send",
+            EventKind::NakRecv { .. } => "nak_recv",
+            EventKind::LossDetected { .. } => "loss",
+            EventKind::RateUpdate { .. } => "rate",
+            EventKind::RttUpdate { .. } => "rtt",
+            EventKind::BwEstimate { .. } => "bw",
+            EventKind::TimerFire { .. } => "timer",
+            EventKind::StateChange { .. } => "state",
+            EventKind::Handshake { .. } => "handshake",
+            EventKind::Reconnect { .. } => "reconnect",
+            EventKind::Resume { .. } => "resume",
+            EventKind::BufLevel { .. } => "buf",
+            EventKind::ChaosFault { .. } => "chaos",
+            EventKind::PerfSample { .. } => "perf",
+            EventKind::CpuBreakdown { .. } => "cpu",
+        }
+    }
+}
+
+/// One trace record: a timestamp, a connection (or flow) id, and the
+/// typed payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Monotonic timestamp, nanoseconds since the tracer clock's epoch
+    /// (virtual sim-time in netsim).
+    pub t_ns: u64,
+    /// Connection / flow id the event belongs to.
+    pub conn: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// A zeroed placeholder used to initialise ring slots.
+    pub(crate) fn empty() -> TraceEvent {
+        TraceEvent {
+            t_ns: 0,
+            conn: 0,
+            kind: EventKind::TimerFire {
+                timer: TimerKind::Snd,
+                count: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_truncates_and_roundtrips() {
+        assert_eq!(Label::new("loss").as_str(), "loss");
+        assert_eq!(Label::new("").as_str(), "");
+        let long = Label::new("a-very-long-stage-name");
+        assert_eq!(long.as_str(), "a-very-long-sta");
+        assert_eq!(long.as_str().len(), 15);
+    }
+
+    #[test]
+    fn label_respects_char_boundaries() {
+        // 15 bytes falls inside the 4th 'é' (2 bytes each starting at 14).
+        let s = "aaaaaaaaaaaaaaéé";
+        let l = Label::new(s);
+        assert!(l.as_str().len() <= 15);
+        assert!(s.starts_with(l.as_str()));
+    }
+
+    #[test]
+    fn enum_wire_names_roundtrip() {
+        for r in [
+            DropReason::Implausible,
+            DropReason::Duplicate,
+            DropReason::BufferFull,
+            DropReason::Queue,
+            DropReason::RandomLoss,
+            DropReason::Shed,
+        ] {
+            assert_eq!(DropReason::from_name(r.as_str()), Some(r));
+        }
+        for t in [TimerKind::Ack, TimerKind::Nak, TimerKind::Exp, TimerKind::Snd] {
+            assert_eq!(TimerKind::from_name(t.as_str()), Some(t));
+        }
+        for s in [
+            ConnState::Connecting,
+            ConnState::Connected,
+            ConnState::Closing,
+            ConnState::Closed,
+            ConnState::Broken,
+        ] {
+            assert_eq!(ConnState::from_name(s.as_str()), Some(s));
+        }
+        for p in [
+            HsPhase::Request,
+            HsPhase::Challenge,
+            HsPhase::Response,
+            HsPhase::Accepted,
+            HsPhase::Rejected,
+            HsPhase::RateLimited,
+            HsPhase::BacklogDrop,
+        ] {
+            assert_eq!(HsPhase::from_name(p.as_str()), Some(p));
+        }
+        for b in [BufSide::Snd, BufSide::Rcv] {
+            assert_eq!(BufSide::from_name(b.as_str()), Some(b));
+        }
+        assert_eq!(DropReason::from_name("nope"), None);
+    }
+}

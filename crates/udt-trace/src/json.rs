@@ -1,0 +1,789 @@
+//! Hand-rolled JSONL / CSV codec for trace events.
+//!
+//! One flat JSON object per line, no external dependencies. The `"ev"`
+//! field names the variant; every other field is a scalar (or, for the
+//! CPU breakdown, an array of integers). [`parse_line`] is the inverse of
+//! [`encode`] — the *shared parser* that the netsim, real-socket and
+//! linkemu exporters are all validated against.
+
+// The two float→integer casts below are integral- and range-checked at the
+// cast sites (tolerating numbers an external tool re-serialised as floats).
+#![allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+
+use crate::event::{
+    BufSide, ConnState, DropReason, EventKind, HsPhase, Label, TimerKind, TraceEvent,
+    CPU_CATEGORY_COUNT,
+};
+
+/// Encode one event as a single-line JSON object (no trailing newline).
+pub fn encode(ev: &TraceEvent) -> String {
+    let mut s = String::with_capacity(128);
+    s.push_str("{\"t_ns\":");
+    push_u64(&mut s, ev.t_ns);
+    s.push_str(",\"conn\":");
+    push_u64(&mut s, u64::from(ev.conn));
+    s.push_str(",\"ev\":\"");
+    s.push_str(ev.kind.name());
+    s.push('"');
+    match &ev.kind {
+        EventKind::DataSend { seq, bytes, retx } => {
+            field_u(&mut s, "seq", u64::from(*seq));
+            field_u(&mut s, "bytes", u64::from(*bytes));
+            field_bool(&mut s, "retx", *retx);
+        }
+        EventKind::DataRecv { seq, bytes } => {
+            field_u(&mut s, "seq", u64::from(*seq));
+            field_u(&mut s, "bytes", u64::from(*bytes));
+        }
+        EventKind::DataDrop { seq, reason } => {
+            field_u(&mut s, "seq", u64::from(*seq));
+            field_str(&mut s, "reason", reason.as_str());
+        }
+        EventKind::AckSend { ack_no, ack_seq } | EventKind::AckRecv { ack_no, ack_seq } => {
+            field_u(&mut s, "ack_no", u64::from(*ack_no));
+            field_u(&mut s, "ack_seq", u64::from(*ack_seq));
+        }
+        EventKind::Ack2Send { ack_no } | EventKind::Ack2Recv { ack_no } => {
+            field_u(&mut s, "ack_no", u64::from(*ack_no));
+        }
+        EventKind::NakSend {
+            first_lo,
+            first_hi,
+            ranges,
+        }
+        | EventKind::NakRecv {
+            first_lo,
+            first_hi,
+            ranges,
+        } => {
+            field_u(&mut s, "first_lo", u64::from(*first_lo));
+            field_u(&mut s, "first_hi", u64::from(*first_hi));
+            field_u(&mut s, "ranges", u64::from(*ranges));
+        }
+        EventKind::LossDetected { first_lo, first_hi } => {
+            field_u(&mut s, "first_lo", u64::from(*first_lo));
+            field_u(&mut s, "first_hi", u64::from(*first_hi));
+        }
+        EventKind::RateUpdate { period_us, cwnd } => {
+            field_f(&mut s, "period_us", *period_us);
+            field_f(&mut s, "cwnd", *cwnd);
+        }
+        EventKind::RttUpdate { rtt_us, var_us } => {
+            field_u(&mut s, "rtt_us", u64::from(*rtt_us));
+            field_u(&mut s, "var_us", u64::from(*var_us));
+        }
+        EventKind::BwEstimate { pps } => {
+            field_f(&mut s, "pps", *pps);
+        }
+        EventKind::TimerFire { timer, count } => {
+            field_str(&mut s, "timer", timer.as_str());
+            field_u(&mut s, "count", u64::from(*count));
+        }
+        EventKind::StateChange { from, to } => {
+            field_str(&mut s, "from", from.as_str());
+            field_str(&mut s, "to", to.as_str());
+        }
+        EventKind::Handshake { phase, peer } => {
+            field_str(&mut s, "phase", phase.as_str());
+            field_u(&mut s, "peer", u64::from(*peer));
+        }
+        EventKind::Reconnect {
+            attempt,
+            backoff_ms,
+        } => {
+            field_u(&mut s, "attempt", u64::from(*attempt));
+            field_u(&mut s, "backoff_ms", u64::from(*backoff_ms));
+        }
+        EventKind::Resume { offset } => {
+            field_u(&mut s, "offset", *offset);
+        }
+        EventKind::BufLevel { side, used, cap } => {
+            field_str(&mut s, "side", side.as_str());
+            field_u(&mut s, "used", u64::from(*used));
+            field_u(&mut s, "cap", u64::from(*cap));
+        }
+        EventKind::ChaosFault {
+            stage,
+            kind,
+            magnitude,
+        } => {
+            field_str(&mut s, "stage", stage.as_str());
+            field_str(&mut s, "kind", kind.as_str());
+            field_u(&mut s, "magnitude", *magnitude);
+        }
+        EventKind::PerfSample {
+            rtt_us,
+            period_us,
+            cwnd,
+            rate_pps,
+            bw_pps,
+            sent,
+            retx_pkts,
+            bytes,
+            delivered,
+        } => {
+            field_f(&mut s, "rtt_us", *rtt_us);
+            field_f(&mut s, "period_us", *period_us);
+            field_f(&mut s, "cwnd", *cwnd);
+            field_f(&mut s, "rate_pps", *rate_pps);
+            field_f(&mut s, "bw_pps", *bw_pps);
+            field_u(&mut s, "sent", *sent);
+            field_u(&mut s, "retx_pkts", *retx_pkts);
+            field_u(&mut s, "bytes", *bytes);
+            field_u(&mut s, "delivered", *delivered);
+        }
+        EventKind::CpuBreakdown { nanos } => {
+            s.push_str(",\"nanos\":[");
+            for (i, n) in nanos.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_u64(&mut s, *n);
+            }
+            s.push(']');
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// The CSV header matching [`to_csv_row`].
+pub const CSV_HEADER: &str = "t_ns,conn,ev,detail";
+
+/// Encode one event as a CSV row: fixed `t_ns,conn,ev` columns plus a
+/// `detail` column of space-separated `key=value` pairs (derived from the
+/// JSON encoding, so the two formats cannot drift apart).
+pub fn to_csv_row(ev: &TraceEvent) -> String {
+    let json = encode(ev);
+    let mut detail = String::new();
+    if let Ok(fields) = parse_object(&json) {
+        for (k, v) in fields {
+            if k == "t_ns" || k == "conn" || k == "ev" {
+                continue;
+            }
+            if !detail.is_empty() {
+                detail.push(' ');
+            }
+            detail.push_str(&k);
+            detail.push('=');
+            match v {
+                Value::UInt(u) => detail.push_str(&u.to_string()),
+                Value::Float(f) => detail.push_str(&f.to_string()),
+                Value::Bool(b) => detail.push_str(if b { "true" } else { "false" }),
+                Value::Str(sv) => detail.push_str(&sv),
+                Value::Arr(a) => {
+                    let parts: Vec<String> = a.iter().map(u64::to_string).collect();
+                    detail.push_str(&parts.join(";"));
+                }
+            }
+        }
+    }
+    format!("{},{},{},{}", ev.t_ns, ev.conn, ev.kind.name(), detail)
+}
+
+/// A parsed JSON scalar (or integer array) value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    UInt(u64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+    Arr(Vec<u64>),
+}
+
+impl Value {
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            // Tolerate numbers an external tool re-serialised as floats.
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f < 1.8e19 => Some(*f as u64), // udt-lint: allow(as-cast) — integral, range-checked
+            _ => None,
+        }
+    }
+
+    fn as_u32(&self) -> Option<u32> {
+        self.as_u64().and_then(|u| u32::try_from(u).ok())
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::UInt(u) => Some(*u as f64), // udt-lint: allow(as-cast) — widening for display maths
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one JSONL line back into a [`TraceEvent`].
+///
+/// Returns `Err` with a short description when the line is not a valid
+/// event. This is the shared schema validator used by the integration
+/// tests: netsim and real-socket exports must both survive it.
+pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
+    let fields = parse_object(line)?;
+    let get = |name: &str| -> Option<&Value> {
+        fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    };
+    let t_ns = get("t_ns")
+        .and_then(Value::as_u64)
+        .ok_or("missing t_ns")?;
+    let conn = get("conn").and_then(Value::as_u32).ok_or("missing conn")?;
+    let name = get("ev").and_then(Value::as_str).ok_or("missing ev")?;
+
+    let req_u32 = |f: &str| -> Result<u32, String> {
+        get(f)
+            .and_then(Value::as_u32)
+            .ok_or_else(|| format!("{name}: missing {f}"))
+    };
+    let req_u64 = |f: &str| -> Result<u64, String> {
+        get(f)
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("{name}: missing {f}"))
+    };
+    let req_f64 = |f: &str| -> Result<f64, String> {
+        get(f)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{name}: missing {f}"))
+    };
+    let req_str = |f: &str| -> Result<&str, String> {
+        get(f)
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{name}: missing {f}"))
+    };
+
+    let kind = match name {
+        "data_send" => EventKind::DataSend {
+            seq: req_u32("seq")?,
+            bytes: req_u32("bytes")?,
+            retx: matches!(get("retx"), Some(Value::Bool(true))),
+        },
+        "data_recv" => EventKind::DataRecv {
+            seq: req_u32("seq")?,
+            bytes: req_u32("bytes")?,
+        },
+        "data_drop" => EventKind::DataDrop {
+            seq: req_u32("seq")?,
+            reason: DropReason::from_name(req_str("reason")?)
+                .ok_or_else(|| format!("bad drop reason in {line}"))?,
+        },
+        "ack_send" => EventKind::AckSend {
+            ack_no: req_u32("ack_no")?,
+            ack_seq: req_u32("ack_seq")?,
+        },
+        "ack_recv" => EventKind::AckRecv {
+            ack_no: req_u32("ack_no")?,
+            ack_seq: req_u32("ack_seq")?,
+        },
+        "ack2_send" => EventKind::Ack2Send {
+            ack_no: req_u32("ack_no")?,
+        },
+        "ack2_recv" => EventKind::Ack2Recv {
+            ack_no: req_u32("ack_no")?,
+        },
+        "nak_send" => EventKind::NakSend {
+            first_lo: req_u32("first_lo")?,
+            first_hi: req_u32("first_hi")?,
+            ranges: req_u32("ranges")?,
+        },
+        "nak_recv" => EventKind::NakRecv {
+            first_lo: req_u32("first_lo")?,
+            first_hi: req_u32("first_hi")?,
+            ranges: req_u32("ranges")?,
+        },
+        "loss" => EventKind::LossDetected {
+            first_lo: req_u32("first_lo")?,
+            first_hi: req_u32("first_hi")?,
+        },
+        "rate" => EventKind::RateUpdate {
+            period_us: req_f64("period_us")?,
+            cwnd: req_f64("cwnd")?,
+        },
+        "rtt" => EventKind::RttUpdate {
+            rtt_us: req_u32("rtt_us")?,
+            var_us: req_u32("var_us")?,
+        },
+        "bw" => EventKind::BwEstimate {
+            pps: req_f64("pps")?,
+        },
+        "timer" => EventKind::TimerFire {
+            timer: TimerKind::from_name(req_str("timer")?)
+                .ok_or_else(|| format!("bad timer in {line}"))?,
+            count: req_u32("count")?,
+        },
+        "state" => EventKind::StateChange {
+            from: ConnState::from_name(req_str("from")?)
+                .ok_or_else(|| format!("bad state in {line}"))?,
+            to: ConnState::from_name(req_str("to")?)
+                .ok_or_else(|| format!("bad state in {line}"))?,
+        },
+        "handshake" => EventKind::Handshake {
+            phase: HsPhase::from_name(req_str("phase")?)
+                .ok_or_else(|| format!("bad phase in {line}"))?,
+            peer: req_u32("peer")?,
+        },
+        "reconnect" => EventKind::Reconnect {
+            attempt: req_u32("attempt")?,
+            backoff_ms: req_u32("backoff_ms")?,
+        },
+        "resume" => EventKind::Resume {
+            offset: req_u64("offset")?,
+        },
+        "buf" => EventKind::BufLevel {
+            side: BufSide::from_name(req_str("side")?)
+                .ok_or_else(|| format!("bad side in {line}"))?,
+            used: req_u32("used")?,
+            cap: req_u32("cap")?,
+        },
+        "chaos" => EventKind::ChaosFault {
+            stage: Label::new(req_str("stage")?),
+            kind: Label::new(req_str("kind")?),
+            magnitude: req_u64("magnitude")?,
+        },
+        "perf" => EventKind::PerfSample {
+            rtt_us: req_f64("rtt_us")?,
+            period_us: req_f64("period_us")?,
+            cwnd: req_f64("cwnd")?,
+            rate_pps: req_f64("rate_pps")?,
+            bw_pps: req_f64("bw_pps")?,
+            sent: req_u64("sent")?,
+            retx_pkts: req_u64("retx_pkts")?,
+            bytes: req_u64("bytes")?,
+            delivered: req_u64("delivered")?,
+        },
+        "cpu" => {
+            let arr = match get("nanos") {
+                Some(Value::Arr(a)) => a,
+                _ => return Err(format!("cpu: missing nanos in {line}")),
+            };
+            if arr.len() != CPU_CATEGORY_COUNT {
+                return Err(format!(
+                    "cpu: expected {CPU_CATEGORY_COUNT} categories, got {}",
+                    arr.len()
+                ));
+            }
+            let mut nanos = [0u64; CPU_CATEGORY_COUNT];
+            nanos.copy_from_slice(arr);
+            EventKind::CpuBreakdown { nanos }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(TraceEvent { t_ns, conn, kind })
+}
+
+// ---- minimal flat-object JSON parsing ----
+
+fn parse_object(line: &str) -> Result<Vec<(String, Value)>, String> {
+    let mut p = Parser {
+        b: line.trim().as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.eat(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        return Ok(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.eat(b':')?;
+        p.skip_ws();
+        let val = p.value()?;
+        out.push((key, val));
+        p.skip_ws();
+        match p.bump() {
+            Some(b',') => {}
+            Some(b'}') => break,
+            _ => return Err("expected ',' or '}'".into()),
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c.is_some() {
+            self.i += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.bump() == Some(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {:?}", char::from(c)))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or("truncated \\u escape")?;
+                            let v = char::from(d).to_digit(16).ok_or("bad \\u escape")?;
+                            code = code * 16 + v;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    _ => return Err("bad escape".into()),
+                },
+                Some(c) if c < 0x80 => out.push(char::from(c)),
+                Some(c) => {
+                    // Re-assemble multi-byte UTF-8 from the raw input.
+                    let start = self.i - 1;
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + width).min(self.b.len());
+                    if let Ok(s) = std::str::from_utf8(&self.b[start..end]) {
+                        out.push_str(s);
+                    }
+                    self.i = end;
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => {
+                self.lit("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.lit("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut arr = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Value::Arr(arr));
+                }
+                loop {
+                    self.skip_ws();
+                    match self.number()? {
+                        Value::UInt(u) => arr.push(u),
+                        Value::Float(f) if f.fract() == 0.0 && f >= 0.0 => {
+                            arr.push(f as u64); // udt-lint: allow(as-cast) — integral, non-negative
+                        }
+                        _ => return Err("non-integer array element".into()),
+                    }
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => {}
+                        Some(b']') => break,
+                        _ => return Err("expected ',' or ']'".into()),
+                    }
+                }
+                Ok(Value::Arr(arr))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err("unexpected value".into()),
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> Result<(), String> {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            Ok(())
+        } else {
+            Err(format!("expected {s}"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.i;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.i += 1;
+        }
+        let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|_| "bad number")?;
+        if text.is_empty() {
+            return Err("empty number".into());
+        }
+        if text.bytes().all(|c| c.is_ascii_digit()) {
+            text.parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|e| e.to_string())
+        } else {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn push_u64(s: &mut String, v: u64) {
+    s.push_str(&v.to_string());
+}
+
+fn field_u(s: &mut String, name: &str, v: u64) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":");
+    push_u64(s, v);
+}
+
+fn field_bool(s: &mut String, name: &str, v: bool) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":");
+    s.push_str(if v { "true" } else { "false" });
+}
+
+fn field_f(s: &mut String, name: &str, v: f64) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":");
+    if v.is_finite() {
+        // Rust's float Display is the shortest round-trippable form and
+        // never produces NaN/inf here.
+        s.push_str(&v.to_string());
+    } else {
+        s.push('0');
+    }
+}
+
+fn field_str(s: &mut String, name: &str, v: &str) {
+    s.push_str(",\"");
+    s.push_str(name);
+    s.push_str("\":\"");
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if u32::from(c) < 0x20 => {
+                let code = u32::from(c);
+                s.push_str(&format!("\\u{code:04x}"));
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::DataSend {
+                seq: 7,
+                bytes: 1472,
+                retx: true,
+            },
+            EventKind::DataRecv { seq: 8, bytes: 100 },
+            EventKind::DataDrop {
+                seq: 9,
+                reason: DropReason::Queue,
+            },
+            EventKind::AckSend {
+                ack_no: 3,
+                ack_seq: 100,
+            },
+            EventKind::AckRecv {
+                ack_no: 3,
+                ack_seq: 100,
+            },
+            EventKind::Ack2Send { ack_no: 3 },
+            EventKind::Ack2Recv { ack_no: 3 },
+            EventKind::NakSend {
+                first_lo: 10,
+                first_hi: 12,
+                ranges: 2,
+            },
+            EventKind::NakRecv {
+                first_lo: 10,
+                first_hi: 12,
+                ranges: 2,
+            },
+            EventKind::LossDetected {
+                first_lo: 10,
+                first_hi: 12,
+            },
+            EventKind::RateUpdate {
+                period_us: 11.25,
+                cwnd: 4096.0,
+            },
+            EventKind::RttUpdate {
+                rtt_us: 100_000,
+                var_us: 25_000,
+            },
+            EventKind::BwEstimate { pps: 83333.33 },
+            EventKind::TimerFire {
+                timer: TimerKind::Exp,
+                count: 5,
+            },
+            EventKind::StateChange {
+                from: ConnState::Connected,
+                to: ConnState::Broken,
+            },
+            EventKind::Handshake {
+                phase: HsPhase::Accepted,
+                peer: 0xDEAD,
+            },
+            EventKind::Reconnect {
+                attempt: 2,
+                backoff_ms: 250,
+            },
+            EventKind::Resume { offset: 1 << 40 },
+            EventKind::BufLevel {
+                side: BufSide::Rcv,
+                used: 100,
+                cap: 8192,
+            },
+            EventKind::ChaosFault {
+                stage: Label::new("loss"),
+                kind: Label::new("drop"),
+                magnitude: 1,
+            },
+            EventKind::PerfSample {
+                rtt_us: 199.5,
+                period_us: 12.0,
+                cwnd: 16.0,
+                rate_pps: 80000.0,
+                bw_pps: 83000.0,
+                sent: 123456,
+                retx_pkts: 12,
+                bytes: 1_000_000,
+                delivered: 990_000,
+            },
+            EventKind::CpuBreakdown {
+                nanos: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            let ev = TraceEvent {
+                t_ns: 1_000_000_007 * (i as u64 + 1),
+                conn: 42,
+                kind,
+            };
+            let line = encode(&ev);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "line={line}");
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{}").is_err());
+        assert!(parse_line("{\"t_ns\":1}").is_err());
+        assert!(parse_line("{\"t_ns\":1,\"conn\":2,\"ev\":\"zzz\"}").is_err());
+        assert!(parse_line("{\"t_ns\":1,\"conn\":2,\"ev\":\"data_send\"}").is_err());
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_reordering() {
+        let line = "{ \"ev\": \"data_recv\", \"seq\": 5, \"bytes\": 9, \"conn\": 1, \"t_ns\": 77 }";
+        let ev = parse_line(line).expect("parse");
+        assert_eq!(ev.t_ns, 77);
+        assert_eq!(
+            ev.kind,
+            EventKind::DataRecv { seq: 5, bytes: 9 }
+        );
+    }
+
+    #[test]
+    fn big_u64_survives() {
+        let ev = TraceEvent {
+            t_ns: u64::MAX - 1,
+            conn: 0,
+            kind: EventKind::Resume {
+                offset: u64::MAX - 3,
+            },
+        };
+        let back = parse_line(&encode(&ev)).expect("parse");
+        assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn csv_row_mirrors_json_fields() {
+        let ev = TraceEvent {
+            t_ns: 5,
+            conn: 9,
+            kind: EventKind::DataSend {
+                seq: 1,
+                bytes: 1472,
+                retx: false,
+            },
+        };
+        let row = to_csv_row(&ev);
+        assert!(row.starts_with("5,9,data_send,"));
+        assert!(row.contains("seq=1"));
+        assert!(row.contains("bytes=1472"));
+        assert!(row.contains("retx=false"));
+        assert_eq!(CSV_HEADER.split(',').count(), 4);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let ev = TraceEvent {
+            t_ns: 1,
+            conn: 2,
+            kind: EventKind::ChaosFault {
+                stage: Label::new("a\"b\\c"),
+                kind: Label::new("drop"),
+                magnitude: 0,
+            },
+        };
+        let back = parse_line(&encode(&ev)).expect("parse");
+        assert_eq!(back, ev);
+    }
+}

@@ -1,0 +1,220 @@
+//! `udtmon` — live terminal monitor for UDT trace timelines.
+//!
+//! Tails a JSONL trace file (from `udtperf --trace`, `exp_fig7 --trace`,
+//! or a flight-recorder dump) and renders a per-connection summary table:
+//! packet/ACK/NAK counts, retransmissions, drops, injected chaos faults,
+//! and the latest RTT / rate / window / bandwidth observations. The §7
+//! `perfmon` API gives one process its own numbers; `udtmon` reads the
+//! exported timeline instead, so it works identically on live socket
+//! runs, simulator exports and post-mortem dumps.
+//!
+//! Usage:
+//!   udtmon <trace.jsonl>              live: re-reads appended lines, redraws
+//!   udtmon --once <trace.jsonl>       render the current file once and exit
+//!   udtmon --interval 500 <trace.jsonl>   redraw period in ms (default 1000)
+//!
+//! Lines that fail the shared schema parser are counted, not fatal —
+//! a live writer may be mid-line at read time.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Seek, SeekFrom};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use udt_trace::event::{EventKind, TraceEvent};
+use udt_trace::json;
+
+#[derive(Default)]
+struct ConnAgg {
+    events: u64,
+    data_sent: u64,
+    retx: u64,
+    data_recvd: u64,
+    acks: u64,
+    naks: u64,
+    drops: u64,
+    chaos: u64,
+    exp_fires: u64,
+    rtt_us: Option<u32>,
+    period_us: Option<f64>,
+    cwnd: Option<f64>,
+    bw_pps: Option<f64>,
+    state: Option<&'static str>,
+    last_t_ns: u64,
+}
+
+impl ConnAgg {
+    fn feed(&mut self, ev: &TraceEvent) {
+        self.events += 1;
+        self.last_t_ns = self.last_t_ns.max(ev.t_ns);
+        match ev.kind {
+            EventKind::DataSend { retx, .. } => {
+                self.data_sent += 1;
+                if retx {
+                    self.retx += 1;
+                }
+            }
+            EventKind::DataRecv { .. } => self.data_recvd += 1,
+            EventKind::DataDrop { .. } => self.drops += 1,
+            EventKind::AckSend { .. } | EventKind::AckRecv { .. } => self.acks += 1,
+            EventKind::NakSend { .. } | EventKind::NakRecv { .. } => self.naks += 1,
+            EventKind::ChaosFault { .. } => self.chaos += 1,
+            EventKind::TimerFire { timer, .. } => {
+                if matches!(timer, udt_trace::TimerKind::Exp) {
+                    self.exp_fires += 1;
+                }
+            }
+            EventKind::RttUpdate { rtt_us, .. } => self.rtt_us = Some(rtt_us),
+            EventKind::RateUpdate { period_us, cwnd } => {
+                self.period_us = Some(period_us);
+                self.cwnd = Some(cwnd);
+            }
+            EventKind::BwEstimate { pps } => self.bw_pps = Some(pps),
+            EventKind::StateChange { to, .. } => self.state = Some(to.as_str()),
+            _ => {}
+        }
+    }
+}
+
+#[derive(Default)]
+struct Monitor {
+    conns: BTreeMap<u32, ConnAgg>,
+    parsed: u64,
+    bad_lines: u64,
+}
+
+impl Monitor {
+    fn feed_line(&mut self, line: &str) {
+        if line.trim().is_empty() {
+            return;
+        }
+        match json::parse_line(line) {
+            Ok(ev) => {
+                self.parsed += 1;
+                self.conns.entry(ev.conn).or_default().feed(&ev);
+            }
+            Err(_) => self.bad_lines += 1,
+        }
+    }
+
+    fn render(&self, path: &std::path::Path) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "udtmon — {} ({} events, {} unparsed)\n",
+            path.display(),
+            self.parsed,
+            self.bad_lines
+        ));
+        s.push_str(
+            "conn      events     sent(retx)     recvd   acks   naks  drops  chaos  exp  \
+             rtt(ms)  rate(pkt/s)   cwnd  bw(pkt/s)  state      last(s)\n",
+        );
+        for (conn, a) in &self.conns {
+            let rate_pps = a
+                .period_us
+                .map(|p| if p > 0.0 { 1e6 / p } else { 0.0 });
+            s.push_str(&format!(
+                "{:<8x} {:>8} {:>9}({:>4}) {:>9} {:>6} {:>6} {:>6} {:>6} {:>4}  {:>7} {:>12} {:>6} {:>10}  {:<9} {:>8.2}\n",
+                conn,
+                a.events,
+                a.data_sent,
+                a.retx,
+                a.data_recvd,
+                a.acks,
+                a.naks,
+                a.drops,
+                a.chaos,
+                a.exp_fires,
+                a.rtt_us
+                    .map_or_else(|| "-".into(), |r| format!("{:.2}", f64::from(r) / 1e3)),
+                rate_pps.map_or_else(|| "-".into(), |r| format!("{r:.0}")),
+                a.cwnd.map_or_else(|| "-".into(), |c| format!("{c:.0}")),
+                a.bw_pps.map_or_else(|| "-".into(), |b| format!("{b:.0}")),
+                a.state.unwrap_or("-"),
+                a.last_t_ns as f64 / 1e9, // udt-lint: allow(as-cast) — display maths
+            ));
+        }
+        s
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: udtmon [--once] [--interval <ms>] <trace.jsonl>");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut once = false;
+    let mut interval = Duration::from_millis(1000);
+    let mut path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--once" => once = true,
+            "--interval" => {
+                let Some(ms) = it.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    usage();
+                };
+                interval = Duration::from_millis(ms.max(50));
+            }
+            "--help" | "-h" => usage(),
+            _ if path.is_none() => path = Some(PathBuf::from(a)),
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+
+    let mut mon = Monitor::default();
+    let mut offset: u64 = 0;
+    loop {
+        // Tail: only the bytes appended since the last pass are parsed.
+        match std::fs::File::open(&path) {
+            Ok(mut f) => {
+                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                if len < offset {
+                    // Truncated/rotated: start over.
+                    mon = Monitor::default();
+                    offset = 0;
+                }
+                if f.seek(SeekFrom::Start(offset)).is_ok() {
+                    let mut reader = BufReader::new(&mut f);
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match reader.read_line(&mut line) {
+                            Ok(0) | Err(_) => break,
+                            Ok(n) => {
+                                // Hold back a partial trailing line for the
+                                // next pass (a live writer may be mid-write).
+                                if !line.ends_with('\n') {
+                                    break;
+                                }
+                                offset += n as u64;
+                                mon.feed_line(&line);
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => {
+                if once {
+                    eprintln!("udtmon: {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        if once {
+            print!("{}", mon.render(&path));
+            if mon.parsed == 0 {
+                std::process::exit(1);
+            }
+            return;
+        }
+        // ANSI clear + home, then the table — a minimal live TUI.
+        print!("\x1b[2J\x1b[H{}", mon.render(&path));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(interval);
+    }
+}

@@ -12,6 +12,14 @@
 //! per-second report from the connection's performance monitor (rate, RTT,
 //! congestion state, loss), then a summary — the numbers of the paper's
 //! Figure 11, for your own network.
+//!
+//! With `--trace <path>` the client records a structured event stream:
+//! periodic `perf` / `cpu` rows (one per `--interval` ms, default 1000)
+//! interleaved with the full protocol event history (packet, ACK/NAK,
+//! rate/RTT events) retained by the trace ring, written at exit in the
+//! shared `udt-trace` schema — JSONL, or CSV when the path ends in
+//! `.csv`. Feed it to `udtmon` for a live (or replayed) dashboard. The
+//! schema is documented in the repo README.
 
 // Numeric casts in this module are deliberate: bounded protocol arithmetic,
 // 32-bit wire fields, and clock/rate conversions whose ranges are argued at
@@ -23,11 +31,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use udt::{throughput_between, UdtConfig, UdtConnection, UdtListener};
+use udt::{throughput_between, Tracer, UdtConfig, UdtConnection, UdtListener};
+use udt_trace::event::{EventKind, TraceEvent};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  udtperf server <bind-addr>\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]"
+        "usage:\n  udtperf server <bind-addr>\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS]"
     );
     std::process::exit(2);
 }
@@ -37,6 +46,13 @@ fn parse_flag(args: &[String], name: &str) -> Option<u64> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
+}
+
+fn parse_str_flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
 fn main() {
@@ -57,10 +73,34 @@ fn main() {
             let secs = parse_flag(&args, "--secs").unwrap_or(10);
             let mss = parse_flag(&args, "--mss").unwrap_or(1500) as u32;
             let buf = parse_flag(&args, "--buf").unwrap_or(8192) as u32;
-            client(addr, secs, mss, buf);
+            let trace = parse_str_flag(&args, "--trace");
+            let interval_ms = parse_flag(&args, "--interval").unwrap_or(1000).max(10);
+            client(addr, secs, mss, buf, trace.as_deref(), interval_ms);
         }
         _ => usage(),
     }
+}
+
+/// Write the tracer's retained events (periodic `perf`/`cpu` samples plus
+/// the protocol event history) as JSONL, time-sorted.
+fn write_trace(path: &str, tracer: &Tracer) -> std::io::Result<usize> {
+    use std::io::Write;
+    let events: Vec<TraceEvent> = tracer.snapshot();
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    // Both formats derive from one encoder, so they cannot drift apart;
+    // a .csv extension selects the spreadsheet-friendly flavor.
+    if path.ends_with(".csv") {
+        writeln!(f, "{}", udt_trace::json::CSV_HEADER)?;
+        for ev in &events {
+            writeln!(f, "{}", udt_trace::json::to_csv_row(ev))?;
+        }
+    } else {
+        for ev in &events {
+            writeln!(f, "{}", udt_trace::json::encode(ev))?;
+        }
+    }
+    f.flush()?;
+    Ok(events.len())
 }
 
 fn server(addr: SocketAddr) {
@@ -101,11 +141,25 @@ fn server(addr: SocketAddr) {
     }
 }
 
-fn client(addr: SocketAddr, secs: u64, mss: u32, buf_pkts: u32) {
+fn client(
+    addr: SocketAddr,
+    secs: u64,
+    mss: u32,
+    buf_pkts: u32,
+    trace_path: Option<&str>,
+    interval_ms: u64,
+) {
+    // A generous ring so a multi-second run keeps its full event history.
+    let tracer = if trace_path.is_some() {
+        Tracer::ring(1 << 16)
+    } else {
+        Tracer::disabled()
+    };
     let cfg = UdtConfig {
         mss,
         snd_buf_pkts: buf_pkts,
         rcv_buf_pkts: buf_pkts,
+        tracer: tracer.clone(),
         ..UdtConfig::default()
     };
     let conn = Arc::new(UdtConnection::connect(addr, cfg).expect("connect"));
@@ -119,22 +173,48 @@ fn client(addr: SocketAddr, secs: u64, mss: u32, buf_pkts: u32) {
     let reporter = {
         let conn = Arc::clone(&conn);
         let stop = Arc::clone(&stop);
+        let tracer = tracer.clone();
         std::thread::spawn(move || {
             println!("  t(s)     rate(Mb/s)   rtt(ms)   cwnd    period(µs)   retx   naks");
+            let t0 = Instant::now();
             let mut prev = conn.perfmon();
             while !stop.load(Ordering::Relaxed) {
-                std::thread::sleep(Duration::from_secs(1));
+                std::thread::sleep(Duration::from_millis(interval_ms));
                 let now = conn.perfmon();
-                let (sent_bps, _) = throughput_between(&prev, &now);
+                // Snapshots are of one connection taken in order, so the
+                // interval math cannot refuse them; 0 only on a clock step.
+                let (sent_bps, _) = throughput_between(&prev, &now).unwrap_or((0.0, 0.0));
                 println!(
                     "{:>6.1}   {:>10.1}   {:>7.2}   {:>5.0}   {:>10.2}   {:>4}   {:>4}",
-                    prev.taken_at.elapsed().as_secs_f64(),
+                    t0.elapsed().as_secs_f64(),
                     sent_bps / 1e6,
                     now.rtt_us / 1000.0,
                     now.cwnd_pkts,
                     now.pkt_snd_period_us,
                     now.pkts_retransmitted,
                     now.naks.1
+                );
+                // Periodic structured samples land in the same ring as the
+                // protocol's own events (written out as JSONL at exit).
+                tracer.emit(
+                    now.conn_id,
+                    EventKind::PerfSample {
+                        rtt_us: now.rtt_us,
+                        period_us: now.pkt_snd_period_us,
+                        cwnd: now.cwnd_pkts,
+                        rate_pps: sent_bps / 8.0 / f64::from(conn.config().mss).max(1.0),
+                        bw_pps: now.bandwidth_est_pps,
+                        sent: now.pkts_sent,
+                        retx_pkts: now.pkts_retransmitted,
+                        bytes: now.bytes_sent,
+                        delivered: now.bytes_delivered,
+                    },
+                );
+                tracer.emit(
+                    now.conn_id,
+                    EventKind::CpuBreakdown {
+                        nanos: conn.instrument().snapshot(),
+                    },
                 );
                 prev = now;
             }
@@ -153,6 +233,12 @@ fn client(addr: SocketAddr, secs: u64, mss: u32, buf_pkts: u32) {
     let _ = conn.close();
     stop.store(true, Ordering::Relaxed);
     let _ = reporter.join();
+    if let Some(path) = trace_path {
+        match write_trace(path, &tracer) {
+            Ok(n) => eprintln!("trace: wrote {n} events to {path}"),
+            Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+        }
+    }
     let wall = t0.elapsed().as_secs_f64();
     let p = conn.perfmon();
     println!(

@@ -1,8 +1,10 @@
 //! Connection configuration.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use udt_algo::UdtCcConfig;
+use udt_trace::Tracer;
 
 /// Congestion-control choice (§7: the implementation is structured so that
 /// alternate control algorithms can be tested).
@@ -79,6 +81,16 @@ pub struct UdtConfig {
     /// Reconnect policy used by [`crate::resilience::ResilientSession`]
     /// (and `udtcat --retry`).
     pub retry: RetryPolicy,
+    /// Structured event tracer. Disabled by default: every emission site
+    /// is then a single branch with zero allocation. Clones of one enabled
+    /// tracer share a ring, so handing the same tracer to both endpoints
+    /// of a loopback test yields one interleaved timeline.
+    pub tracer: Tracer,
+    /// When set, connections dump a flight recording (the tracer ring as
+    /// JSONL) into this directory on fatal events: the peer being declared
+    /// `Broken`, or a handshake rejection. No-op while `tracer` is
+    /// disabled.
+    pub flight_dir: Option<PathBuf>,
 }
 
 /// Reconnect/backoff policy for resilient sessions: exponential backoff
@@ -151,6 +163,8 @@ impl Default for UdtConfig {
             handshake_cache_ttl: Duration::from_secs(60),
             require_cookie: true,
             retry: RetryPolicy::default(),
+            tracer: Tracer::disabled(),
+            flight_dir: None,
         }
     }
 }

@@ -51,6 +51,7 @@ use udt_algo::{
 };
 use udt_proto::ctrl::{AckData, ControlBody, ControlPacket};
 use udt_proto::{DataPacket, Packet, SeqNo, SeqRange};
+use udt_trace::{BufSide, ConnState, DropReason, EventKind, TimerKind};
 
 use crate::buffer::{InsertOutcome, RcvBuffer, SndBuffer};
 use crate::config::{CcChoice, UdtConfig};
@@ -81,6 +82,17 @@ impl State {
             1 => State::Closing,
             2 => State::Closed,
             _ => State::Broken,
+        }
+    }
+
+    /// The tracer's view of this state (the tracer vocabulary adds
+    /// `Connecting`, which only the handshake code in `socket.rs` uses).
+    fn to_trace(self) -> ConnState {
+        match self {
+            State::Connected => ConnState::Connected,
+            State::Closing => ConnState::Closing,
+            State::Closed => ConnState::Closed,
+            State::Broken => ConnState::Broken,
         }
     }
 }
@@ -295,10 +307,35 @@ impl Shared {
     }
 
     pub fn set_state(&self, s: State) {
-        self.state.store(s as u8, Ordering::Release);
+        let old = State::from_u8(self.state.swap(s as u8, Ordering::AcqRel));
+        if old != s {
+            self.trace(EventKind::StateChange {
+                from: old.to_trace(),
+                to: s.to_trace(),
+            });
+            if s == State::Broken {
+                // The peer is gone: preserve the event history that led
+                // here before anyone tears the connection down.
+                self.flight_dump("broken");
+            }
+        }
         // Wake everyone blocked on either side.
         self.snd_cv.notify_all();
         self.rcv_cv.notify_all();
+    }
+
+    /// Emit a trace event for this connection (one branch when disabled).
+    #[inline]
+    pub(crate) fn trace(&self, kind: EventKind) {
+        self.cfg.tracer.emit(self.local_id, kind);
+    }
+
+    /// Dump the tracer ring as a flight recording into `cfg.flight_dir`
+    /// (no-op when tracing is disabled or no directory is configured).
+    pub(crate) fn flight_dump(&self, reason: &str) {
+        if let Some(dir) = &self.cfg.flight_dir {
+            let _ = udt_trace::flight::dump(dir, self.local_id, reason, &self.cfg.tracer);
+        }
     }
 
     fn cc_ctx(&self, s: &SndCtl, now: Nanos) -> CcContext {
@@ -361,6 +398,7 @@ impl UdtConnection {
     ) -> Result<UdtConnection> {
         let payload = cfg.payload_size();
         let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
+        mux.set_tracer(&cfg.tracer);
         let sh = Arc::new(Shared {
             snd: Mutex::new(SndCtl {
                 buffer: SndBuffer::new(cfg.snd_buf_pkts as usize, payload),
@@ -503,6 +541,12 @@ impl UdtConnection {
                 s.buffer.append(&data[written..])
             };
             if n == 0 {
+                // udt-lint: allow(as-cast) — buffer capacity fits u32
+                sh.trace(EventKind::BufLevel {
+                    side: BufSide::Snd,
+                    used: s.buffer.len_pkts() as u32,
+                    cap: sh.cfg.snd_buf_pkts,
+                });
                 sh.snd_cv.wait_for(&mut s, Duration::from_millis(100));
                 continue;
             }
@@ -662,6 +706,8 @@ fn pick_packet(s: &mut SndCtl) -> Option<(SeqNo, Bytes, bool)> {
 
 fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
     let now = sh.clock.now();
+    // udt-lint: allow(as-cast) — payload bounded by the MSS
+    let len = payload.len() as u32;
     {
         let mut s = sh.snd.lock();
         // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
@@ -687,6 +733,11 @@ fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
     } else {
         ConnStats::inc(&sh.stats.pkts_sent, 1);
     }
+    sh.trace(EventKind::DataSend {
+        seq: seq.raw(),
+        bytes: len,
+        retx,
+    });
 }
 
 /// The sender thread: pace data packets by the rate controller's period,
@@ -710,6 +761,10 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
             let mut s = sh.snd.lock();
             if s.cc.take_freeze() {
                 // §3.3: skip one SYN after a decrease to drain the queue.
+                sh.trace(EventKind::TimerFire {
+                    timer: TimerKind::Snd,
+                    count: 1,
+                });
                 next_time = Instant::now() + SYN.into();
                 continue;
             }
@@ -804,10 +859,15 @@ fn process_packet(sh: &Shared, pkt: Packet) {
                 ControlBody::Ack { ack_seq, data } => handle_ack(sh, ack_seq, data, now),
                 ControlBody::Nak(ranges) => handle_nak(sh, &ranges, now),
                 ControlBody::Ack2 { ack_seq } => {
+                    sh.trace(EventKind::Ack2Recv { ack_no: ack_seq });
                     let mut r = sh.rcv.lock();
                     if let Some((sample, acked)) = r.ackw.acknowledge(ack_seq, now) {
                         let _m = sh.instr.scope(Category::Measurement);
                         r.rtt.update(sample);
+                        sh.trace(EventKind::RttUpdate {
+                            rtt_us: r.rtt.rtt_us() as u32, // udt-lint: allow(as-cast) — fits 32-bit µs
+                            var_us: r.rtt.rtt_var_us() as u32,
+                        });
                         if r.last_ack_acked.lt_seq(acked) {
                             r.last_ack_acked = acked;
                         }
@@ -848,6 +908,10 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
     if r.buffer.base_seq().offset_to(d.seq) >= r.buffer.cap_pkts() as i32 {
         drop(r);
         ConnStats::inc(&sh.stats.pkts_rejected, 1);
+        sh.trace(EventKind::DataDrop {
+            seq: d.seq.raw(),
+            reason: DropReason::Implausible,
+        });
         return;
     }
     let off = r.lrsn.offset_to(d.seq);
@@ -863,6 +927,15 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
                 ConnStats::inc(&sh.stats.loss_events, 1);
                 ConnStats::inc(&sh.stats.pkts_lost, u64::from(added));
                 ConnStats::inc(&sh.stats.naks_sent, 1);
+                sh.trace(EventKind::LossDetected {
+                    first_lo: from.raw(),
+                    first_hi: to.raw(),
+                });
+                sh.trace(EventKind::NakSend {
+                    first_lo: from.raw(),
+                    first_hi: to.raw(),
+                    ranges: 1,
+                });
                 sh.send_ctrl(ControlBody::Nak(vec![SeqRange::new(from, to)]), now);
             }
         }
@@ -872,14 +945,26 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
         let _l = sh.instr.scope(Category::Loss);
         r.loss.remove(d.seq);
     }
+    let payload_len = d.payload.len();
     let stored = {
         let _u = sh.instr.scope(Category::Unpacking);
         r.buffer.insert(d.seq, d.payload)
     };
     match stored {
-        InsertOutcome::Stored => ConnStats::inc(&sh.stats.pkts_received, 1),
+        InsertOutcome::Stored => {
+            ConnStats::inc(&sh.stats.pkts_received, 1);
+            // udt-lint: allow(as-cast) — payload bounded by the MSS
+            sh.trace(EventKind::DataRecv {
+                seq: d.seq.raw(),
+                bytes: payload_len as u32,
+            });
+        }
         InsertOutcome::Duplicate | InsertOutcome::OutOfWindow => {
             ConnStats::inc(&sh.stats.pkts_duplicate, 1);
+            sh.trace(EventKind::DataDrop {
+                seq: d.seq.raw(),
+                reason: DropReason::Duplicate,
+            });
         }
     }
     debug_check_rcv_sampled(&r);
@@ -889,6 +974,10 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
 
 fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
     ConnStats::inc(&sh.stats.acks_received, 1);
+    sh.trace(EventKind::AckRecv {
+        ack_no: ack_seq,
+        ack_seq: data.rcv_next.raw(),
+    });
     {
         let mut s = sh.snd.lock();
         let ack = data.rcv_next;
@@ -912,6 +1001,10 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
         }
         if let (Some(rtt), Some(var)) = (data.rtt_us, data.rtt_var_us) {
             s.rtt.absorb_peer(rtt, var);
+            sh.trace(EventKind::RttUpdate {
+                rtt_us: s.rtt.rtt_us() as u32, // udt-lint: allow(as-cast) — fits 32-bit µs
+                var_us: s.rtt.rtt_var_us() as u32,
+            });
         }
         if let Some(w) = data.avail_buf_pkts {
             s.peer_window = w.max(2);
@@ -932,14 +1025,22 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
                 } else {
                     f64::from(bw)
                 };
+                sh.trace(EventKind::BwEstimate {
+                    pps: s.bandwidth_pps,
+                });
             }
         }
         let ctx = sh.cc_ctx(&s, now);
         s.cc.on_ack(data.rcv_next, &ctx);
+        sh.trace(EventKind::RateUpdate {
+            period_us: s.cc.pkt_snd_period_us(),
+            cwnd: s.cc.cwnd(),
+        });
         debug_check_snd(&s);
     }
     sh.snd_cv.notify_all();
     if !data.is_light() {
+        sh.trace(EventKind::Ack2Send { ack_no: ack_seq });
         sh.send_ctrl(ControlBody::Ack2 { ack_seq }, now);
     }
 }
@@ -986,6 +1087,12 @@ fn handle_nak(sh: &Shared, ranges: &[SeqRange], now: Nanos) {
     if clamped.is_empty() {
         return;
     }
+    // udt-lint: allow(as-cast) — a NAK packet carries far fewer than 2^32 ranges
+    sh.trace(EventKind::NakRecv {
+        first_lo: clamped[0].from.raw(),
+        first_hi: clamped[0].to.raw(),
+        ranges: clamped.len() as u32,
+    });
     let ctx = sh.cc_ctx(&s, now);
     s.cc.on_loss(&clamped, &ctx);
     {
@@ -1031,7 +1138,8 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
         r.flow.update(&r.history, &r.rtt);
     }
     let held = r.buffer.held_pkts(r.lrsn);
-    let avail = (r.buffer.cap_pkts() as u32).saturating_sub(held);
+    let cap_pkts = r.buffer.cap_pkts();
+    let avail = (cap_pkts as u32).saturating_sub(held);
     // udt-lint: allow(seq-cmp) — ack_seq is the ACK *message* counter, not a packet seqno
     r.ack_seq = r.ack_seq.wrapping_add(1);
     // RTT estimates fit the protocol's 32-bit microsecond fields.
@@ -1052,6 +1160,20 @@ fn send_periodic_ack(sh: &Shared, now: Nanos) {
     debug_check_rcv(r);
     drop(guard);
     ConnStats::inc(&sh.stats.acks_sent, 1);
+    sh.trace(EventKind::TimerFire {
+        timer: TimerKind::Ack,
+        count: 1,
+    });
+    sh.trace(EventKind::AckSend {
+        ack_no: ack_seq,
+        ack_seq: ack_no.raw(),
+    });
+    // udt-lint: allow(as-cast) — buffer capacity fits u32
+    sh.trace(EventKind::BufLevel {
+        side: BufSide::Rcv,
+        used: held,
+        cap: cap_pkts as u32,
+    });
     sh.send_ctrl(
         ControlBody::Ack {
             ack_seq,
@@ -1075,6 +1197,16 @@ fn resend_naks(sh: &Shared, now: Nanos) -> Nanos {
     drop(r);
     if !due.is_empty() {
         ConnStats::inc(&sh.stats.naks_sent, 1);
+        sh.trace(EventKind::TimerFire {
+            timer: TimerKind::Nak,
+            count: 1,
+        });
+        // udt-lint: allow(as-cast) — due is capped at 64 ranges above
+        sh.trace(EventKind::NakSend {
+            first_lo: due[0].from.raw(),
+            first_hi: due[0].to.raw(),
+            ranges: due.len() as u32,
+        });
         sh.send_ctrl(ControlBody::Nak(due), now);
     }
     base
@@ -1087,6 +1219,10 @@ fn check_exp(sh: &Shared, now: Nanos) {
     if now.since(s.last_rsp) > interval {
         s.exp.on_expired();
         ConnStats::inc(&sh.stats.exp_timeouts, 1);
+        sh.trace(EventKind::TimerFire {
+            timer: TimerKind::Exp,
+            count: s.exp.count(),
+        });
         // Expiration count alone is not evidence of death (see
         // `broken_silence_floor`): both ceilings must be crossed. A *live*
         // idle peer keep-alives back and the count hovers near 1; if the

@@ -156,4 +156,75 @@ mod tests {
         assert_eq!(CATEGORY_NAMES.len(), N_CATEGORIES);
         assert_eq!(CATEGORY_NAMES[Category::Loss as usize], "Loss processing");
     }
+
+    #[test]
+    fn category_names_match_trace_schema() {
+        // The udt-trace crate re-declares the Table 3 category list so its
+        // `CpuBreakdown` events are self-describing without a dependency
+        // on this crate. The two must never drift.
+        assert_eq!(udt_trace::CPU_CATEGORY_COUNT, N_CATEGORIES);
+        assert_eq!(udt_trace::CPU_CATEGORIES, CATEGORY_NAMES);
+    }
+
+    #[test]
+    fn add_and_snapshot_are_index_aligned() {
+        let i = Instrument::default();
+        for c in [
+            Category::UdpSend,
+            Category::UdpRecv,
+            Category::Timing,
+            Category::Packing,
+            Category::Unpacking,
+            Category::Control,
+            Category::Loss,
+            Category::AppInteraction,
+            Category::Measurement,
+        ] {
+            i.add(c, c as u64 + 1);
+        }
+        let snap = i.snapshot();
+        for (idx, v) in snap.iter().enumerate() {
+            assert_eq!(*v, idx as u64 + 1, "category {idx} misrouted");
+        }
+    }
+
+    #[test]
+    fn loopback_transfer_books_plausible_category_times() {
+        use crate::config::UdtConfig;
+        use crate::conn::UdtConnection;
+        use crate::socket::UdtListener;
+
+        let listener =
+            UdtListener::bind("127.0.0.1:0".parse().unwrap(), UdtConfig::default()).unwrap();
+        let addr = listener.local_addr();
+        let server = std::thread::spawn(move || {
+            let conn = listener.accept().unwrap();
+            let mut buf = vec![0u8; 1 << 16];
+            while conn.recv(&mut buf).unwrap() > 0 {}
+        });
+        let t0 = Instant::now();
+        let conn = UdtConnection::connect(addr, UdtConfig::default()).unwrap();
+        conn.send(&vec![7u8; 4_000_000]).unwrap();
+        conn.close().unwrap();
+        let wall = t0.elapsed().as_nanos() as u64;
+        server.join().unwrap();
+
+        let snap = conn.instrument().snapshot();
+        let total: u64 = snap.iter().sum();
+        assert!(total > 0, "a real transfer must book CPU time");
+        // The send path must have booked something in its core categories.
+        assert!(snap[Category::UdpSend as usize] > 0, "no UDP send time");
+        assert!(
+            snap[Category::AppInteraction as usize] > 0,
+            "no app-copy time"
+        );
+        // Categories are CPU scopes inside two protocol threads plus the
+        // app thread: their sum cannot plausibly exceed thread-count ×
+        // wall time (with slack for timer quantisation). Catches a scope
+        // accidentally nested inside another or a unit mix-up.
+        assert!(
+            total < wall.saturating_mul(4),
+            "categories sum to {total} ns over {wall} ns of wall time"
+        );
+    }
 }

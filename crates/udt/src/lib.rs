@@ -73,3 +73,6 @@ pub use perfmon::{throughput_between, PerfSnapshot};
 pub use resilience::{serve_download, ResilientSession, ResumableFileSink, SessionTable};
 pub use socket::UdtListener;
 pub use stats::ConnStats;
+// Re-export the tracing handle types so applications can enable tracing
+// without naming udt-trace in their own dependency list.
+pub use udt_trace::{Tracer, DEFAULT_RING_CAPACITY};

@@ -23,6 +23,7 @@ use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
 use udt_proto::{decode, encode, Packet};
+use udt_trace::{DropReason, EventKind, Tracer};
 
 use crate::instrument::{Category, Instrument};
 
@@ -36,6 +37,9 @@ pub(crate) struct Mux {
     listener: Mutex<Option<Sender<MuxMsg>>>,
     stop: AtomicBool,
     thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Set once a traced connection/listener attaches; only consulted on
+    /// the cold shed path, so a mutex (not a hot-path atomic) suffices.
+    tracer: Mutex<Tracer>,
 }
 
 impl Mux {
@@ -51,6 +55,7 @@ impl Mux {
             listener: Mutex::new(None),
             stop: AtomicBool::new(false),
             thread: Mutex::new(None),
+            tracer: Mutex::new(Tracer::disabled()),
         });
         let weak = Arc::downgrade(&mux);
         let rx = mux.socket.try_clone()?;
@@ -94,13 +99,38 @@ impl Mux {
         let conns = self.conns.lock();
         if let Some(tx) = conns.get(&id) {
             // Bounded queues: shedding under overload beats unbounded RAM.
-            let _ = tx.try_send((pkt, from));
+            if let Err(
+                crossbeam::channel::TrySendError::Full((shed, _))
+                | crossbeam::channel::TrySendError::Disconnected((shed, _)),
+            ) = tx.try_send((pkt, from))
+            {
+                let seq = match &shed {
+                    Packet::Data(d) => d.seq.raw(),
+                    Packet::Control(_) => 0,
+                };
+                drop(conns);
+                self.tracer.lock().emit(
+                    id,
+                    EventKind::DataDrop {
+                        seq,
+                        reason: DropReason::Shed,
+                    },
+                );
+            }
         }
     }
 
     /// Local socket address.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Attach a tracer so demux-level drops (queue shed) are recorded on
+    /// the same timeline as protocol events. No-op tracers are fine.
+    pub fn set_tracer(&self, t: &Tracer) {
+        if t.is_enabled() {
+            *self.tracer.lock() = t.clone();
+        }
     }
 
     /// Register the listener queue (handshake requests land here).

@@ -3,7 +3,7 @@
 //! which the paper's §7 cites as a deliberate extensibility/observability
 //! hook for protocol research).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crate::conn::UdtConnection;
 use crate::stats::ConnStats;
@@ -11,6 +11,12 @@ use crate::stats::ConnStats;
 /// A point-in-time view of one connection.
 #[derive(Debug, Clone)]
 pub struct PerfSnapshot {
+    /// Local socket id of the connection this snapshot was taken from.
+    /// Interval math ([`PerfSnapshot::duration_since`],
+    /// [`throughput_between`]) refuses to mix snapshots of different
+    /// connections — each connection has its own counters and clock epoch,
+    /// so cross-connection deltas are nonsense.
+    pub conn_id: u32,
     /// Smoothed RTT seen by the sending side, microseconds.
     pub rtt_us: f64,
     /// Current packet sending period, microseconds.
@@ -54,20 +60,31 @@ impl PerfSnapshot {
             self.pkts_retransmitted as f64 / self.pkts_sent as f64
         }
     }
+
+    /// Elapsed time since an earlier snapshot of the *same* connection.
+    /// `None` when the snapshots come from different connections or when
+    /// `prev` is not actually earlier — `Instant`s only order within one
+    /// process, and counters only share a meaning within one connection,
+    /// so either way the interval is meaningless.
+    pub fn duration_since(&self, prev: &PerfSnapshot) -> Option<Duration> {
+        if self.conn_id != prev.conn_id || self.taken_at < prev.taken_at {
+            return None;
+        }
+        Some(self.taken_at.duration_since(prev.taken_at))
+    }
 }
 
-/// Throughput between two snapshots, application bits/second, as
-/// (sent_bps, delivered_bps).
-pub fn throughput_between(a: &PerfSnapshot, b: &PerfSnapshot) -> (f64, f64) {
-    let dt = b
-        .taken_at
-        .saturating_duration_since(a.taken_at)
-        .as_secs_f64()
-        .max(1e-9);
-    (
+/// Throughput between two snapshots of one connection, application
+/// bits/second, as `(sent_bps, delivered_bps)`. `None` when the snapshots
+/// are from different connections or out of order (see
+/// [`PerfSnapshot::duration_since`]) — returning a number there would be
+/// nonsense dressed as a measurement.
+pub fn throughput_between(a: &PerfSnapshot, b: &PerfSnapshot) -> Option<(f64, f64)> {
+    let dt = b.duration_since(a)?.as_secs_f64().max(1e-9);
+    Some((
         (b.bytes_sent.saturating_sub(a.bytes_sent)) as f64 * 8.0 / dt,
         (b.bytes_delivered.saturating_sub(a.bytes_delivered)) as f64 * 8.0 / dt,
-    )
+    ))
 }
 
 impl UdtConnection {
@@ -91,6 +108,7 @@ impl UdtConnection {
         };
         let st = &sh.stats;
         PerfSnapshot {
+            conn_id: sh.local_id,
             rtt_us,
             pkt_snd_period_us: period,
             send_rate_pps: 1e6 / period.max(1e-9),
@@ -155,13 +173,17 @@ mod tests {
         assert!(after.acks.1 > 0, "no ACKs observed");
         assert!(after.send_rate_pps > 0.0);
         assert!(after.retransmit_ratio() < 0.5);
-        let (sent_bps, _) = throughput_between(&before, &after);
+        let (sent_bps, _) = throughput_between(&before, &after).expect("same connection");
         assert!(sent_bps > 0.0);
+        assert!(after.duration_since(&before).expect("same connection") > Duration::ZERO);
+        // Reversed order is detected, not reported as a zero-length interval.
+        assert_eq!(throughput_between(&after, &before), None);
     }
 
     #[test]
     fn retransmit_ratio_zero_when_idle() {
         let s = PerfSnapshot {
+            conn_id: 1,
             rtt_us: 0.0,
             pkt_snd_period_us: 1.0,
             send_rate_pps: 0.0,
@@ -180,5 +202,45 @@ mod tests {
             taken_at: Instant::now(),
         };
         assert_eq!(s.retransmit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn interval_math_refuses_mixed_connections() {
+        let mut a = PerfSnapshot {
+            conn_id: 1,
+            rtt_us: 0.0,
+            pkt_snd_period_us: 1.0,
+            send_rate_pps: 0.0,
+            cwnd_pkts: 0.0,
+            peer_window_pkts: 0,
+            bandwidth_est_pps: 0.0,
+            recv_rate_pps: 0.0,
+            pkts_sent: 0,
+            pkts_retransmitted: 0,
+            pkts_received: 0,
+            loss_events: 0,
+            acks: (0, 0),
+            naks: (0, 0),
+            bytes_sent: 0,
+            bytes_delivered: 0,
+            taken_at: Instant::now(),
+        };
+        let mut b = a.clone();
+        b.taken_at = a.taken_at + Duration::from_millis(10);
+        b.bytes_sent = 1000;
+        // Same connection: a real interval and a real rate.
+        assert_eq!(b.duration_since(&a), Some(Duration::from_millis(10)));
+        let (sent_bps, delivered_bps) = throughput_between(&a, &b).unwrap();
+        assert!(sent_bps > 0.0);
+        assert_eq!(delivered_bps, 0.0);
+        // Different connections: counters are unrelated, so no answer.
+        b.conn_id = 2;
+        assert_eq!(b.duration_since(&a), None);
+        assert_eq!(throughput_between(&a, &b), None);
+        // Out-of-order snapshots of one connection are likewise refused.
+        b.conn_id = 1;
+        a.taken_at = b.taken_at + Duration::from_millis(5);
+        assert_eq!(b.duration_since(&a), None);
+        assert_eq!(throughput_between(&a, &b), None);
     }
 }

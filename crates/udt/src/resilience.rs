@@ -55,6 +55,7 @@ use parking_lot::Mutex;
 use rand::Rng;
 
 use udt_metrics::counters::{SessionCounters, SessionSnapshot};
+use udt_trace::EventKind;
 
 use crate::config::{RetryPolicy, UdtConfig};
 use crate::conn::UdtConnection;
@@ -221,6 +222,15 @@ impl ResilientSession {
         self.counters.snapshot()
     }
 
+    /// Emit a session-level trace event, tagged with the (folded) session
+    /// token since the session outlives any one connection id.
+    fn trace(&self, kind: EventKind) {
+        // udt-lint: allow(as-cast) — token folded into the 32-bit conn tag
+        self.cfg
+            .tracer
+            .emit((self.token ^ (self.token >> 32)) as u32, kind);
+    }
+
     /// Upload `len` bytes of `path`. Survives outages: on `Broken` (or a
     /// failed flush) the session reconnects under the retry policy, asks
     /// the server how much it already staged, and re-sends only the rest.
@@ -238,6 +248,7 @@ impl ResilientSession {
             let start = conn.peer_resume_offset().min(len);
             if start > 0 {
                 self.counters.resumed_bytes(start);
+                self.trace(EventKind::Resume { offset: start });
             }
             let attempt = (|| {
                 send_preamble(&conn, start, len)?;
@@ -269,6 +280,7 @@ impl ResilientSession {
                 None => {
                     if have > 0 {
                         self.counters.resumed_bytes(have);
+                        self.trace(EventKind::Resume { offset: have });
                     }
                     self.reconnect(have, UdtError::Broken)?
                 }
@@ -348,6 +360,11 @@ impl ResilientSession {
             }
             std::thread::sleep(backoff);
             self.counters.reconnect_attempts(1);
+            self.trace(EventKind::Reconnect {
+                attempt,
+                // udt-lint: allow(as-cast) — backoff is policy-bounded, fits u32 ms
+                backoff_ms: backoff.as_millis() as u32,
+            });
             match UdtConnection::connect_session(
                 self.server,
                 self.cfg.clone(),

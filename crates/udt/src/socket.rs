@@ -43,6 +43,7 @@ use rand::Rng;
 use udt_metrics::counters::{ListenerCounters, ListenerSnapshot};
 use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
 use udt_proto::{Packet, SeqNo, SEQ_MAX};
+use udt_trace::{EventKind, HsPhase};
 
 use crate::config::UdtConfig;
 use crate::conn::{SessionMeta, UdtConnection};
@@ -173,6 +174,13 @@ impl UdtConnection {
                 }),
             });
             mux.send(&req, server, &instr)?;
+            cfg.tracer.emit(
+                local_id,
+                EventKind::Handshake {
+                    phase: HsPhase::Request,
+                    peer: 0,
+                },
+            );
             retries += 1;
             let wait_until = Instant::now() + cfg.handshake_retry;
             loop {
@@ -192,6 +200,13 @@ impl UdtConnection {
                                 // request right away.
                                 if let Some(e) = h.ext {
                                     cookie = e.cookie;
+                                    cfg.tracer.emit(
+                                        local_id,
+                                        EventKind::Handshake {
+                                            phase: HsPhase::Challenge,
+                                            peer: 0,
+                                        },
+                                    );
                                     continue 'solicit;
                                 }
                             }
@@ -215,6 +230,13 @@ impl UdtConnection {
                                     reject = Some("peer proposed an unusable MSS");
                                     continue;
                                 }
+                                cfg.tracer.emit(
+                                    local_id,
+                                    EventKind::Handshake {
+                                        phase: HsPhase::Accepted,
+                                        peer: h.socket_id,
+                                    },
+                                );
                                 let negotiated = UdtConfig {
                                     mss: cfg.mss.min(h.mss),
                                     ..cfg
@@ -245,7 +267,26 @@ impl UdtConnection {
             }
             if Instant::now() >= deadline {
                 return Err(match reject {
-                    Some(reason) => UdtError::HandshakeRejected { reason, retries },
+                    Some(reason) => {
+                        cfg.tracer.emit(
+                            local_id,
+                            EventKind::Handshake {
+                                phase: HsPhase::Rejected,
+                                peer: 0,
+                            },
+                        );
+                        // A refused handshake is a fatal event worth a
+                        // flight recording, same as a broken connection.
+                        if let Some(dir) = &cfg.flight_dir {
+                            let _ = udt_trace::flight::dump(
+                                dir,
+                                local_id,
+                                "handshake-rejected",
+                                &cfg.tracer,
+                            );
+                        }
+                        UdtError::HandshakeRejected { reason, retries }
+                    }
                     None => UdtError::ConnectTimeout { retries },
                 });
             }
@@ -285,6 +326,7 @@ impl UdtListener {
         sessions: Arc<SessionTable>,
     ) -> Result<UdtListener> {
         let mux = Mux::bind(addr)?;
+        mux.set_tracer(&cfg.tracer);
         let hs_queue = mux.set_listener();
         let (tx, rx) = crossbeam::channel::bounded(cfg.accept_backlog.max(1));
         let stop = Arc::new(AtomicBool::new(false));
@@ -500,6 +542,13 @@ fn listener_service(ctx: ListenerCtx) {
         }
         if !rate.admit(from, ctx.cfg.handshake_rate_limit, now) {
             ctx.counters.rate_limited(1);
+            ctx.cfg.tracer.emit(
+                0,
+                EventKind::Handshake {
+                    phase: HsPhase::RateLimited,
+                    peer: h.socket_id,
+                },
+            );
             continue;
         }
         if ctx.draining.load(Ordering::Relaxed) {
@@ -533,9 +582,23 @@ fn listener_service(ctx: ListenerCtx) {
                     // Wrong or expired cookie: count it, then re-challenge
                     // so a peer whose cookie merely aged out can recover.
                     ctx.counters.cookies_rejected(1);
+                    ctx.cfg.tracer.emit(
+                        0,
+                        EventKind::Handshake {
+                            phase: HsPhase::Rejected,
+                            peer: h.socket_id,
+                        },
+                    );
                 } else {
                     ctx.counters.challenges_sent(1);
                 }
+                ctx.cfg.tracer.emit(
+                    0,
+                    EventKind::Handshake {
+                        phase: HsPhase::Challenge,
+                        peer: h.socket_id,
+                    },
+                );
                 let challenge = Packet::Control(ControlPacket {
                     timestamp_us: 0,
                     conn_id: h.socket_id,
@@ -562,6 +625,13 @@ fn listener_service(ctx: ListenerCtx) {
         // retransmission retries cleanly once the queue empties.
         if ctx.accepted.len() >= ctx.cfg.accept_backlog {
             ctx.counters.backlog_drops(1);
+            ctx.cfg.tracer.emit(
+                0,
+                EventKind::Handshake {
+                    phase: HsPhase::BacklogDrop,
+                    peer: h.socket_id,
+                },
+            );
             continue;
         }
         let local_id = gen_socket_id();
@@ -623,7 +693,16 @@ fn listener_service(ctx: ListenerCtx) {
         let _ = ctx.mux.send(&resp, from, &instr);
         ctx.conn_table.lock().insert(key, (resp, now));
         match ctx.accepted.try_send(conn) {
-            Ok(()) => ctx.counters.handshakes_accepted(1),
+            Ok(()) => {
+                ctx.counters.handshakes_accepted(1);
+                ctx.cfg.tracer.emit(
+                    local_id,
+                    EventKind::Handshake {
+                        phase: HsPhase::Accepted,
+                        peer: h.socket_id,
+                    },
+                );
+            }
             Err(TrySendError::Full(conn)) => {
                 // Raced past the pre-check; undo so the peer retries.
                 ctx.counters.backlog_drops(1);
