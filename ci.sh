@@ -31,6 +31,13 @@ timeout 120 ./target/release/exp_soak --quick
 timeout 120 ./target/release/exp_flightrec
 timeout 180 ./target/release/exp_trace_overhead --quick
 
+# Multipath bonding, CI-sized: bonded goodput on asymmetric simulated links
+# must strictly beat the best single path (and reproduce under the same
+# seed), and a seeded linkemu blackout must fail over with zero
+# session-level reconnects and less receiver stall than the
+# reconnect-resume baseline. Emits BENCH_multipath.json.
+timeout 300 ./target/release/exp_multipath --quick
+
 # One release-codegen pass with the runtime invariant hooks compiled in
 # (conn/buffer/losslist check_invariants fire on the live data path).
 # Kept last: the different RUSTFLAGS rebuild replaces target/release

@@ -1,0 +1,10 @@
+//! Multipath bonding experiment: bonded goodput and failover-vs-resume.
+//! `--quick` runs the CI-sized variant. Emits BENCH_multipath.json.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = bench::experiments::multipath::run(quick);
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

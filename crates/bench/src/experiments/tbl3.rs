@@ -9,8 +9,29 @@
 
 use udt::UdtConfig;
 
-use crate::realnet::run_loopback_blast;
+use crate::perfjson::{self, Obj, Val};
+use crate::realnet::{run_loopback_blast, TransferOut};
 use crate::report::{mbps, Report};
+
+/// One blast as a machine-readable run entry: goodput, wall clock, and
+/// the full per-category CPU ratio tables for both sides.
+fn blast_json(tag: &str, out: &TransferOut) -> Val {
+    let ratios = |table: Vec<(&str, f64)>| {
+        let mut o = Obj::new();
+        for (name, ratio) in table {
+            o = o.num(name, ratio);
+        }
+        o
+    };
+    Val::O(
+        Obj::new()
+            .str("run", tag)
+            .num("throughput_bps", out.throughput_bps())
+            .num("secs", out.secs)
+            .obj("snd_cpu_ratio", ratios(out.snd_instr.table()))
+            .obj("rcv_cpu_ratio", ratios(out.rcv_instr.table())),
+    )
+}
 
 /// Run with a configurable transfer size.
 pub fn run_with(total_bytes: u64) -> Report {
@@ -123,5 +144,13 @@ pub fn run_quick() -> Report {
         rcv_delta < 0.25,
         format!("|delta| = {rcv_delta:.3}"),
     );
+    let json = Obj::new()
+        .str("bench", "tbl3-quick")
+        .int("bytes_per_run", total)
+        .arr("runs", vec![blast_json("A", &a), blast_json("B", &b)]);
+    match perfjson::write_bench("tbl3", &json) {
+        Ok(p) => rep.row(format!("wrote {}", p.display())),
+        Err(e) => rep.row(format!("BENCH_tbl3.json not written: {e}")),
+    }
     rep
 }

@@ -14,6 +14,7 @@
 
 pub mod cpu;
 pub mod instrshot;
+pub mod perfjson;
 pub mod realnet;
 pub mod report;
 pub mod scenarios;
@@ -31,6 +32,7 @@ pub mod experiments {
     pub mod flightrec;
     pub mod trace_overhead;
     pub mod multibottleneck;
+    pub mod multipath;
     pub mod soak;
     pub mod fig1;
     pub mod fig11;
@@ -83,5 +85,6 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
         experiments::multibottleneck::run,
         experiments::trace_overhead::run,
         experiments::flightrec::run,
+        experiments::multipath::run_full,
     ]
 }

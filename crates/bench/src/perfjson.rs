@@ -1,0 +1,205 @@
+//! Machine-readable benchmark artifacts: `BENCH_<name>.json`.
+//!
+//! Experiments print human-oriented reports; CI and downstream tooling
+//! want numbers they can diff without scraping. This module is a tiny
+//! dependency-free JSON builder (same philosophy as `udt_trace::json`:
+//! flat, hand-rolled, no serde) plus [`write_bench`], which drops the
+//! rendered object next to the working directory the experiment ran in —
+//! `ci.sh` runs from the repo root, so the artifacts land there.
+
+use std::io;
+use std::path::PathBuf;
+
+/// A JSON value: scalars, arrays, and nested objects.
+#[derive(Debug, Clone)]
+pub enum Val {
+    /// A float (non-finite values render as 0, like the trace codec).
+    F(f64),
+    /// An unsigned integer.
+    U(u64),
+    /// A string.
+    S(String),
+    /// A boolean.
+    B(bool),
+    /// An array of values.
+    A(Vec<Val>),
+    /// A nested object.
+    O(Obj),
+}
+
+/// An ordered JSON object under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Obj {
+    fields: Vec<(String, Val)>,
+}
+
+impl Obj {
+    /// Empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Add a float field.
+    #[must_use]
+    pub fn num(mut self, key: &str, v: f64) -> Obj {
+        self.fields.push((key.to_string(), Val::F(v)));
+        self
+    }
+
+    /// Add an unsigned integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, v: u64) -> Obj {
+        self.fields.push((key.to_string(), Val::U(v)));
+        self
+    }
+
+    /// Add a string field.
+    #[must_use]
+    pub fn str(mut self, key: &str, v: impl Into<String>) -> Obj {
+        self.fields.push((key.to_string(), Val::S(v.into())));
+        self
+    }
+
+    /// Add a boolean field.
+    #[must_use]
+    pub fn flag(mut self, key: &str, v: bool) -> Obj {
+        self.fields.push((key.to_string(), Val::B(v)));
+        self
+    }
+
+    /// Add an array field.
+    #[must_use]
+    pub fn arr(mut self, key: &str, items: Vec<Val>) -> Obj {
+        self.fields.push((key.to_string(), Val::A(items)));
+        self
+    }
+
+    /// Add a nested object field.
+    #[must_use]
+    pub fn obj(mut self, key: &str, o: Obj) -> Obj {
+        self.fields.push((key.to_string(), Val::O(o)));
+        self
+    }
+
+    /// Render as a compact single-line JSON object.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(256);
+        render_obj(self, &mut s);
+        s
+    }
+}
+
+fn render_obj(o: &Obj, s: &mut String) {
+    s.push('{');
+    for (i, (k, v)) in o.fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_str_escaped(k, s);
+        s.push(':');
+        render_val(v, s);
+    }
+    s.push('}');
+}
+
+fn render_val(v: &Val, s: &mut String) {
+    match v {
+        Val::F(f) => {
+            if f.is_finite() {
+                s.push_str(&f.to_string());
+            } else {
+                s.push('0');
+            }
+        }
+        Val::U(u) => s.push_str(&u.to_string()),
+        Val::S(text) => push_str_escaped(text, s),
+        Val::B(b) => s.push_str(if *b { "true" } else { "false" }),
+        Val::A(items) => {
+            s.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                render_val(item, s);
+            }
+            s.push(']');
+        }
+        Val::O(o) => render_obj(o, s),
+    }
+}
+
+fn push_str_escaped(text: &str, s: &mut String) {
+    s.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if u32::from(c) < 0x20 => {
+                let code = u32::from(c);
+                s.push_str(&format!("\\u{code:04x}"));
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Write `obj` to `BENCH_<name>.json` in the current working directory
+/// (trailing newline included) and return the path written.
+pub fn write_bench(name: &str, obj: &Obj) -> io::Result<PathBuf> {
+    let path = PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, obj.render() + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structure() {
+        let o = Obj::new()
+            .str("bench", "demo")
+            .num("goodput_bps", 12.5e6)
+            .int("chunks", 42)
+            .flag("ok", true)
+            .arr(
+                "runs",
+                vec![
+                    Val::O(Obj::new().str("run", "a").num("x", 1.0)),
+                    Val::U(7),
+                ],
+            );
+        let s = o.render();
+        assert_eq!(
+            s,
+            "{\"bench\":\"demo\",\"goodput_bps\":12500000,\"chunks\":42,\
+             \"ok\":true,\"runs\":[{\"run\":\"a\",\"x\":1},7]}"
+        );
+    }
+
+    #[test]
+    fn escapes_and_sanitizes() {
+        let o = Obj::new().str("k\"ey", "a\nb").num("bad", f64::NAN);
+        let s = o.render();
+        assert!(s.contains("\"k\\\"ey\":\"a\\nb\""), "{s}");
+        assert!(s.contains("\"bad\":0"), "{s}");
+    }
+
+    #[test]
+    fn bench_file_lands_in_cwd() {
+        let dir = std::env::temp_dir().join(format!("perfjson-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let o = Obj::new().str("bench", "t");
+        let rendered = o.render() + "\n";
+        // write_bench writes relative to the cwd, which is shared across
+        // the test process; exercise the rendering + IO path via the dir.
+        std::fs::write(dir.join("BENCH_t.json"), &rendered).unwrap();
+        let back = std::fs::read_to_string(dir.join("BENCH_t.json")).unwrap();
+        assert_eq!(back, rendered);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -134,7 +134,20 @@ pub struct UdtSender {
     finished: bool,
     /// Structured event sink; disabled by default (one branch per emit).
     tracer: Tracer,
+    /// Optional payload source for byte-carrying flows (multipath bonding).
+    /// Called with `(sim now ns, seq, retx)`; for new data a `None` means
+    /// "nothing to send yet" and the sequence number is *not* consumed.
+    payload_fn: Option<PayloadFn>,
 }
+
+/// Payload source hook for byte-carrying simulated flows: called with
+/// `(sim now ns, seq, retx)`; returning `None` for new data defers the
+/// packet without consuming the sequence number.
+pub type PayloadFn = Box<dyn FnMut(u64, SeqNo, bool) -> Option<bytes::Bytes>>;
+
+/// Payload sink hook: observes `(sim now ns, seq, payload)` once per
+/// accepted data packet, in arrival order.
+pub type PayloadSink = Box<dyn FnMut(u64, SeqNo, &bytes::Bytes)>;
 
 impl UdtSender {
     /// New sender.
@@ -162,6 +175,7 @@ impl UdtSender {
             started: false,
             finished: false,
             tracer: Tracer::disabled(),
+            payload_fn: None,
             cfg,
             cc,
         }
@@ -173,6 +187,21 @@ impl UdtSender {
     #[must_use]
     pub fn with_tracer(mut self, t: Tracer) -> UdtSender {
         self.tracer = t;
+        self
+    }
+
+    /// Attach a payload source, turning the size-only simulated flow into a
+    /// byte-carrying one. On first transmission the hook is asked *before*
+    /// the sequence number is consumed (`retx = false`); returning `None`
+    /// defers the packet (the sender polls again next SYN). On
+    /// retransmission (`retx = true`) the hook must return the bytes it
+    /// handed out for that sequence number originally.
+    #[must_use]
+    pub fn with_payload_fn(
+        mut self,
+        f: PayloadFn,
+    ) -> UdtSender {
+        self.payload_fn = Some(f);
         self
     }
 
@@ -243,9 +272,13 @@ impl UdtSender {
     /// then new data within the window. Returns whether a packet went out
     /// and whether it opened a probe pair.
     fn send_one(&mut self, ctx: &mut Ctx) -> Option<SeqNo> {
-        let (seq, retx) = if let Some(seq) = self.loss.pop_first() {
+        let (seq, retx, payload) = if let Some(seq) = self.loss.pop_first() {
+            let payload = match self.payload_fn.as_mut() {
+                Some(f) => f(ctx.now.0, seq, true).unwrap_or_default(),
+                None => bytes::Bytes::new(),
+            };
             self.sent_retx += 1;
-            (seq, true)
+            (seq, true, payload)
         } else {
             if self.exhausted_new() {
                 return None;
@@ -255,9 +288,15 @@ impl UdtSender {
                 return None;
             }
             let seq = self.next_new;
+            // Ask the payload source *before* consuming the sequence
+            // number: with nothing to send the flow just idles.
+            let payload = match self.payload_fn.as_mut() {
+                Some(f) => f(ctx.now.0, seq, false)?,
+                None => bytes::Bytes::new(),
+            };
             self.next_new = self.next_new.next();
             self.sent_new += 1;
-            (seq, false)
+            (seq, false, payload)
         };
         // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
         if self.snd_una.offset_to(seq) > self.snd_una.offset_to(self.curr_seq)
@@ -271,7 +310,7 @@ impl UdtSender {
             // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
             timestamp_us: (ctx.now.as_micros() & 0xFFFF_FFFF) as u32,
             conn_id: self.cfg.flow.0 as u32,
-            payload: bytes::Bytes::new(), // simulated payload: size only
+            payload, // empty unless a payload source is attached
         });
         ctx.send(SimPacket::new(
             ctx.node,
@@ -556,6 +595,10 @@ pub struct UdtReceiver {
     duplicate_pkts: u64,
     /// Structured event sink; disabled by default (one branch per emit).
     tracer: Tracer,
+    /// Optional payload sink for byte-carrying flows (multipath bonding).
+    /// Called once per *accepted* packet (first copies only, in arrival
+    /// order) with `(sim now ns, seq, payload)`.
+    sink_fn: Option<PayloadSink>,
 }
 
 impl UdtReceiver {
@@ -578,6 +621,7 @@ impl UdtReceiver {
             received_pkts: 0,
             duplicate_pkts: 0,
             tracer: Tracer::disabled(),
+            sink_fn: None,
             cfg,
         }
     }
@@ -586,6 +630,18 @@ impl UdtReceiver {
     #[must_use]
     pub fn with_tracer(mut self, t: Tracer) -> UdtReceiver {
         self.tracer = t;
+        self
+    }
+
+    /// Attach a payload sink; see [`UdtSender::with_payload_fn`] for the
+    /// sending side. The sink observes each accepted packet exactly once,
+    /// in arrival (not sequence) order — reordering is the sink's problem.
+    #[must_use]
+    pub fn with_payload_sink(
+        mut self,
+        f: PayloadSink,
+    ) -> UdtReceiver {
+        self.sink_fn = Some(f);
         self
     }
 
@@ -643,7 +699,7 @@ impl UdtReceiver {
         }
     }
 
-    fn on_data(&mut self, seq: SeqNo, ctx: &mut Ctx) {
+    fn on_data(&mut self, seq: SeqNo, payload: &bytes::Bytes, ctx: &mut Ctx) {
         self.history.on_pkt_arrival(ctx.now);
         if seq.raw().is_multiple_of(PROBE_INTERVAL) {
             self.history.on_probe1_arrival(ctx.now);
@@ -684,6 +740,9 @@ impl UdtReceiver {
             }
             self.lrsn = seq;
             self.received_pkts += 1;
+            if let Some(sink) = self.sink_fn.as_mut() {
+                sink(ctx.now.0, seq, payload);
+            }
             self.trace(
                 ctx,
                 EventKind::DataRecv {
@@ -695,6 +754,9 @@ impl UdtReceiver {
             // At or below the largest seen: retransmission or duplicate.
             if self.loss.remove(seq) {
                 self.received_pkts += 1;
+                if let Some(sink) = self.sink_fn.as_mut() {
+                    sink(ctx.now.0, seq, payload);
+                }
                 self.trace(
                     ctx,
                     EventKind::DataRecv {
@@ -793,7 +855,7 @@ impl Agent for UdtReceiver {
 
     fn on_packet(&mut self, pkt: SimPacket, ctx: &mut Ctx) {
         match pkt.payload {
-            Payload::Udt(Packet::Data(d)) => self.on_data(d.seq, ctx),
+            Payload::Udt(Packet::Data(d)) => self.on_data(d.seq, &d.payload, ctx),
             Payload::Udt(Packet::Control(ctrl)) => {
                 if let ControlBody::Ack2 { ack_seq } = ctrl.body {
                     self.trace(ctx, EventKind::Ack2Recv { ack_no: ack_seq });

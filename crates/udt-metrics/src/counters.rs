@@ -184,6 +184,28 @@ counter_set! {
     resumed_bytes,
 }
 
+counter_set! {
+    /// Per-path counters for bonded (multipath) sessions: one per path
+    /// in a `BondedSession`, bumped from the path reader/writer threads.
+    counters PathCounters;
+    /// Point-in-time copy of a [`PathCounters`].
+    snapshot PathSnapshot;
+    /// Session chunks sent on this path (including re-sends).
+    chunks_sent,
+    /// Session chunks received on this path (including duplicates).
+    chunks_recv,
+    /// Chunks pulled back from this path and re-queued after a failure.
+    chunks_requeued,
+    /// Times the path was declared down.
+    path_downs,
+    /// Times the path came up (initial join and every re-join).
+    path_ups,
+    /// Payload bytes sent on this path.
+    bytes_sent,
+    /// Payload bytes received on this path.
+    bytes_recv,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

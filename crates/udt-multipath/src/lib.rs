@@ -1,0 +1,38 @@
+//! Bonded multi-link sessions over independent UDT sub-flows.
+//!
+//! The paper's UDT is a single-path protocol: one UDP flow, one
+//! packet-pair bandwidth estimate, one AIMD loop. This crate promotes
+//! those per-connection mechanisms into per-*path* mechanisms and bonds
+//! N links into one resilient session:
+//!
+//! * [`path`] — the per-path state table: bandwidth estimate, RTT/RTTVar,
+//!   loss rate, and liveness, plus per-path counters.
+//! * [`sched`] — the pluggable [`sched::PathScheduler`] contract with
+//!   weighted-by-estimated-bandwidth and redundant-duplicate strategies.
+//! * [`reassembly`] — reorder-tolerant receiver reassembly mapping the
+//!   session-level 31-bit sequence space onto per-path deliveries.
+//! * [`session`] — the threaded [`session::BondedSender`] /
+//!   [`session::BondedReceiver`] pair striping one reliable byte stream
+//!   across any transport implementing [`session::PathStream`], with
+//!   seamless failover (a dead path migrates its unacknowledged chunks
+//!   to survivors; no session-level reconnect) and re-join on recovery.
+//! * [`sim`] — a deterministic netsim harness bonding N simulated UDT
+//!   flows for seeded, reproducible exploration of asymmetric paths.
+//!
+//! The session frame vocabulary (JOIN/DATA/ACK/FIN) lives in
+//! `udt_proto::multipath`; trace events carry the path id so one bonded
+//! session renders as a single timeline with per-path rows.
+
+pub mod path;
+pub mod reassembly;
+pub mod sched;
+pub mod session;
+pub mod sim;
+
+pub use path::{PathEstimate, PathId, PathTable};
+pub use reassembly::Reassembly;
+pub use sched::{PathScheduler, RedundantScheduler, SchedKind, WeightedScheduler};
+pub use session::{
+    BondedCfg, BondedReceiver, BondedSender, PathConnector, PathStream, StreamError,
+};
+pub use sim::{run_bonded_sim, BondedSimCfg, BondedSimResult, SimPathSpec};

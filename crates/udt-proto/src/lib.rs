@@ -16,14 +16,18 @@
 //! * [`nak`] — the compressed loss-list encoding from the paper's appendix
 //!   (flag bit marks the start of a `[from, to]` range).
 //! * [`wire`] — encode/decode between [`Packet`] and byte buffers.
+//! * [`multipath`] — session-level frame vocabulary for bonded
+//!   (multi-path) sessions: JOIN/DATA/ACK/FIN over per-path streams.
 
 pub mod ctrl;
+pub mod multipath;
 pub mod nak;
 pub mod packet;
 pub mod seqno;
 pub mod wire;
 
 pub use ctrl::{AckData, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
+pub use multipath::{MpError, MpFrame, MP_HEADER_LEN, MP_MAX_CHUNK};
 pub use packet::{DataPacket, Packet, PacketKind};
 pub use seqno::{SeqNo, SeqRange, SEQ_MAX, SEQ_SPACE, SEQ_TH};
 pub use wire::{decode, encode, encoded_len, WireError, CTRL_HEADER_LEN, DATA_HEADER_LEN};

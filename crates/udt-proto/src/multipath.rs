@@ -1,0 +1,265 @@
+//! Session-level framing for multipath (bonded) sessions.
+//!
+//! A bonded session stripes one reliable byte stream across N sub-flows
+//! ("paths"). Each path is itself a reliable UDT byte stream, so the
+//! session layer only needs a thin frame vocabulary on top of it:
+//!
+//! * `JOIN` — first frame on every path connection: which path this is,
+//!   how many paths the session bonds, and the session-level initial
+//!   sequence number (the session sequence space is the same 31-bit
+//!   wrap-around space as packet sequencing, reusing [`SeqNo`]).
+//! * `DATA` — one session chunk: session sequence number + payload.
+//! * `ACK` — cumulative session-level acknowledgement (next expected
+//!   session sequence number), sent by the receiver on any up path.
+//!   Idempotent, so duplicates across paths are harmless.
+//! * `FIN` — end-of-stream marker carrying the first unused session
+//!   sequence number.
+//!
+//! Every frame starts with the same fixed 9-byte header
+//! `[type u8][a u32 BE][b u32 BE]`, followed by `b` payload bytes for
+//! `DATA` frames only. The constant-size header keeps the stream decoder
+//! trivial (read 9 bytes, then the payload) and the format byte-order
+//! explicit.
+
+use crate::seqno::SeqNo;
+
+/// Fixed frame header length: type byte + two big-endian u32 fields.
+pub const MP_HEADER_LEN: usize = 9;
+
+/// Frame type byte values.
+const T_JOIN: u8 = 1;
+const T_DATA: u8 = 2;
+const T_ACK: u8 = 3;
+const T_FIN: u8 = 4;
+
+/// Largest `DATA` payload a frame may carry. Bounds decoder allocations
+/// against corrupt or hostile length fields.
+pub const MP_MAX_CHUNK: u32 = 1 << 24;
+
+/// A decoded multipath session frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpFrame {
+    /// Path attach/re-attach announcement (first frame on a connection).
+    Join {
+        /// Path id within the session (0-based).
+        path_id: u16,
+        /// Number of paths the session bonds.
+        n_paths: u16,
+        /// Session-level initial sequence number.
+        init_seq: SeqNo,
+    },
+    /// A session chunk; `len` payload bytes follow the header.
+    Data {
+        /// Session-level sequence number of this chunk.
+        seq: SeqNo,
+        /// Payload length in bytes.
+        len: u32,
+    },
+    /// Cumulative acknowledgement: all chunks before `cum` arrived.
+    Ack {
+        /// Next expected session sequence number.
+        cum: SeqNo,
+    },
+    /// End of stream; `end` is the first unused session sequence number.
+    Fin {
+        /// First session sequence number past the stream.
+        end: SeqNo,
+    },
+}
+
+/// Frame decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpError {
+    /// Header shorter than [`MP_HEADER_LEN`].
+    Truncated,
+    /// Unknown frame type byte.
+    BadType(u8),
+    /// `DATA` length field exceeds [`MP_MAX_CHUNK`].
+    OversizedChunk(u32),
+}
+
+impl std::fmt::Display for MpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MpError::Truncated => write!(f, "truncated multipath frame header"),
+            MpError::BadType(t) => write!(f, "unknown multipath frame type {t}"),
+            MpError::OversizedChunk(n) => write!(f, "multipath chunk length {n} over limit"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {}
+
+impl MpFrame {
+    /// Encode the 9-byte header into `out`. `DATA` payload bytes are the
+    /// caller's to append (the header alone is what this layer defines).
+    pub fn encode_header(&self, out: &mut [u8; MP_HEADER_LEN]) {
+        let (ty, a, b) = match *self {
+            MpFrame::Join {
+                path_id,
+                n_paths,
+                init_seq,
+            } => (
+                T_JOIN,
+                (u32::from(path_id) << 16) | u32::from(n_paths),
+                init_seq.raw(),
+            ),
+            MpFrame::Data { seq, len } => (T_DATA, seq.raw(), len),
+            MpFrame::Ack { cum } => (T_ACK, cum.raw(), 0),
+            MpFrame::Fin { end } => (T_FIN, end.raw(), 0),
+        };
+        out[0] = ty;
+        out[1..5].copy_from_slice(&a.to_be_bytes());
+        out[5..9].copy_from_slice(&b.to_be_bytes());
+    }
+
+    /// Header as an owned array (convenience for writers).
+    pub fn header_bytes(&self) -> [u8; MP_HEADER_LEN] {
+        let mut buf = [0u8; MP_HEADER_LEN];
+        self.encode_header(&mut buf);
+        buf
+    }
+
+    /// Decode a 9-byte header. For `DATA`, the caller then reads
+    /// `len` payload bytes from the stream.
+    pub fn decode_header(buf: &[u8]) -> Result<MpFrame, MpError> {
+        if buf.len() < MP_HEADER_LEN {
+            return Err(MpError::Truncated);
+        }
+        // Both fixed 4-byte slices of a length-checked header; the
+        // conversions cannot fail.
+        let mut a4 = [0u8; 4];
+        a4.copy_from_slice(&buf[1..5]);
+        let a = u32::from_be_bytes(a4);
+        let mut b4 = [0u8; 4];
+        b4.copy_from_slice(&buf[5..9]);
+        let b = u32::from_be_bytes(b4);
+        match buf[0] {
+            T_JOIN => Ok(MpFrame::Join {
+                // High/low halves of a u32: both conversions are exact.
+                path_id: (a >> 16) as u16,
+                n_paths: (a & 0xFFFF) as u16,
+                init_seq: SeqNo::new(b),
+            }),
+            T_DATA => {
+                if b > MP_MAX_CHUNK {
+                    return Err(MpError::OversizedChunk(b));
+                }
+                Ok(MpFrame::Data {
+                    seq: SeqNo::new(a),
+                    len: b,
+                })
+            }
+            T_ACK => Ok(MpFrame::Ack { cum: SeqNo::new(a) }),
+            T_FIN => Ok(MpFrame::Fin { end: SeqNo::new(a) }),
+            t => Err(MpError::BadType(t)),
+        }
+    }
+
+    /// Encode a full `DATA` frame (header + payload) into a fresh buffer.
+    pub fn encode_data(seq: SeqNo, payload: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MP_HEADER_LEN + payload.len());
+        let frame = MpFrame::Data {
+            seq,
+            // Payload sizes are bounded by MP_MAX_CHUNK at every call site;
+            // a chunk cannot exceed u32.
+            len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+        };
+        out.extend_from_slice(&frame.header_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seqno::SEQ_MAX;
+
+    #[test]
+    fn headers_roundtrip() {
+        let frames = [
+            MpFrame::Join {
+                path_id: 3,
+                n_paths: 5,
+                init_seq: SeqNo::new(SEQ_MAX),
+            },
+            MpFrame::Data {
+                seq: SeqNo::new(SEQ_MAX - 1),
+                len: 1452,
+            },
+            MpFrame::Ack {
+                cum: SeqNo::new(0),
+            },
+            MpFrame::Fin {
+                end: SeqNo::new(12345),
+            },
+        ];
+        for f in frames {
+            let bytes = f.header_bytes();
+            assert_eq!(MpFrame::decode_header(&bytes), Ok(f), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn join_packs_both_halves() {
+        let f = MpFrame::Join {
+            path_id: 0xABCD,
+            n_paths: 0x1234,
+            init_seq: SeqNo::new(7),
+        };
+        let b = f.header_bytes();
+        assert_eq!(MpFrame::decode_header(&b), Ok(f));
+    }
+
+    #[test]
+    fn seq_field_masks_flag_bit() {
+        // A corrupt stream can set the data/control flag bit; the decoder
+        // masks it back into the 31-bit space instead of propagating it.
+        let mut b = MpFrame::Ack {
+            cum: SeqNo::new(0),
+        }
+        .header_bytes();
+        b[1] = 0xFF;
+        b[2] = 0xFF;
+        b[3] = 0xFF;
+        b[4] = 0xFF;
+        match MpFrame::decode_header(&b) {
+            Ok(MpFrame::Ack { cum }) => assert_eq!(cum.raw(), SEQ_MAX),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_bad_type_and_oversize() {
+        assert_eq!(MpFrame::decode_header(&[1, 2, 3]), Err(MpError::Truncated));
+        let mut b = [0u8; MP_HEADER_LEN];
+        b[0] = 99;
+        assert_eq!(MpFrame::decode_header(&b), Err(MpError::BadType(99)));
+        let mut d = MpFrame::Data {
+            seq: SeqNo::ZERO,
+            len: 0,
+        }
+        .header_bytes();
+        d[5..9].copy_from_slice(&(MP_MAX_CHUNK + 1).to_be_bytes());
+        assert_eq!(
+            MpFrame::decode_header(&d),
+            Err(MpError::OversizedChunk(MP_MAX_CHUNK + 1))
+        );
+    }
+
+    #[test]
+    fn data_frame_carries_payload() {
+        let payload = [9u8; 100];
+        let buf = MpFrame::encode_data(SeqNo::new(42), &payload);
+        assert_eq!(buf.len(), MP_HEADER_LEN + 100);
+        match MpFrame::decode_header(&buf) {
+            Ok(MpFrame::Data { seq, len }) => {
+                assert_eq!(seq.raw(), 42);
+                assert_eq!(len, 100);
+                assert_eq!(&buf[MP_HEADER_LEN..], &payload);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

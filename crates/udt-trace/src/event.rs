@@ -438,6 +438,53 @@ pub enum EventKind {
         /// Cumulative nanoseconds per category.
         nanos: [u64; CPU_CATEGORY_COUNT],
     },
+    /// A bonded-session path became usable (joined or rejoined).
+    PathUp {
+        /// Path id within the bonded session.
+        path: u32,
+    },
+    /// A bonded-session path was declared dead (EXP escalation, socket
+    /// error); traffic migrates to the surviving paths.
+    PathDown {
+        /// Path id within the bonded session.
+        path: u32,
+    },
+    /// A session chunk was dispatched on a path.
+    PathSend {
+        /// Path id within the bonded session.
+        path: u32,
+        /// Session-level sequence number of the chunk.
+        seq: u32,
+        /// Chunk payload bytes.
+        bytes: u32,
+    },
+    /// A session chunk arrived from a path.
+    PathRecv {
+        /// Path id within the bonded session.
+        path: u32,
+        /// Session-level sequence number of the chunk.
+        seq: u32,
+        /// Chunk payload bytes.
+        bytes: u32,
+    },
+    /// Chunks were requeued away from a path (loss or failover).
+    PathLoss {
+        /// Path id within the bonded session.
+        path: u32,
+        /// Chunks requeued to other paths.
+        lost: u32,
+    },
+    /// Periodic per-path estimator sample feeding the scheduler.
+    PathRate {
+        /// Path id within the bonded session.
+        path: u32,
+        /// Estimated path capacity, packets per second.
+        bw_pps: f64,
+        /// Smoothed path RTT, microseconds.
+        rtt_us: f64,
+        /// Path loss rate over the sample window, percent.
+        loss_pct: f64,
+    },
 }
 
 impl EventKind {
@@ -466,6 +513,12 @@ impl EventKind {
             EventKind::ChaosFault { .. } => "chaos",
             EventKind::PerfSample { .. } => "perf",
             EventKind::CpuBreakdown { .. } => "cpu",
+            EventKind::PathUp { .. } => "path_up",
+            EventKind::PathDown { .. } => "path_down",
+            EventKind::PathSend { .. } => "path_send",
+            EventKind::PathRecv { .. } => "path_recv",
+            EventKind::PathLoss { .. } => "path_loss",
+            EventKind::PathRate { .. } => "path_rate",
         }
     }
 }

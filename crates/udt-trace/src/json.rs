@@ -142,6 +142,29 @@ pub fn encode(ev: &TraceEvent) -> String {
             }
             s.push(']');
         }
+        EventKind::PathUp { path } | EventKind::PathDown { path } => {
+            field_u(&mut s, "path", u64::from(*path));
+        }
+        EventKind::PathSend { path, seq, bytes } | EventKind::PathRecv { path, seq, bytes } => {
+            field_u(&mut s, "path", u64::from(*path));
+            field_u(&mut s, "seq", u64::from(*seq));
+            field_u(&mut s, "bytes", u64::from(*bytes));
+        }
+        EventKind::PathLoss { path, lost } => {
+            field_u(&mut s, "path", u64::from(*path));
+            field_u(&mut s, "lost", u64::from(*lost));
+        }
+        EventKind::PathRate {
+            path,
+            bw_pps,
+            rtt_us,
+            loss_pct,
+        } => {
+            field_u(&mut s, "path", u64::from(*path));
+            field_f(&mut s, "bw_pps", *bw_pps);
+            field_f(&mut s, "rtt_us", *rtt_us);
+            field_f(&mut s, "loss_pct", *loss_pct);
+        }
     }
     s.push('}');
     s
@@ -372,6 +395,32 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
             nanos.copy_from_slice(arr);
             EventKind::CpuBreakdown { nanos }
         }
+        "path_up" => EventKind::PathUp {
+            path: req_u32("path")?,
+        },
+        "path_down" => EventKind::PathDown {
+            path: req_u32("path")?,
+        },
+        "path_send" => EventKind::PathSend {
+            path: req_u32("path")?,
+            seq: req_u32("seq")?,
+            bytes: req_u32("bytes")?,
+        },
+        "path_recv" => EventKind::PathRecv {
+            path: req_u32("path")?,
+            seq: req_u32("seq")?,
+            bytes: req_u32("bytes")?,
+        },
+        "path_loss" => EventKind::PathLoss {
+            path: req_u32("path")?,
+            lost: req_u32("lost")?,
+        },
+        "path_rate" => EventKind::PathRate {
+            path: req_u32("path")?,
+            bw_pps: req_f64("bw_pps")?,
+            rtt_us: req_f64("rtt_us")?,
+            loss_pct: req_f64("loss_pct")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(TraceEvent { t_ns, conn, kind })
@@ -701,6 +750,25 @@ mod tests {
             },
             EventKind::CpuBreakdown {
                 nanos: [1, 2, 3, 4, 5, 6, 7, 8, 9],
+            },
+            EventKind::PathUp { path: 2 },
+            EventKind::PathDown { path: 2 },
+            EventKind::PathSend {
+                path: 1,
+                seq: 0x7FFF_FFFF,
+                bytes: 1452,
+            },
+            EventKind::PathRecv {
+                path: 1,
+                seq: 0,
+                bytes: 1452,
+            },
+            EventKind::PathLoss { path: 0, lost: 17 },
+            EventKind::PathRate {
+                path: 3,
+                bw_pps: 8333.5,
+                rtt_us: 20125.0,
+                loss_pct: 0.75,
             },
         ]
     }

@@ -10,18 +10,29 @@
 //! udtcat connect --retry 5 192.0.2.1:9000 < dump.tar
 //! ```
 //!
+//! Bonded multipath: give the sender extra `--path <addr>` flags (one per
+//! additional link) and the receiver a matching `--bonded N`; the stream
+//! is striped across all paths and survives any one of them dying:
+//!
+//! ```sh
+//! udtcat listen --bonded 2 0.0.0.0:9000 > dump.tar
+//! udtcat connect --path 198.51.100.1:9000 192.0.2.1:9000 < dump.tar
+//! ```
+//!
 //! Exit codes: 0 on success, 1 on a transfer/connection failure (with a
 //! one-line diagnostic on stderr), 2 on usage errors.
 
 use std::io::{Read, Write};
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use udt::{RetryPolicy, UdtConfig, UdtConnection, UdtListener};
+use udt::{bonded_accept, bonded_connect, RetryPolicy, UdtConfig, UdtConnection, UdtListener};
+use udt_multipath::BondedCfg;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  udtcat listen <bind-addr>              # remote stream → stdout\n  udtcat connect [--retry N] <addr>      # stdin → remote\n\n  --retry N   retry a failed connect up to N times with exponential backoff"
+        "usage:\n  udtcat listen [--bonded N] <bind-addr>            # remote stream → stdout\n  udtcat connect [--retry N] [--path A]... <addr>   # stdin → remote\n\n  --retry N    retry a failed connect up to N times with exponential backoff\n  --path A     bond an additional path to address A (repeatable; stripes the\n               stream across <addr> plus every --path)\n  --bonded N   accept a bonded session of N paths instead of one connection"
     );
     ExitCode::from(2)
 }
@@ -42,6 +53,31 @@ fn main() -> ExitCode {
         retries = n;
         args.drain(i..=i + 1);
     }
+    let mut bonded = 0usize;
+    if let Some(i) = args.iter().position(|a| a == "--bonded") {
+        let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()).filter(|&n| n >= 1)
+        else {
+            eprintln!("udtcat: --bonded needs a path count of at least 1");
+            return usage();
+        };
+        bonded = n;
+        args.drain(i..=i + 1);
+    }
+    let mut extra_paths: Vec<SocketAddr> = Vec::new();
+    while let Some(i) = args.iter().position(|a| a == "--path") {
+        let Some(raw) = args.get(i + 1).cloned() else {
+            eprintln!("udtcat: --path needs an address");
+            return usage();
+        };
+        match raw.parse::<SocketAddr>() {
+            Ok(a) => extra_paths.push(a),
+            Err(e) => {
+                eprintln!("udtcat: bad --path address {raw:?}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let (mode, addr) = match (args.first().map(String::as_str), args.get(1)) {
         (Some(m @ ("listen" | "connect")), Some(a)) => match a.parse::<SocketAddr>() {
             Ok(addr) => (m.to_string(), addr),
@@ -53,7 +89,17 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match mode.as_str() {
+        "listen" if bonded > 0 => listen_bonded(addr, bonded),
         "listen" => listen(addr),
+        _ if !extra_paths.is_empty() => {
+            if retries > 0 {
+                eprintln!("udtcat: --retry does not combine with --path (bonded sessions re-dial dead paths themselves)");
+                return ExitCode::from(2);
+            }
+            let mut addrs = vec![addr];
+            addrs.extend(extra_paths);
+            connect_bonded(&addrs)
+        }
         _ => connect(addr, retries),
     }
 }
@@ -127,6 +173,71 @@ fn connect(addr: SocketAddr, retries: u32) -> ExitCode {
         return fail("close failed to flush", &e);
     }
     eprintln!("udtcat: sent {total} bytes");
+    ExitCode::SUCCESS
+}
+
+/// Accept a bonded session of `n_paths` and stream it to stdout.
+fn listen_bonded(addr: SocketAddr, n_paths: usize) -> ExitCode {
+    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+        Ok(l) => std::sync::Arc::new(l),
+        Err(e) => return fail("bind failed", &e),
+    };
+    eprintln!(
+        "udtcat: listening on {} for a {n_paths}-path bonded session",
+        listener.local_addr()
+    );
+    let rx = bonded_accept(listener, n_paths, BondedCfg::default());
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut buf = vec![0u8; 1 << 16];
+    let mut total = 0u64;
+    loop {
+        match rx.recv_timeout(&mut buf, Duration::from_secs(3600)) {
+            Ok(0) => break,
+            Ok(n) => {
+                if let Err(e) = out.write_all(&buf[..n]) {
+                    return fail("stdout write failed", &e);
+                }
+                total += n as u64;
+            }
+            Err(e) => return fail("bonded transfer failed mid-stream", &e),
+        }
+    }
+    out.flush().ok();
+    let split: Vec<u64> = rx.counters().iter().map(|s| s.chunks_recv).collect();
+    eprintln!("udtcat: received {total} bytes over {n_paths} paths (chunk split {split:?})");
+    ExitCode::SUCCESS
+}
+
+/// Stream stdin across a bonded session striped over `addrs`.
+fn connect_bonded(addrs: &[SocketAddr]) -> ExitCode {
+    let mut tx = match bonded_connect(addrs, &UdtConfig::default(), BondedCfg::default()) {
+        Ok(tx) => tx,
+        Err(e) => return fail("path setup failed", &e),
+    };
+    eprintln!("udtcat: bonded session up across {} paths: {addrs:?}", addrs.len());
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let mut buf = vec![0u8; 1 << 16];
+    let mut total = 0u64;
+    loop {
+        let n = match input.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) => return fail("stdin read failed", &e),
+        };
+        if n == 0 {
+            break;
+        }
+        if let Err(e) = tx.send(&buf[..n]) {
+            return fail("bonded transfer failed mid-stream", &e);
+        }
+        total += n as u64;
+    }
+    if let Err(e) = tx.finish(Duration::from_secs(600)) {
+        return fail("bonded close failed to flush", &e);
+    }
+    let split: Vec<u64> = tx.counters().iter().map(|s| s.chunks_sent).collect();
+    eprintln!("udtcat: sent {total} bytes over {} paths (chunk split {split:?})", addrs.len());
     ExitCode::SUCCESS
 }
 

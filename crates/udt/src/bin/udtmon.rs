@@ -15,6 +15,11 @@
 //!
 //! Lines that fail the shared schema parser are counted, not fatal —
 //! a live writer may be mid-line at read time.
+//!
+//! Bonded (multipath) timelines carry `path_*` events alongside the
+//! per-connection stream; these are grouped by path id and rendered as
+//! indented per-path rows under the owning connection — one dashboard,
+//! one row per path.
 
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Seek, SeekFrom};
@@ -23,6 +28,22 @@ use std::time::Duration;
 
 use udt_trace::event::{EventKind, TraceEvent};
 use udt_trace::json;
+
+/// One bonded path's slice of a connection timeline.
+#[derive(Default)]
+struct PathAgg {
+    chunks_sent: u64,
+    bytes_sent: u64,
+    chunks_recvd: u64,
+    bytes_recvd: u64,
+    lost: u64,
+    ups: u64,
+    downs: u64,
+    bw_pps: Option<f64>,
+    rtt_us: Option<f64>,
+    loss_pct: Option<f64>,
+    last_t_ns: u64,
+}
 
 #[derive(Default)]
 struct ConnAgg {
@@ -41,6 +62,8 @@ struct ConnAgg {
     bw_pps: Option<f64>,
     state: Option<&'static str>,
     last_t_ns: u64,
+    /// Bonded-session paths seen on this connection, by path id.
+    paths: BTreeMap<u32, PathAgg>,
 }
 
 impl ConnAgg {
@@ -71,8 +94,40 @@ impl ConnAgg {
             }
             EventKind::BwEstimate { pps } => self.bw_pps = Some(pps),
             EventKind::StateChange { to, .. } => self.state = Some(to.as_str()),
+            EventKind::PathUp { path } => self.path(path, ev.t_ns).ups += 1,
+            EventKind::PathDown { path } => self.path(path, ev.t_ns).downs += 1,
+            EventKind::PathSend { path, bytes, .. } => {
+                let p = self.path(path, ev.t_ns);
+                p.chunks_sent += 1;
+                p.bytes_sent += u64::from(bytes);
+            }
+            EventKind::PathRecv { path, bytes, .. } => {
+                let p = self.path(path, ev.t_ns);
+                p.chunks_recvd += 1;
+                p.bytes_recvd += u64::from(bytes);
+            }
+            EventKind::PathLoss { path, lost } => {
+                self.path(path, ev.t_ns).lost += u64::from(lost);
+            }
+            EventKind::PathRate {
+                path,
+                bw_pps,
+                rtt_us,
+                loss_pct,
+            } => {
+                let p = self.path(path, ev.t_ns);
+                p.bw_pps = Some(bw_pps);
+                p.rtt_us = Some(rtt_us);
+                p.loss_pct = Some(loss_pct);
+            }
             _ => {}
         }
+    }
+
+    fn path(&mut self, id: u32, t_ns: u64) -> &mut PathAgg {
+        let p = self.paths.entry(id).or_default();
+        p.last_t_ns = p.last_t_ns.max(t_ns);
+        p
     }
 }
 
@@ -133,6 +188,26 @@ impl Monitor {
                 a.state.unwrap_or("-"),
                 a.last_t_ns as f64 / 1e9, // udt-lint: allow(as-cast) — display maths
             ));
+            for (pid, p) in &a.paths {
+                s.push_str(&format!(
+                    "  └ path {pid:<3} sent {:>7} ({:>8.2} MB)  recvd {:>7} ({:>8.2} MB)  \
+                     requeued {:>5}  up/down {}/{}  bw {:>8}  rtt {:>7}  loss {:>6}  last {:>7.2}\n",
+                    p.chunks_sent,
+                    p.bytes_sent as f64 / 1e6, // udt-lint: allow(as-cast) — display maths
+                    p.chunks_recvd,
+                    p.bytes_recvd as f64 / 1e6, // udt-lint: allow(as-cast) — display maths
+                    p.lost,
+                    p.ups,
+                    p.downs,
+                    p.bw_pps
+                        .map_or_else(|| "-".into(), |b| format!("{b:.0}p/s")),
+                    p.rtt_us
+                        .map_or_else(|| "-".into(), |r| format!("{:.2}ms", r / 1e3)),
+                    p.loss_pct
+                        .map_or_else(|| "-".into(), |l| format!("{l:.2}%")),
+                    p.last_t_ns as f64 / 1e9, // udt-lint: allow(as-cast) — display maths
+                ));
+            }
         }
         s
     }

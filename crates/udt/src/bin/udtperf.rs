@@ -20,6 +20,13 @@
 //! shared `udt-trace` schema — JSONL, or CSV when the path ends in
 //! `.csv`. Feed it to `udtmon` for a live (or replayed) dashboard. The
 //! schema is documented in the repo README.
+//!
+//! Bonded multipath: repeat `--path <addr>` on the client (one flag per
+//! additional link) and give the server a matching `--bonded N`; the
+//! blast is striped across all paths by estimated bandwidth and the
+//! summary reports the per-path chunk split. Path-setup failures exit
+//! non-zero with a one-line diagnostic. With `--trace` the recorded
+//! stream is the bonded session's `path_*` event history.
 
 // Numeric casts in this module are deliberate: bounded protocol arithmetic,
 // 32-bit wire fields, and clock/rate conversions whose ranges are argued at
@@ -31,12 +38,13 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use udt::{throughput_between, Tracer, UdtConfig, UdtConnection, UdtListener};
+use udt::{bonded_accept, bonded_connect, throughput_between, Tracer, UdtConfig, UdtConnection, UdtListener};
+use udt_multipath::BondedCfg;
 use udt_trace::event::{EventKind, TraceEvent};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  udtperf server <bind-addr>\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS]"
+        "usage:\n  udtperf server <bind-addr> [--bonded N]\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS] [--path ADDR]...\n\n  --path ADDR  bond an additional path (repeatable); the blast is striped\n               across <server-addr> plus every --path\n  --bonded N   serve one bonded session of N paths, then exit"
     );
     std::process::exit(2);
 }
@@ -55,6 +63,32 @@ fn parse_str_flag(args: &[String], name: &str) -> Option<String> {
         .cloned()
 }
 
+/// Collect every `--path <addr>` occurrence; a malformed address is a
+/// usage error (exit 2) with a one-line diagnostic.
+fn parse_paths(args: &[String]) -> Vec<SocketAddr> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--path" {
+            let Some(raw) = args.get(i + 1) else {
+                eprintln!("udtperf: --path needs an address");
+                std::process::exit(2);
+            };
+            match raw.parse::<SocketAddr>() {
+                Ok(a) => out.push(a),
+                Err(e) => {
+                    eprintln!("udtperf: bad --path address {raw:?}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -63,7 +97,14 @@ fn main() {
                 eprintln!("bad address: {e}");
                 std::process::exit(2);
             });
-            server(addr);
+            match parse_flag(&args, "--bonded") {
+                Some(n) if n >= 1 => server_bonded(addr, n as usize),
+                Some(_) => {
+                    eprintln!("udtperf: --bonded needs a path count of at least 1");
+                    std::process::exit(2);
+                }
+                None => server(addr),
+            }
         }
         Some("client") => {
             let addr: SocketAddr = args.get(1).unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
@@ -75,7 +116,14 @@ fn main() {
             let buf = parse_flag(&args, "--buf").unwrap_or(8192) as u32;
             let trace = parse_str_flag(&args, "--trace");
             let interval_ms = parse_flag(&args, "--interval").unwrap_or(1000).max(10);
-            client(addr, secs, mss, buf, trace.as_deref(), interval_ms);
+            let paths = parse_paths(&args);
+            if paths.is_empty() {
+                client(addr, secs, mss, buf, trace.as_deref(), interval_ms);
+            } else {
+                let mut addrs = vec![addr];
+                addrs.extend(paths);
+                client_bonded(&addrs, secs, mss, buf, trace.as_deref(), interval_ms);
+            }
         }
         _ => usage(),
     }
@@ -139,6 +187,131 @@ fn server(addr: SocketAddr) {
             );
         });
     }
+}
+
+/// Serve exactly one bonded session of `n_paths`, drain it, report, exit.
+fn server_bonded(addr: SocketAddr, n_paths: usize) {
+    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+        Ok(l) => Arc::new(l),
+        Err(e) => {
+            eprintln!("udtperf: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "udtperf: listening on {} for a {n_paths}-path bonded session",
+        listener.local_addr()
+    );
+    let rx = bonded_accept(listener, n_paths, BondedCfg::default());
+    let mut buf = vec![0u8; 1 << 16];
+    let t0 = Instant::now();
+    let mut total = 0u64;
+    loop {
+        match rx.recv_timeout(&mut buf, Duration::from_secs(3600)) {
+            Ok(0) => break,
+            Ok(n) => total += n as u64,
+            Err(e) => {
+                eprintln!("udtperf: bonded recv error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    let split: Vec<u64> = rx.counters().iter().map(|s| s.chunks_recv).collect();
+    eprintln!(
+        "received {:.1} MB in {:.2}s = {:.2} Mb/s over {n_paths} paths (chunk split {split:?})",
+        total as f64 / 1e6,
+        secs,
+        total as f64 * 8.0 / secs / 1e6,
+    );
+}
+
+/// Blast zeros across a bonded session striped over `addrs` for `secs`.
+fn client_bonded(
+    addrs: &[SocketAddr],
+    secs: u64,
+    mss: u32,
+    buf_pkts: u32,
+    trace_path: Option<&str>,
+    interval_ms: u64,
+) {
+    let tracer = if trace_path.is_some() {
+        Tracer::ring(1 << 16)
+    } else {
+        Tracer::disabled()
+    };
+    let cfg = UdtConfig {
+        mss,
+        snd_buf_pkts: buf_pkts,
+        rcv_buf_pkts: buf_pkts,
+        ..UdtConfig::default()
+    };
+    let mp = BondedCfg {
+        tracer: tracer.clone(),
+        ..BondedCfg::default()
+    };
+    let mut tx = match bonded_connect(addrs, &cfg, mp) {
+        Ok(tx) => tx,
+        Err(e) => {
+            eprintln!("udtperf: path setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("udtperf: bonded session up across {} paths: {addrs:?}", addrs.len());
+    let stop = AtomicBool::new(false);
+    let sent_bytes = std::sync::atomic::AtomicU64::new(0);
+    let chunk = vec![0u8; 1 << 16];
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        let reporter_tx = &tx;
+        s.spawn(|| {
+            println!("  t(s)     rate(Mb/s)   paths-up   chunk split");
+            let mut prev = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(interval_ms));
+                let now = sent_bytes.load(Ordering::Relaxed);
+                let split: Vec<u64> =
+                    reporter_tx.counters().iter().map(|c| c.chunks_sent).collect();
+                println!(
+                    "{:>6.1}   {:>10.1}   {:>8}   {split:?}",
+                    t0.elapsed().as_secs_f64(),
+                    (now - prev) as f64 * 8.0 / (interval_ms as f64 / 1e3) / 1e6,
+                    reporter_tx.up_paths(),
+                );
+                prev = now;
+            }
+        });
+        while t0.elapsed() < Duration::from_secs(secs) {
+            if let Err(e) = tx.send(&chunk) {
+                eprintln!("udtperf: bonded session broke: {e}");
+                break;
+            }
+            sent_bytes.fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+    if let Err(e) = tx.finish(Duration::from_secs(60)) {
+        eprintln!("udtperf: bonded close failed to flush: {e}");
+        std::process::exit(1);
+    }
+    if let Some(path) = trace_path {
+        match write_trace(path, &tracer) {
+            Ok(n) => eprintln!("trace: wrote {n} path events to {path}"),
+            Err(e) => eprintln!("trace: cannot write {path}: {e}"),
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let sent = sent_bytes.load(Ordering::Relaxed);
+    let counters = tx.counters();
+    let split: Vec<u64> = counters.iter().map(|c| c.chunks_sent).collect();
+    let downs: u64 = counters.iter().map(|c| c.path_downs).sum();
+    println!(
+        "---\nsent {:.1} MB in {:.2}s = {:.2} Mb/s over {} paths; chunk split {split:?}; {downs} path outage(s)",
+        sent as f64 / 1e6,
+        wall,
+        sent as f64 * 8.0 / wall / 1e6,
+        addrs.len(),
+    );
 }
 
 fn client(

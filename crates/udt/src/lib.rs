@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bonded;
 pub mod buffer;
 pub mod config;
 pub mod conn;
@@ -65,6 +66,7 @@ pub mod socket;
 pub mod stats;
 pub mod timing;
 
+pub use bonded::{bonded_accept, bonded_connect, bonded_path_cfg, UdtPathConnector, UdtPathStream};
 pub use config::{CcChoice, RetryPolicy, UdtConfig};
 pub use conn::UdtConnection;
 pub use error::UdtError;
