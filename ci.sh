@@ -38,6 +38,13 @@ timeout 180 ./target/release/exp_trace_overhead --quick
 # reconnect-resume baseline. Emits BENCH_multipath.json.
 timeout 300 ./target/release/exp_multipath --quick
 
+# Authenticated profile, CI-sized: a seeded on-path adversary (forged
+# DATA/ACK/Shutdown, replays, tag bit flips) must bounce off an
+# authenticated session — byte-identical delivery, every forgery counted —
+# and the per-packet SipHash trailer must stay within 10% of untagged
+# loopback goodput. Emits BENCH_auth.json.
+timeout 300 ./target/release/exp_auth --quick
+
 # One release-codegen pass with the runtime invariant hooks compiled in
 # (conn/buffer/losslist check_invariants fire on the live data path).
 # Kept last: the different RUSTFLAGS rebuild replaces target/release

@@ -1,0 +1,16 @@
+//! UDT-AUTH smoke: a seeded adversary must bounce off an authenticated
+//! session (byte-identical delivery, every forgery counted), and the
+//! per-packet tag must stay within 10% of untagged loopback goodput.
+//! `--quick` shrinks the transfers for CI. See DESIGN.md for the index.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        bench::experiments::auth::run_with(60_000_000)
+    } else {
+        bench::experiments::auth::run()
+    };
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -23,6 +23,7 @@ pub mod trace_export;
 pub mod experiments {
     //! One module per paper artifact.
     pub mod abl_bwe;
+    pub mod auth;
     pub mod abl_naks;
     pub mod abl_pacing;
     pub mod abl_sabul;

@@ -12,7 +12,7 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{ChaosPacket, Fate, Impairment};
+use crate::{ChaosPacket, Fate, Impairment, Injection};
 
 /// Independent (Bernoulli) loss, optionally amplified per IP fragment:
 /// with an MTU, a datagram of `f` fragments survives with probability
@@ -409,6 +409,196 @@ impl Impairment for Blackout {
     }
 }
 
+/// Delay before a captured datagram is replayed, µs. Long enough that the
+/// original (and usually its ACK) has been processed first, so the replay
+/// tests the receiver's *memory*, not a duplicate-in-flight race.
+pub const REPLAY_DELAY_US: u64 = 100_000;
+
+/// Big-endian u32 from a 4-byte slice (callers bound-check the length).
+fn be32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Payload bytes of a forged data packet.
+const FORGED_PAYLOAD_LEN: usize = 256;
+
+/// An active on-path adversary (a MITM, not a lossy link): it learns the
+/// destination connection id and the data sequence numbers from the
+/// traffic it observes, then
+///
+/// * injects **forged DATA** packets with plausible (near-stream) sequence
+///   numbers and attacker-chosen payload — an unauthenticated receiver
+///   accepts these into the byte stream in place of the sender's data;
+/// * injects **forged ACKs** and one **forged Shutdown** — the classic
+///   teardown spoof against a cleartext transport;
+/// * **captures and replays** datagrams byte-identically after
+///   [`REPLAY_DELAY_US`] — these carry *valid* MAC tags, which is exactly
+///   what the anti-replay window exists for;
+/// * **flips bits in the trailing 8 bytes** (the auth trailer-tag
+///   position) via [`Fate::Corrupt`].
+///
+/// Like every impairment, its behaviour is a pure function of the seed
+/// and the observed packet sequence, so adversarial runs replay exactly.
+/// At layers without raw bytes (netsim) it is inert.
+pub struct Adversary {
+    forge_data: f64,
+    forge_ack: f64,
+    replay: f64,
+    tag_flip: f64,
+    forge_shutdown_after: Option<u64>,
+    rng: SmallRng,
+    conn_id: Option<u32>,
+    last_seq: Option<u32>,
+    observed: u64,
+    shutdown_sent: bool,
+    pending: Vec<Injection>,
+}
+
+impl Adversary {
+    /// New adversary with per-observed-packet probabilities for each
+    /// attack, plus an optional one-shot forged Shutdown after
+    /// `forge_shutdown_after` observed packets.
+    pub fn new(
+        forge_data: f64,
+        forge_ack: f64,
+        replay: f64,
+        tag_flip: f64,
+        forge_shutdown_after: Option<u64>,
+        seed: u64,
+    ) -> Adversary {
+        for p in [forge_data, forge_ack, replay, tag_flip] {
+            assert!((0.0..=1.0).contains(&p), "probabilities must be in [0,1]");
+        }
+        Adversary {
+            forge_data,
+            forge_ack,
+            replay,
+            tag_flip,
+            forge_shutdown_after,
+            rng: SmallRng::seed_from_u64(seed),
+            conn_id: None,
+            last_seq: None,
+            observed: 0,
+            shutdown_sent: false,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Forge a data packet: 12-byte header + deterministic garbage.
+    fn forge_data_pkt(&mut self, conn_id: u32, seq: u32) -> Vec<u8> {
+        let mut d = Vec::with_capacity(12 + FORGED_PAYLOAD_LEN);
+        d.extend_from_slice(&(seq & 0x7FFF_FFFF).to_be_bytes());
+        d.extend_from_slice(&0u32.to_be_bytes()); // timestamp
+        d.extend_from_slice(&conn_id.to_be_bytes());
+        let fill: u8 = self.rng.gen();
+        d.resize(12 + FORGED_PAYLOAD_LEN, fill);
+        d
+    }
+
+    /// Forge a light ACK claiming everything up to `rcv_next` arrived.
+    fn forge_ack_pkt(conn_id: u32, rcv_next: u32) -> Vec<u8> {
+        let mut d = Vec::with_capacity(20);
+        d.extend_from_slice(&(0x8000_0000u32 | (0x2 << 16)).to_be_bytes());
+        d.extend_from_slice(&0x7FFFu32.to_be_bytes()); // bogus ACK seq no
+        d.extend_from_slice(&0u32.to_be_bytes()); // timestamp
+        d.extend_from_slice(&conn_id.to_be_bytes());
+        d.extend_from_slice(&(rcv_next & 0x7FFF_FFFF).to_be_bytes());
+        d
+    }
+
+    /// Forge a Shutdown control packet (empty body).
+    fn forge_shutdown_pkt(conn_id: u32) -> Vec<u8> {
+        let mut d = Vec::with_capacity(16);
+        d.extend_from_slice(&(0x8000_0000u32 | (0x5 << 16)).to_be_bytes());
+        d.extend_from_slice(&0u32.to_be_bytes()); // additional info
+        d.extend_from_slice(&0u32.to_be_bytes()); // timestamp
+        d.extend_from_slice(&conn_id.to_be_bytes());
+        d
+    }
+}
+
+impl Impairment for Adversary {
+    fn name(&self) -> &'static str {
+        "adversary"
+    }
+
+    fn apply(&mut self, _now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate {
+        self.observed += 1;
+        let Some(data) = pkt.data.as_deref_mut() else {
+            // No raw bytes at this layer: nothing to learn or forge from.
+            return Fate::Pass;
+        };
+        // Learn the destination id and data sequence from the raw header.
+        if data.len() >= 12 {
+            let w0 = be32(&data[0..4]);
+            if w0 & 0x8000_0000 == 0 {
+                self.last_seq = Some(w0 & 0x7FFF_FFFF);
+                self.conn_id = Some(be32(&data[8..12]));
+            } else if data.len() >= 16 {
+                self.conn_id = Some(be32(&data[12..16]));
+            }
+        }
+        // Forgeries need an established target: id 0 addresses listeners
+        // (handshake traffic), which the forged-packet attacks don't aim at.
+        if let Some(conn_id) = self.conn_id.filter(|&id| id != 0) {
+            if let Some(after) = self.forge_shutdown_after {
+                if self.observed >= after && !self.shutdown_sent {
+                    self.shutdown_sent = true;
+                    self.pending.push(Injection {
+                        delay_us: 0,
+                        data: Self::forge_shutdown_pkt(conn_id),
+                    });
+                }
+            }
+            if let Some(seq) = self.last_seq {
+                if self.forge_data > 0.0 && self.rng.gen::<f64>() < self.forge_data {
+                    // A sequence number slightly ahead of the stream: the
+                    // receiver buffers it as if the sender had sent it.
+                    // The adversary crafts raw packets by hand (this crate
+                    // deliberately has no udt-proto dependency), so the
+                    // 31-bit mask is applied manually here.
+                    let offset = self.rng.gen_range(1..=4u32);
+                    // udt-lint: allow(seq-cmp) — hand-crafted attacker arithmetic, masked below
+                    let forged_seq = seq.wrapping_add(offset) & 0x7FFF_FFFF;
+                    let forged = self.forge_data_pkt(conn_id, forged_seq);
+                    self.pending.push(Injection {
+                        delay_us: 0,
+                        data: forged,
+                    });
+                }
+                if self.forge_ack > 0.0 && self.rng.gen::<f64>() < self.forge_ack {
+                    // udt-lint: allow(seq-cmp) — hand-crafted attacker arithmetic, masked
+                    let bogus_next = seq.wrapping_add(1) & 0x7FFF_FFFF;
+                    self.pending.push(Injection {
+                        delay_us: 0,
+                        data: Self::forge_ack_pkt(conn_id, bogus_next),
+                    });
+                }
+            }
+            if self.replay > 0.0 && self.rng.gen::<f64>() < self.replay {
+                // Capture *before* any tag flip below: the interesting
+                // replay is the byte-identical, validly-tagged one.
+                self.pending.push(Injection {
+                    delay_us: REPLAY_DELAY_US,
+                    data: data.to_vec(),
+                });
+            }
+        }
+        if self.tag_flip > 0.0 && data.len() >= 8 && self.rng.gen::<f64>() < self.tag_flip {
+            let n = data.len();
+            let byte = n - 1 - self.rng.gen_range(0..8usize);
+            let bit = self.rng.gen_range(0..8u32);
+            data[byte] ^= 1 << bit;
+            return Fate::Corrupt;
+        }
+        Fate::Pass
+    }
+
+    fn drain_injections(&mut self) -> Vec<Injection> {
+        std::mem::take(&mut self.pending)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -530,6 +720,67 @@ mod tests {
             (0.30..0.40).contains(&rate),
             "expected ~34% loss, got {rate:.3}"
         );
+    }
+
+    #[test]
+    fn adversary_is_deterministic_and_learns_its_target() {
+        fn run(seed: u64) -> (Vec<Fate>, Vec<Injection>) {
+            let mut a = Adversary::new(0.2, 0.1, 0.2, 0.3, Some(5), seed);
+            let mut fates = Vec::new();
+            let mut injs = Vec::new();
+            for i in 0..200u32 {
+                // A plausible data datagram toward connection 0xAB.
+                let mut data = Vec::new();
+                data.extend_from_slice(&(1000 + i).to_be_bytes());
+                data.extend_from_slice(&0u32.to_be_bytes());
+                data.extend_from_slice(&0xABu32.to_be_bytes());
+                data.extend_from_slice(&[0x55; 64]);
+                let mut pkt = ChaosPacket {
+                    index: u64::from(i),
+                    size: data.len(),
+                    data: Some(&mut data),
+                };
+                fates.push(a.apply(u64::from(i) * 100, &mut pkt));
+                injs.extend(a.drain_injections());
+            }
+            (fates, injs)
+        }
+        let (f1, i1) = run(42);
+        let (f2, i2) = run(42);
+        assert_eq!(f1, f2, "same seed must replay identical fates");
+        assert_eq!(i1, i2, "same seed must replay identical injections");
+        assert!(!i1.is_empty(), "adversary injected nothing");
+        // Exactly one forged Shutdown (header 0x8005_0000, empty body).
+        let shutdowns = i1
+            .iter()
+            .filter(|j| j.data.len() == 16 && j.data[0] == 0x80 && j.data[1] == 0x05)
+            .count();
+        assert_eq!(shutdowns, 1, "expected exactly one forged Shutdown");
+        // Every injection addresses the learned connection id.
+        for j in &i1 {
+            let id_off = if j.data[0] & 0x80 != 0 { 12 } else { 8 };
+            let id = u32::from_be_bytes(j.data[id_off..id_off + 4].try_into().expect("4 bytes"));
+            assert_eq!(id, 0xAB, "injection aimed at the wrong connection");
+        }
+        // Replays are byte-identical delayed copies of observed traffic.
+        assert!(
+            i1.iter()
+                .any(|j| j.delay_us == REPLAY_DELAY_US && j.data.len() == 12 + 64),
+            "no capture-and-replay injection"
+        );
+        // Tag flips surface as in-place corruption fates.
+        assert!(f1.contains(&Fate::Corrupt), "no tag flips happened");
+        // A different seed draws a different schedule.
+        let (f3, i3) = run(43);
+        assert!(f1 != f3 || i1 != i3, "seed does not influence adversary");
+    }
+
+    #[test]
+    fn adversary_is_inert_without_bytes() {
+        let mut a = Adversary::new(1.0, 1.0, 1.0, 1.0, Some(1), 9);
+        let fates = feed(&mut a, 50, 1472, 10);
+        assert!(fates.iter().all(|f| *f == Fate::Pass));
+        assert!(a.drain_injections().is_empty());
     }
 
     #[test]

@@ -79,6 +79,19 @@ pub enum FateKind {
     Duplicate,
     /// The payload was corrupted.
     Corrupt,
+    /// A forged or replayed datagram was inserted into the stream.
+    Inject,
+}
+
+/// A whole datagram an adversarial impairment wants *inserted* into the
+/// stream — a forgery or a capture-and-replay — scheduled `delay_us`
+/// after the packet that provoked it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injection {
+    /// Release delay relative to the provoking packet, µs.
+    pub delay_us: u64,
+    /// Raw datagram bytes to insert.
+    pub data: Vec<u8>,
 }
 
 /// One entry of the injected-fault schedule.
@@ -103,6 +116,9 @@ pub struct Verdict {
     pub copies: Vec<u64>,
     /// Whether any stage corrupted the payload bytes.
     pub corrupted: bool,
+    /// Datagrams adversarial stages want inserted alongside (forged or
+    /// replayed); delivered even when the provoking packet was dropped.
+    pub injections: Vec<Injection>,
 }
 
 impl Verdict {
@@ -121,6 +137,14 @@ pub trait Impairment: Send {
     /// Decide this packet's fate. `now_us` is the layer's clock:
     /// virtual time in netsim, relay-relative wall time in linkemu.
     fn apply(&mut self, now_us: u64, pkt: &mut ChaosPacket<'_>) -> Fate;
+
+    /// Datagrams this impairment wants *inserted* into the stream on top
+    /// of the offered packet (forgery, capture-and-replay). The chain
+    /// drains this after every `apply`; passive impairments — all the
+    /// classic loss/delay models — inject nothing.
+    fn drain_injections(&mut self) -> Vec<Injection> {
+        Vec::new()
+    }
 }
 
 /// Gap between duplicate copies, µs. Small and fixed so duplicate bursts
@@ -201,6 +225,7 @@ impl ImpairmentChain {
             FateKind::Drop => "drop",
             FateKind::Duplicate => "dup",
             FateKind::Corrupt => "corrupt",
+            FateKind::Inject => "inject",
         };
         tracer.emit_at(
             now_us.saturating_mul(1000),
@@ -242,9 +267,33 @@ impl ImpairmentChain {
         let mut delay_us = 0u64;
         let mut extra_copies = 0u32;
         let mut corrupted = false;
+        let mut injections: Vec<Injection> = Vec::new();
         for (stage, counters) in self.stages.iter_mut().zip(&self.counters) {
             counters.record_seen();
             let fate = stage.apply(now_us, &mut pkt);
+            // Drain forged/replayed datagrams even when this stage (or a
+            // later one) drops the provoking packet: the adversary's
+            // injections ride the wire regardless of the original's fate.
+            for inj in stage.drain_injections() {
+                counters.record_injected();
+                if let Some(log) = &mut self.log {
+                    log.push(FaultEvent {
+                        pkt: index,
+                        stage: stage.name(),
+                        kind: FateKind::Inject,
+                        magnitude: inj.delay_us,
+                    });
+                }
+                Self::trace_fault(
+                    &tracer,
+                    trace_conn,
+                    now_us,
+                    stage.name(),
+                    FateKind::Inject,
+                    inj.delay_us,
+                );
+                injections.push(inj);
+            }
             let (kind, magnitude) = match fate {
                 Fate::Pass => continue,
                 Fate::Delay(d) => {
@@ -266,6 +315,7 @@ impl ImpairmentChain {
                     return Verdict {
                         copies: Vec::new(),
                         corrupted,
+                        injections,
                     };
                 }
                 Fate::Duplicate(n) => {
@@ -292,7 +342,11 @@ impl ImpairmentChain {
         let copies = (0..=u64::from(extra_copies))
             .map(|i| delay_us + i * DUP_GAP_US)
             .collect();
-        Verdict { copies, corrupted }
+        Verdict {
+            copies,
+            corrupted,
+            injections,
+        }
     }
 
     /// Feed a synthetic train of `n_pkts` equally-spaced packets through
@@ -463,6 +517,7 @@ mod tests {
                 FateKind::Drop => "drop",
                 FateKind::Duplicate => "dup",
                 FateKind::Corrupt => "corrupt",
+                FateKind::Inject => "inject",
             };
             assert_eq!(kind.as_str(), want);
             assert_eq!(ev.t_ns, fault.pkt * 100 * 1000);

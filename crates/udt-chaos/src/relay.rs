@@ -137,6 +137,17 @@ impl RelayDir {
                         });
                         seq += 1;
                     }
+                    // Adversarial injections (forgeries, replays) enter
+                    // the same release heap, so a delayed replay really
+                    // arrives after the original it duplicates.
+                    for inj in verdict.injections {
+                        heap.push(Pending {
+                            release_at: base + Duration::from_micros(inj.delay_us),
+                            seq,
+                            data: inj.data,
+                        });
+                        seq += 1;
+                    }
                 }
                 Err(e)
                     if e.kind() == io::ErrorKind::WouldBlock

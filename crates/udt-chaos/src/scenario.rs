@@ -9,8 +9,8 @@
 //! streams of stages before it.
 
 use crate::impairments::{
-    Bernoulli, Blackout, BurstReorder, Corrupt, Duplicate, GilbertElliott, Jitter, RateClamp,
-    Reorder,
+    Adversary, Bernoulli, Blackout, BurstReorder, Corrupt, Duplicate, GilbertElliott, Jitter,
+    RateClamp, Reorder,
 };
 use crate::{Impairment, ImpairmentChain};
 
@@ -96,6 +96,24 @@ pub enum ImpairmentSpec {
         /// Flap period, µs (must exceed `duration_us`), or one-shot.
         period_us: Option<u64>,
     },
+    /// Active on-path adversary: forged DATA/ACK/Shutdown injection,
+    /// capture-and-replay, and trailer-tag bit flips (see
+    /// [`crate::impairments::Adversary`]).
+    Adversary {
+        /// Per observed packet, probability of injecting one forged DATA.
+        forge_data: f64,
+        /// Per observed packet, probability of injecting one forged ACK.
+        forge_ack: f64,
+        /// Per observed packet, probability of capturing it and replaying
+        /// it byte-identically after
+        /// [`crate::impairments::REPLAY_DELAY_US`].
+        replay: f64,
+        /// Per packet, probability of flipping one bit of the trailing 8
+        /// bytes (where an auth trailer tag sits).
+        tag_flip: f64,
+        /// Inject one forged Shutdown after observing this many packets.
+        forge_shutdown_after: Option<u64>,
+    },
 }
 
 impl ImpairmentSpec {
@@ -140,6 +158,20 @@ impl ImpairmentSpec {
                 duration_us,
                 period_us,
             } => Box::new(Blackout::new(start_us, duration_us, period_us)),
+            ImpairmentSpec::Adversary {
+                forge_data,
+                forge_ack,
+                replay,
+                tag_flip,
+                forge_shutdown_after,
+            } => Box::new(Adversary::new(
+                forge_data,
+                forge_ack,
+                replay,
+                tag_flip,
+                forge_shutdown_after,
+                seed,
+            )),
         }
     }
 }

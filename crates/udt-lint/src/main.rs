@@ -126,6 +126,9 @@ fn main() -> ExitCode {
         if scope.println {
             findings.extend(rules::println_rule(&rel_str, &lexed));
         }
+        if scope.secret_material {
+            findings.extend(rules::secret_material(&rel_str, &lexed));
+        }
     }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

@@ -9,6 +9,7 @@
 //! | `as-cast`   | `as` narrowing casts on sequence/timestamp values             |
 //! | `lock-order`| lock acquisition violating the documented order               |
 //! | `println`   | `println!`/`eprintln!` in library crates (use udt-trace)      |
+//! | `secret-material` | key/secret/tag identifiers fed to format macros         |
 //!
 //! Every rule honours the `// udt-lint: allow(<rule>)` escape hatch on the
 //! finding's line or the line above it.
@@ -30,8 +31,15 @@ pub struct Finding {
 }
 
 /// All rule names, for `--list-rules` and directive validation.
-pub const RULES: &[&str] =
-    &["seq-cmp", "wall-clock", "unwrap", "as-cast", "lock-order", "println"];
+pub const RULES: &[&str] = &[
+    "seq-cmp",
+    "wall-clock",
+    "unwrap",
+    "as-cast",
+    "lock-order",
+    "println",
+    "secret-material",
+];
 
 /// Identifiers treated as sequence-number-typed. Field and local names in
 /// this workspace are consistent enough that a name-based judgement works;
@@ -309,6 +317,130 @@ pub fn println_rule(file: &str, lexed: &LexedFile) -> Vec<Finding> {
     out
 }
 
+/// Identifiers treated as authentication secret material: any `_`-separated
+/// segment equal to `key`, `secret`, `psk` or `tag` (`tx_key`, `hs_key`,
+/// `auth_tag`, …). Tags are MAC outputs — not secret on the wire, but an
+/// accidental log of computed-vs-received tags is exactly the oracle a
+/// forger wants, so they are held to the same rule.
+fn is_secretish(name: &str) -> bool {
+    name.split('_')
+        .any(|seg| matches!(seg, "key" | "keys" | "secret" | "secrets" | "psk" | "tag" | "tags"))
+}
+
+/// Identifiers captured inline in a format-string literal: `{name}` or
+/// `{name:spec}`, skipping `{{` escapes and positional/numeric captures.
+fn captured_idents(lit: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = lit.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'{' {
+            i += 1;
+            continue;
+        }
+        if bytes.get(i + 1) == Some(&b'{') {
+            i += 2; // escaped brace
+            continue;
+        }
+        let start = i + 1;
+        let mut j = start;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+            j += 1;
+        }
+        if j > start
+            && !bytes[start].is_ascii_digit()
+            && matches!(bytes.get(j), Some(&b'}') | Some(&b':'))
+        {
+            out.push(&lit[start..j]);
+        }
+        i = j.max(start);
+    }
+    out
+}
+
+/// Format-style macros whose arguments end up in human-readable output
+/// (directly or via a `Debug`/`Display` impl).
+const FORMAT_MACROS: &[&str] = &[
+    "println",
+    "eprintln",
+    "print",
+    "eprint",
+    "format",
+    "write",
+    "writeln",
+    "panic",
+    "todo",
+    "unimplemented",
+];
+
+/// `secret-material`: key/secret/tag-named identifiers passed to a format
+/// macro in library code. Keys must never reach logs, traces or error
+/// strings; even Debug-formatting a struct that *contains* key material
+/// (`{self:?}` on a context holding `tx_key`) leaks it. Flag at the
+/// argument level so the finding points at the leaking identifier.
+pub fn secret_material(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        let is_fmt = t.kind == Kind::Ident
+            && !t.in_test
+            && FORMAT_MACROS.contains(&t.text.as_str())
+            && punct_at(tokens, i + 1, "!")
+            && punct_at(tokens, i + 2, "(");
+        if !is_fmt {
+            i += 1;
+            continue;
+        }
+        // Walk the macro's argument list to the matching close paren.
+        let mut depth = 1usize;
+        let mut k = i + 3;
+        while k < tokens.len() && depth > 0 {
+            let a = &tokens[k];
+            if a.kind == Kind::Punct {
+                match a.text.as_str() {
+                    "(" => depth += 1,
+                    ")" => depth -= 1,
+                    _ => {}
+                }
+            } else if a.kind == Kind::Ident && is_secretish(&a.text) {
+                out.push(finding(
+                    file,
+                    lexed,
+                    a.line,
+                    "secret-material",
+                    format!(
+                        "`{}` formatted via `{}!`: key/tag material must not reach \
+                         logs, traces or error strings",
+                        a.text, t.text
+                    ),
+                ));
+            } else if a.kind == Kind::Literal {
+                // Inline captures leak too: format!("{tx_key:?}").
+                for cap in captured_idents(&a.text) {
+                    if is_secretish(cap) {
+                        out.push(finding(
+                            file,
+                            lexed,
+                            a.line,
+                            "secret-material",
+                            format!(
+                                "`{{{cap}}}` captured in a `{}!` format string: key/tag \
+                                 material must not reach logs, traces or error strings",
+                                t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            k += 1;
+        }
+        i = k;
+    }
+    out
+}
+
 /// One lock the order rule tracks.
 #[derive(Debug, Clone)]
 struct Held {
@@ -489,6 +621,7 @@ pub struct Scope {
     pub as_cast: bool,
     pub lock_order: bool,
     pub println: bool,
+    pub secret_material: bool,
 }
 
 impl Scope {
@@ -500,6 +633,7 @@ impl Scope {
             || self.as_cast
             || self.lock_order
             || self.println
+            || self.secret_material
     }
 }
 
@@ -539,6 +673,12 @@ pub fn scope_for(rel: &Path) -> Scope {
         as_cast: !is_blessed_seqno && !is_tcp_model && !harness,
         lock_order: crate_name == "udt",
         println: lib_crate && !in_bin && !test_file,
+        // Key material must not leak through format machinery anywhere in
+        // library code — including `src/bin/` would be nice, but CLIs
+        // legitimately echo tag *counts*; the library rule plus the CLIs
+        // never holding raw keys beyond parse keeps the risk at the parse
+        // site, which is library code.
+        secret_material: lib_crate && !in_bin && !test_file,
     }
 }
 
@@ -654,6 +794,60 @@ mod tests {
         assert!(!scope_for(Path::new("crates/udt/src/bin/udtperf.rs")).println);
         assert!(!scope_for(Path::new("crates/bench/src/report.rs")).println);
         assert!(!scope_for(Path::new("crates/udt-lint/src/main.rs")).println);
+    }
+
+    #[test]
+    fn secret_material_catches_direct_args_and_debug() {
+        let fs = run(
+            "fn f() { let msg = format!(\"k={:?}\", self.tx_key); err(msg); }",
+            secret_material,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("tx_key"));
+        // panic paths leak too
+        let fs = run("fn f() { panic!(\"bad tag {}\", expected_tag); }", secret_material);
+        assert_eq!(fs.len(), 1);
+    }
+
+    #[test]
+    fn secret_material_catches_inline_captures() {
+        let fs = run(
+            "fn f() { let s = format!(\"psk {auth_key:?} nonce {nonce}\"); }",
+            secret_material,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].message.contains("auth_key"));
+    }
+
+    #[test]
+    fn secret_material_skips_innocent_idents_tests_and_allows() {
+        assert!(run(
+            "fn f() { let s = format!(\"seq {} from {peer}\", seq.raw()); }",
+            secret_material
+        )
+        .is_empty());
+        assert!(run("#[test]\nfn t() { println!(\"{tag:x}\"); }", secret_material).is_empty());
+        let fs = run(
+            "fn f() {\n // udt-lint: allow(secret-material)\n let s = format!(\"{key_id}\");\n}",
+            secret_material,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn secret_material_scope_matches_println_scope() {
+        use std::path::Path;
+        assert!(scope_for(Path::new("crates/udt-proto/src/auth.rs")).secret_material);
+        assert!(scope_for(Path::new("crates/udt/src/mux.rs")).secret_material);
+        assert!(!scope_for(Path::new("crates/udt/src/bin/udtcat.rs")).secret_material);
+        assert!(!scope_for(Path::new("crates/bench/src/experiments/auth.rs")).secret_material);
+    }
+
+    #[test]
+    fn captured_idents_parses_format_strings() {
+        assert_eq!(captured_idents("\"{tx_key:?} {{esc}} {0} {ok}\""), vec!["tx_key", "ok"]);
+        assert!(captured_idents("\"plain text\"").is_empty());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct FaultCounters {
     delayed_us: AtomicU64,
     duplicated: AtomicU64,
     corrupted: AtomicU64,
+    injected: AtomicU64,
 }
 
 impl FaultCounters {
@@ -52,6 +53,11 @@ impl FaultCounters {
         self.corrupted.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The stage injected a forged/replayed datagram of its own.
+    pub fn record_injected(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Read all counters. Individual loads are relaxed; the snapshot is
     /// exact once the traffic feeding the stage has quiesced.
     pub fn snapshot(&self) -> FaultSnapshot {
@@ -62,6 +68,7 @@ impl FaultCounters {
             delayed_us: self.delayed_us.load(Ordering::Relaxed),
             duplicated: self.duplicated.load(Ordering::Relaxed),
             corrupted: self.corrupted.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
         }
     }
 }
@@ -81,6 +88,9 @@ pub struct FaultSnapshot {
     pub duplicated: u64,
     /// Packets whose bytes were corrupted.
     pub corrupted: u64,
+    /// Forged/replayed datagrams injected by the stage (adversarial
+    /// impairments).
+    pub injected: u64,
 }
 
 impl FaultSnapshot {
@@ -185,6 +195,24 @@ counter_set! {
 }
 
 counter_set! {
+    /// Authenticated-profile counters: one per connection (and one per
+    /// listener for handshake-level rejects), bumped from the mux receive
+    /// path.
+    counters AuthCounters;
+    /// Point-in-time copy of an [`AuthCounters`].
+    snapshot AuthSnapshot;
+    /// Packets whose trailer tag verified.
+    tags_ok,
+    /// Packets dropped for a missing or invalid trailer tag.
+    tags_bad,
+    /// Correctly-tagged packets dropped as replays.
+    replays,
+    /// Handshakes rejected for missing authentication under
+    /// `AuthPolicy::Require`.
+    unauth_rejected,
+}
+
+counter_set! {
     /// Per-path counters for bonded (multipath) sessions: one per path
     /// in a `BondedSession`, bumped from the path reader/writer threads.
     counters PathCounters;
@@ -264,6 +292,20 @@ mod tests {
         assert_eq!(s.reconnect_attempts, 2);
         assert_eq!(s.reconnect_successes, 1);
         assert_eq!(s.resumed_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn auth_counters_accumulate() {
+        let a = AuthCounters::new();
+        a.tags_ok(100);
+        a.tags_bad(7);
+        a.replays(3);
+        a.unauth_rejected(1);
+        let s = a.snapshot();
+        assert_eq!(
+            (s.tags_ok, s.tags_bad, s.replays, s.unauth_rejected),
+            (100, 7, 3, 1)
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! sequence number for ACK/ACK2, unused otherwise); type-specific control
 //! information follows the header.
 
+use crate::auth::AuthField;
 use crate::seqno::{SeqNo, SeqRange};
 
 /// Control packet type codes (wire values follow the UDT draft).
@@ -80,6 +81,13 @@ pub struct HandshakeExt {
     /// `Response` it is the acceptor's confirmed high-water mark for
     /// `session_token` (upload resume).
     pub resume_offset: u64,
+    /// UDT-AUTH negotiation field (see [`crate::auth`]): flags, the
+    /// client's per-attempt nonce, and a field-level MAC over the whole
+    /// handshake. Absent on unauthenticated handshakes and when talking
+    /// to peers that predate it — on the wire the block is gated by a
+    /// magic value after the base extension, so all four combinations of
+    /// old/new peers interoperate.
+    pub auth: Option<AuthField>,
 }
 
 /// Handshake control information.

@@ -18,7 +18,11 @@
 //! * [`wire`] — encode/decode between [`Packet`] and byte buffers.
 //! * [`multipath`] — session-level frame vocabulary for bonded
 //!   (multi-path) sessions: JOIN/DATA/ACK/FIN over per-path streams.
+//! * [`auth`] — the authenticated-profile primitives: SipHash-2-4 keyed
+//!   MAC, key derivation from a pre-shared key, the UDT-AUTH handshake
+//!   field, and the anti-replay window.
 
+pub mod auth;
 pub mod ctrl;
 pub mod multipath;
 pub mod nak;
@@ -26,6 +30,9 @@ pub mod packet;
 pub mod seqno;
 pub mod wire;
 
+pub use auth::{
+    AuthField, MacKey, PreSharedKey, ReplayCheck, ReplayWindow, AUTH_REQUIRE, TAG_LEN,
+};
 pub use ctrl::{AckData, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
 pub use multipath::{MpError, MpFrame, MP_HEADER_LEN, MP_MAX_CHUNK};
 pub use packet::{DataPacket, Packet, PacketKind};

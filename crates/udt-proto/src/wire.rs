@@ -11,6 +11,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::auth::{AuthField, AUTH_MAGIC, HS_AUTH_LEN};
 use crate::ctrl::{
     type_code, AckData, ControlBody, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType,
 };
@@ -78,7 +79,10 @@ pub fn encoded_len(pkt: &Packet) -> usize {
 fn control_body_len(body: &ControlBody) -> usize {
     match body {
         ControlBody::Handshake(h) => {
-            HS_BASE_LEN + if h.ext.is_some() { HS_EXT_LEN } else { 0 }
+            HS_BASE_LEN
+                + h.ext.map_or(0, |e| {
+                    HS_EXT_LEN + if e.auth.is_some() { HS_AUTH_LEN } else { 0 }
+                })
         }
         ControlBody::KeepAlive | ControlBody::Shutdown | ControlBody::Ack2 { .. } => 0,
         ControlBody::Ack { data, .. } => {
@@ -126,6 +130,15 @@ pub fn encode(pkt: &Packet, buf: &mut BytesMut) {
                         buf.put_u32(ext.cookie);
                         buf.put_u64(ext.session_token);
                         buf.put_u64(ext.resume_offset);
+                        if let Some(a) = &ext.auth {
+                            // UDT-AUTH block, gated by its magic so a
+                            // decoder can tell it from unrelated trailing
+                            // bytes (and legacy decoders just ignore it).
+                            buf.put_u32(AUTH_MAGIC);
+                            buf.put_u32(a.flags);
+                            buf.put_u32(a.nonce);
+                            buf.put_u64(a.tag);
+                        }
                     }
                 }
                 ControlBody::Ack { data, .. } => {
@@ -213,10 +226,33 @@ fn decode_control_body(
             // bytes of any other length are ignored, not an error, so a
             // future larger extension still interops with this decoder.
             let ext = if buf.remaining() >= HS_EXT_LEN {
+                let cookie = buf.get_u32();
+                let session_token = buf.get_u64();
+                let resume_offset = buf.get_u64();
+                // The UDT-AUTH block follows the base extension and is
+                // gated by its magic: enough trailing bytes with the wrong
+                // leading word are some future extension we don't speak,
+                // not a malformed packet.
+                let auth = if buf.remaining() >= HS_AUTH_LEN
+                    && buf.chunk().len() >= 4
+                    // udt-lint: allow(unwrap) — chunk length checked above
+                    && u32::from_be_bytes(buf.chunk()[..4].try_into().expect("4 bytes"))
+                        == AUTH_MAGIC
+                {
+                    buf.advance(4);
+                    Some(AuthField {
+                        flags: buf.get_u32(),
+                        nonce: buf.get_u32(),
+                        tag: buf.get_u64(),
+                    })
+                } else {
+                    None
+                };
                 Some(HandshakeExt {
-                    cookie: buf.get_u32(),
-                    session_token: buf.get_u64(),
-                    resume_offset: buf.get_u64(),
+                    cookie,
+                    session_token,
+                    resume_offset,
+                    auth,
                 })
             } else {
                 None
@@ -337,9 +373,88 @@ mod tests {
                     cookie: 0xDEAD_BEEF,
                     session_token: 0x0123_4567_89AB_CDEF,
                     resume_offset: 7_654_321,
+                    auth: None,
                 }),
             }),
         }));
+    }
+
+    #[test]
+    fn handshake_auth_roundtrip() {
+        roundtrip(Packet::Control(ControlPacket {
+            timestamp_us: 9,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Request,
+                init_seq: SeqNo::new(777),
+                mss: 1500,
+                max_flow_win: 25600,
+                socket_id: 31337,
+                ext: Some(HandshakeExt {
+                    cookie: 0xDEAD_BEEF,
+                    session_token: 1,
+                    resume_offset: 2,
+                    auth: Some(AuthField {
+                        flags: 1,
+                        nonce: 0xC0FF_EE00,
+                        tag: 0x0123_4567_89AB_CDEF,
+                    }),
+                }),
+            }),
+        }));
+    }
+
+    #[test]
+    fn bare_ext_handshake_decodes_to_no_auth() {
+        // A resilience-era peer (extension but no UDT-AUTH block) must
+        // decode with `auth: None`, and stray trailing bytes that happen
+        // to be 20 long but carry the wrong magic are ignored, not
+        // misparsed as an auth field.
+        let pkt = Packet::Control(ControlPacket {
+            timestamp_us: 3,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Request,
+                init_seq: SeqNo::new(1),
+                mss: 1400,
+                max_flow_win: 8192,
+                socket_id: 5,
+                ext: Some(HandshakeExt {
+                    cookie: 77,
+                    session_token: 0,
+                    resume_offset: 0,
+                    auth: None,
+                }),
+            }),
+        });
+        let mut buf = BytesMut::new();
+        encode(&pkt, &mut buf);
+        assert_eq!(buf.len(), CTRL_HEADER_LEN + 24 + 20);
+        match decode(buf.clone().freeze()).unwrap() {
+            Packet::Control(ControlPacket {
+                body: ControlBody::Handshake(h),
+                ..
+            }) => assert_eq!(h.ext.unwrap().auth, None),
+            other => panic!("unexpected decode: {other:?}"),
+        }
+        // Wrong-magic trailing block: still no auth field.
+        buf.put_u32(0x1234_5678);
+        buf.put_u32(0);
+        buf.put_u32(0);
+        buf.put_u64(0);
+        match decode(buf.freeze()).unwrap() {
+            Packet::Control(ControlPacket {
+                body: ControlBody::Handshake(h),
+                ..
+            }) => {
+                let e = h.ext.unwrap();
+                assert_eq!(e.cookie, 77);
+                assert_eq!(e.auth, None);
+            }
+            other => panic!("unexpected decode: {other:?}"),
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 use udt_chaos::impairments::Corrupt;
 use udt_proto::ctrl::{ControlBody, ControlPacket};
 use udt_proto::{
-    decode, encode, AckData, DataPacket, HandshakeData, HandshakeExt, HandshakeReqType, Packet,
-    SeqNo, SeqRange, SEQ_MAX,
+    decode, encode, AckData, AuthField, DataPacket, HandshakeData, HandshakeExt, HandshakeReqType,
+    Packet, SeqNo, SeqRange, SEQ_MAX,
 };
 
 /// One representative of every packet kind the codec can emit.
@@ -58,6 +58,29 @@ fn corpus() -> Vec<Packet> {
                     cookie: 0xC00C_1E00,
                     session_token: 0xFEED_FACE_CAFE_F00D,
                     resume_offset: 1 << 33,
+                    auth: None,
+                }),
+            }),
+        }),
+        Packet::Control(ControlPacket {
+            timestamp_us: 9,
+            conn_id: 0,
+            body: ControlBody::Handshake(HandshakeData {
+                version: 2,
+                req_type: HandshakeReqType::Request,
+                init_seq: SeqNo::new(778),
+                mss: 1500,
+                max_flow_win: 25600,
+                socket_id: 31338,
+                ext: Some(HandshakeExt {
+                    cookie: 0xC00C_1E01,
+                    session_token: 0,
+                    resume_offset: 0,
+                    auth: Some(AuthField {
+                        flags: 1,
+                        nonce: 0xDEAD_BEEF,
+                        tag: 0x0123_4567_89AB_CDEF,
+                    }),
                 }),
             }),
         }),

@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use udt_proto::ctrl::{ControlBody, ControlPacket};
 use udt_proto::nak::{decode_loss_list, encode_loss_list};
 use udt_proto::{
-    decode, encode, encoded_len, AckData, DataPacket, HandshakeData, HandshakeExt,
+    decode, encode, encoded_len, AckData, AuthField, DataPacket, HandshakeData, HandshakeExt,
     HandshakeReqType, Packet, SeqNo, SeqRange, SEQ_MAX,
 };
 
@@ -37,15 +37,23 @@ fn packet() -> impl Strategy<Value = Packet> {
                 payload: Bytes::from(payload),
             })
         });
+    let hs_auth = prop_oneof![
+        Just(None),
+        (any::<u32>(), any::<u32>(), any::<u64>())
+            .prop_map(|(flags, nonce, tag)| Some(AuthField { flags, nonce, tag })),
+    ];
     let hs_ext = prop_oneof![
         Just(None),
-        (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(cookie, token, off)| {
-            Some(HandshakeExt {
-                cookie,
-                session_token: token,
-                resume_offset: off,
-            })
-        }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), hs_auth).prop_map(
+            |(cookie, token, off, auth)| {
+                Some(HandshakeExt {
+                    cookie,
+                    session_token: token,
+                    resume_offset: off,
+                    auth,
+                })
+            }
+        ),
     ];
     let hs = (seqno(), 16u32..9000, any::<u32>(), any::<u32>(), 0u8..3, hs_ext).prop_map(
         |(init_seq, mss, win, sid, req, ext)| {

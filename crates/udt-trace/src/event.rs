@@ -485,6 +485,23 @@ pub enum EventKind {
         /// Path loss rate over the sample window, percent.
         loss_pct: f64,
     },
+    /// A packet failed trailer-tag verification and was dropped before
+    /// decode (authenticated profile).
+    AuthFail {
+        /// Data sequence number when the packet was data; 0 for control.
+        seq: u32,
+    },
+    /// A correctly-tagged packet was dropped as a replay.
+    AuthReplay {
+        /// Replayed data sequence number.
+        seq: u32,
+    },
+    /// A handshake was rejected for failing the authentication policy
+    /// (missing/invalid UDT-AUTH field under `Require`).
+    AuthReject {
+        /// Peer socket id (0 when unknown).
+        peer: u32,
+    },
 }
 
 impl EventKind {
@@ -519,6 +536,9 @@ impl EventKind {
             EventKind::PathRecv { .. } => "path_recv",
             EventKind::PathLoss { .. } => "path_loss",
             EventKind::PathRate { .. } => "path_rate",
+            EventKind::AuthFail { .. } => "auth_fail",
+            EventKind::AuthReplay { .. } => "auth_replay",
+            EventKind::AuthReject { .. } => "auth_reject",
         }
     }
 }

@@ -165,6 +165,12 @@ pub fn encode(ev: &TraceEvent) -> String {
             field_f(&mut s, "rtt_us", *rtt_us);
             field_f(&mut s, "loss_pct", *loss_pct);
         }
+        EventKind::AuthFail { seq } | EventKind::AuthReplay { seq } => {
+            field_u(&mut s, "seq", u64::from(*seq));
+        }
+        EventKind::AuthReject { peer } => {
+            field_u(&mut s, "peer", u64::from(*peer));
+        }
     }
     s.push('}');
     s
@@ -420,6 +426,15 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
             bw_pps: req_f64("bw_pps")?,
             rtt_us: req_f64("rtt_us")?,
             loss_pct: req_f64("loss_pct")?,
+        },
+        "auth_fail" => EventKind::AuthFail {
+            seq: req_u32("seq")?,
+        },
+        "auth_replay" => EventKind::AuthReplay {
+            seq: req_u32("seq")?,
+        },
+        "auth_reject" => EventKind::AuthReject {
+            peer: req_u32("peer")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };
@@ -770,6 +785,9 @@ mod tests {
                 rtt_us: 20125.0,
                 loss_pct: 0.75,
             },
+            EventKind::AuthFail { seq: 101 },
+            EventKind::AuthReplay { seq: 102 },
+            EventKind::AuthReject { peer: 0xBEEF },
         ]
     }
 

@@ -27,14 +27,59 @@ use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
 
-use udt::{bonded_accept, bonded_connect, RetryPolicy, UdtConfig, UdtConnection, UdtListener};
+use udt::{
+    bonded_accept, bonded_connect, AuthPolicy, PreSharedKey, RetryPolicy, UdtConfig,
+    UdtConnection, UdtListener,
+};
 use udt_multipath::BondedCfg;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  udtcat listen [--bonded N] <bind-addr>            # remote stream → stdout\n  udtcat connect [--retry N] [--path A]... <addr>   # stdin → remote\n\n  --retry N    retry a failed connect up to N times with exponential backoff\n  --path A     bond an additional path to address A (repeatable; stripes the\n               stream across <addr> plus every --path)\n  --bonded N   accept a bonded session of N paths instead of one connection"
+        "usage:\n  udtcat listen [--bonded N] <bind-addr>            # remote stream → stdout\n  udtcat connect [--retry N] [--path A]... <addr>   # stdin → remote\n\n  --retry N    retry a failed connect up to N times with exponential backoff\n  --path A     bond an additional path to address A (repeatable; stripes the\n               stream across <addr> plus every --path)\n  --bonded N   accept a bonded session of N paths instead of one connection\n  --auth-key H 32-hex-char pre-shared key; every packet carries a MAC tag\n               (implies --auth require unless --auth says otherwise)\n  --auth M     require | prefer | off — whether the peer must authenticate"
     );
     ExitCode::from(2)
+}
+
+/// Parse `--auth-key <hex>` / `--auth require|prefer|off` out of `args`
+/// into config fields. A key with no explicit mode implies `require`.
+fn parse_auth(args: &mut Vec<String>) -> Result<(AuthPolicy, Option<PreSharedKey>), ExitCode> {
+    let mut policy = None;
+    if let Some(i) = args.iter().position(|a| a == "--auth") {
+        policy = match args.get(i + 1).map(String::as_str) {
+            Some("require") => Some(AuthPolicy::Require),
+            Some("prefer") => Some(AuthPolicy::Prefer),
+            Some("off") => Some(AuthPolicy::Off),
+            other => {
+                eprintln!(
+                    "udtcat: --auth needs require, prefer or off (got {})",
+                    other.unwrap_or("nothing")
+                );
+                return Err(usage());
+            }
+        };
+        args.drain(i..=i + 1);
+    }
+    let mut key = None;
+    if let Some(i) = args.iter().position(|a| a == "--auth-key") {
+        let Some(raw) = args.get(i + 1) else {
+            eprintln!("udtcat: --auth-key needs a 32-hex-char key");
+            return Err(usage());
+        };
+        match PreSharedKey::from_hex(raw) {
+            Ok(k) => key = Some(k),
+            Err(e) => {
+                eprintln!("udtcat: bad --auth-key: {e}");
+                return Err(ExitCode::from(2));
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let policy = policy.unwrap_or(if key.is_some() {
+        AuthPolicy::Require
+    } else {
+        AuthPolicy::Off
+    });
+    Ok((policy, key))
 }
 
 fn fail(what: &str, err: &dyn std::fmt::Display) -> ExitCode {
@@ -63,6 +108,17 @@ fn main() -> ExitCode {
         bonded = n;
         args.drain(i..=i + 1);
     }
+    let (auth, auth_key) = match parse_auth(&mut args) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    // Misconfiguration (e.g. --auth require without --auth-key) is caught
+    // by bind/connect, which fail fast with a one-line AuthConfig error.
+    let base_cfg = UdtConfig {
+        auth,
+        auth_key,
+        ..UdtConfig::default()
+    };
     let mut extra_paths: Vec<SocketAddr> = Vec::new();
     while let Some(i) = args.iter().position(|a| a == "--path") {
         let Some(raw) = args.get(i + 1).cloned() else {
@@ -89,8 +145,8 @@ fn main() -> ExitCode {
         _ => return usage(),
     };
     match mode.as_str() {
-        "listen" if bonded > 0 => listen_bonded(addr, bonded),
-        "listen" => listen(addr),
+        "listen" if bonded > 0 => listen_bonded(addr, bonded, base_cfg),
+        "listen" => listen(addr, base_cfg),
         _ if !extra_paths.is_empty() => {
             if retries > 0 {
                 eprintln!("udtcat: --retry does not combine with --path (bonded sessions re-dial dead paths themselves)");
@@ -98,14 +154,14 @@ fn main() -> ExitCode {
             }
             let mut addrs = vec![addr];
             addrs.extend(extra_paths);
-            connect_bonded(&addrs)
+            connect_bonded(&addrs, &base_cfg)
         }
-        _ => connect(addr, retries),
+        _ => connect(addr, retries, base_cfg),
     }
 }
 
-fn listen(addr: SocketAddr) -> ExitCode {
-    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+fn listen(addr: SocketAddr, cfg: UdtConfig) -> ExitCode {
+    let listener = match UdtListener::bind(addr, cfg) {
         Ok(l) => l,
         Err(e) => return fail("bind failed", &e),
     };
@@ -114,7 +170,11 @@ fn listen(addr: SocketAddr) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail("accept failed", &e),
     };
-    eprintln!("udtcat: connection from {}", conn.peer_addr());
+    eprintln!(
+        "udtcat: connection from {}{}",
+        conn.peer_addr(),
+        if conn.is_authenticated() { " (authenticated)" } else { "" }
+    );
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
     let mut buf = vec![0u8; 1 << 16];
@@ -136,13 +196,13 @@ fn listen(addr: SocketAddr) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn connect(addr: SocketAddr, retries: u32) -> ExitCode {
+fn connect(addr: SocketAddr, retries: u32, base_cfg: UdtConfig) -> ExitCode {
     let cfg = UdtConfig {
         retry: RetryPolicy {
             max_attempts: retries,
             ..RetryPolicy::default()
         },
-        ..UdtConfig::default()
+        ..base_cfg
     };
     // stdin is consumed as it is sent, so only the *connect* phase can be
     // retried; a mid-stream break is fatal (use the resilient file API
@@ -151,7 +211,11 @@ fn connect(addr: SocketAddr, retries: u32) -> ExitCode {
         Ok(c) => c,
         Err(e) => return fail("connect failed", &e),
     };
-    eprintln!("udtcat: connected to {}", conn.peer_addr());
+    eprintln!(
+        "udtcat: connected to {}{}",
+        conn.peer_addr(),
+        if conn.is_authenticated() { " (authenticated)" } else { "" }
+    );
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let mut buf = vec![0u8; 1 << 16];
@@ -177,8 +241,8 @@ fn connect(addr: SocketAddr, retries: u32) -> ExitCode {
 }
 
 /// Accept a bonded session of `n_paths` and stream it to stdout.
-fn listen_bonded(addr: SocketAddr, n_paths: usize) -> ExitCode {
-    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+fn listen_bonded(addr: SocketAddr, n_paths: usize, cfg: UdtConfig) -> ExitCode {
+    let listener = match UdtListener::bind(addr, cfg) {
         Ok(l) => std::sync::Arc::new(l),
         Err(e) => return fail("bind failed", &e),
     };
@@ -210,8 +274,8 @@ fn listen_bonded(addr: SocketAddr, n_paths: usize) -> ExitCode {
 }
 
 /// Stream stdin across a bonded session striped over `addrs`.
-fn connect_bonded(addrs: &[SocketAddr]) -> ExitCode {
-    let mut tx = match bonded_connect(addrs, &UdtConfig::default(), BondedCfg::default()) {
+fn connect_bonded(addrs: &[SocketAddr], cfg: &UdtConfig) -> ExitCode {
+    let mut tx = match bonded_connect(addrs, cfg, BondedCfg::default()) {
         Ok(tx) => tx,
         Err(e) => return fail("path setup failed", &e),
     };

@@ -61,6 +61,9 @@ struct ConnAgg {
     cwnd: Option<f64>,
     bw_pps: Option<f64>,
     state: Option<&'static str>,
+    auth_fail: u64,
+    auth_replay: u64,
+    auth_reject: u64,
     last_t_ns: u64,
     /// Bonded-session paths seen on this connection, by path id.
     paths: BTreeMap<u32, PathAgg>,
@@ -94,6 +97,9 @@ impl ConnAgg {
             }
             EventKind::BwEstimate { pps } => self.bw_pps = Some(pps),
             EventKind::StateChange { to, .. } => self.state = Some(to.as_str()),
+            EventKind::AuthFail { .. } => self.auth_fail += 1,
+            EventKind::AuthReplay { .. } => self.auth_replay += 1,
+            EventKind::AuthReject { .. } => self.auth_reject += 1,
             EventKind::PathUp { path } => self.path(path, ev.t_ns).ups += 1,
             EventKind::PathDown { path } => self.path(path, ev.t_ns).downs += 1,
             EventKind::PathSend { path, bytes, .. } => {
@@ -188,6 +194,12 @@ impl Monitor {
                 a.state.unwrap_or("-"),
                 a.last_t_ns as f64 / 1e9, // udt-lint: allow(as-cast) — display maths
             ));
+            if a.auth_fail + a.auth_replay + a.auth_reject > 0 {
+                s.push_str(&format!(
+                    "  └ auth: {} bad tags rejected, {} replays dropped, {} peers refused\n",
+                    a.auth_fail, a.auth_replay, a.auth_reject,
+                ));
+            }
             for (pid, p) in &a.paths {
                 s.push_str(&format!(
                     "  └ path {pid:<3} sent {:>7} ({:>8.2} MB)  recvd {:>7} ({:>8.2} MB)  \

@@ -38,15 +38,47 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use udt::{bonded_accept, bonded_connect, throughput_between, Tracer, UdtConfig, UdtConnection, UdtListener};
+use udt::{
+    bonded_accept, bonded_connect, throughput_between, AuthPolicy, PreSharedKey, Tracer,
+    UdtConfig, UdtConnection, UdtListener,
+};
 use udt_multipath::BondedCfg;
 use udt_trace::event::{EventKind, TraceEvent};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  udtperf server <bind-addr> [--bonded N]\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS] [--path ADDR]...\n\n  --path ADDR  bond an additional path (repeatable); the blast is striped\n               across <server-addr> plus every --path\n  --bonded N   serve one bonded session of N paths, then exit"
+        "usage:\n  udtperf server <bind-addr> [--bonded N]\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS] [--path ADDR]...\n\n  --path ADDR  bond an additional path (repeatable); the blast is striped\n               across <server-addr> plus every --path\n  --bonded N   serve one bonded session of N paths, then exit\n  --auth-key H 32-hex-char pre-shared key; every packet carries a MAC tag\n               (implies --auth require unless --auth says otherwise)\n  --auth M     require | prefer | off — whether the peer must authenticate"
     );
     std::process::exit(2);
+}
+
+/// Parse `--auth-key <hex>` / `--auth require|prefer|off`. A key with no
+/// explicit mode implies `require`; a malformed key or mode exits 2 with a
+/// one-line diagnostic.
+fn parse_auth(args: &[String]) -> (AuthPolicy, Option<PreSharedKey>) {
+    let key = parse_str_flag(args, "--auth-key").map(|raw| {
+        PreSharedKey::from_hex(&raw).unwrap_or_else(|e| {
+            eprintln!("udtperf: bad --auth-key: {e}");
+            std::process::exit(2);
+        })
+    });
+    let policy = match parse_str_flag(args, "--auth").as_deref() {
+        Some("require") => AuthPolicy::Require,
+        Some("prefer") => AuthPolicy::Prefer,
+        Some("off") => AuthPolicy::Off,
+        Some(other) => {
+            eprintln!("udtperf: bad --auth mode {other:?} (require|prefer|off)");
+            std::process::exit(2);
+        }
+        None => {
+            if key.is_some() {
+                AuthPolicy::Require
+            } else {
+                AuthPolicy::Off
+            }
+        }
+    };
+    (policy, key)
 }
 
 fn parse_flag(args: &[String], name: &str) -> Option<u64> {
@@ -91,6 +123,12 @@ fn parse_paths(args: &[String]) -> Vec<SocketAddr> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let (auth, auth_key) = parse_auth(&args);
+    let base_cfg = UdtConfig {
+        auth,
+        auth_key,
+        ..UdtConfig::default()
+    };
     match args.first().map(String::as_str) {
         Some("server") => {
             let addr: SocketAddr = args.get(1).unwrap_or_else(|| usage()).parse().unwrap_or_else(|e| {
@@ -98,12 +136,12 @@ fn main() {
                 std::process::exit(2);
             });
             match parse_flag(&args, "--bonded") {
-                Some(n) if n >= 1 => server_bonded(addr, n as usize),
+                Some(n) if n >= 1 => server_bonded(addr, n as usize, base_cfg),
                 Some(_) => {
                     eprintln!("udtperf: --bonded needs a path count of at least 1");
                     std::process::exit(2);
                 }
-                None => server(addr),
+                None => server(addr, base_cfg),
             }
         }
         Some("client") => {
@@ -118,11 +156,11 @@ fn main() {
             let interval_ms = parse_flag(&args, "--interval").unwrap_or(1000).max(10);
             let paths = parse_paths(&args);
             if paths.is_empty() {
-                client(addr, secs, mss, buf, trace.as_deref(), interval_ms);
+                client(addr, secs, mss, buf, trace.as_deref(), interval_ms, base_cfg);
             } else {
                 let mut addrs = vec![addr];
                 addrs.extend(paths);
-                client_bonded(&addrs, secs, mss, buf, trace.as_deref(), interval_ms);
+                client_bonded(&addrs, secs, mss, buf, trace.as_deref(), interval_ms, base_cfg);
             }
         }
         _ => usage(),
@@ -151,8 +189,14 @@ fn write_trace(path: &str, tracer: &Tracer) -> std::io::Result<usize> {
     Ok(events.len())
 }
 
-fn server(addr: SocketAddr) {
-    let listener = UdtListener::bind(addr, UdtConfig::default()).expect("bind");
+fn server(addr: SocketAddr, cfg: UdtConfig) {
+    let listener = match UdtListener::bind(addr, cfg) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("udtperf: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!("udtperf: listening on {}", listener.local_addr());
     loop {
         let conn = match listener.accept() {
@@ -162,7 +206,11 @@ fn server(addr: SocketAddr) {
                 return;
             }
         };
-        eprintln!("accepted {}", conn.peer_addr());
+        eprintln!(
+            "accepted {}{}",
+            conn.peer_addr(),
+            if conn.is_authenticated() { " (authenticated)" } else { "" }
+        );
         std::thread::spawn(move || {
             let mut buf = vec![0u8; 1 << 16];
             let t0 = Instant::now();
@@ -190,8 +238,8 @@ fn server(addr: SocketAddr) {
 }
 
 /// Serve exactly one bonded session of `n_paths`, drain it, report, exit.
-fn server_bonded(addr: SocketAddr, n_paths: usize) {
-    let listener = match UdtListener::bind(addr, UdtConfig::default()) {
+fn server_bonded(addr: SocketAddr, n_paths: usize, cfg: UdtConfig) {
+    let listener = match UdtListener::bind(addr, cfg) {
         Ok(l) => Arc::new(l),
         Err(e) => {
             eprintln!("udtperf: bind failed: {e}");
@@ -234,6 +282,7 @@ fn client_bonded(
     buf_pkts: u32,
     trace_path: Option<&str>,
     interval_ms: u64,
+    base_cfg: UdtConfig,
 ) {
     let tracer = if trace_path.is_some() {
         Tracer::ring(1 << 16)
@@ -244,7 +293,7 @@ fn client_bonded(
         mss,
         snd_buf_pkts: buf_pkts,
         rcv_buf_pkts: buf_pkts,
-        ..UdtConfig::default()
+        ..base_cfg
     };
     let mp = BondedCfg {
         tracer: tracer.clone(),
@@ -321,6 +370,7 @@ fn client(
     buf_pkts: u32,
     trace_path: Option<&str>,
     interval_ms: u64,
+    base_cfg: UdtConfig,
 ) {
     // A generous ring so a multi-second run keeps its full event history.
     let tracer = if trace_path.is_some() {
@@ -333,14 +383,21 @@ fn client(
         snd_buf_pkts: buf_pkts,
         rcv_buf_pkts: buf_pkts,
         tracer: tracer.clone(),
-        ..UdtConfig::default()
+        ..base_cfg
     };
-    let conn = Arc::new(UdtConnection::connect(addr, cfg).expect("connect"));
+    let conn = match UdtConnection::connect(addr, cfg) {
+        Ok(c) => Arc::new(c),
+        Err(e) => {
+            eprintln!("udtperf: connect failed: {e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
-        "udtperf: connected {} → {} (mss {})",
+        "udtperf: connected {} → {} (mss {}{})",
         conn.local_addr(),
         conn.peer_addr(),
-        conn.config().mss
+        conn.config().mss,
+        if conn.is_authenticated() { ", authenticated" } else { "" }
     );
     let stop = Arc::new(AtomicBool::new(false));
     let reporter = {

@@ -4,7 +4,10 @@ use std::path::PathBuf;
 use std::time::Duration;
 
 use udt_algo::UdtCcConfig;
+use udt_proto::PreSharedKey;
 use udt_trace::Tracer;
+
+use crate::auth::AuthPolicy;
 
 /// Congestion-control choice (§7: the implementation is structured so that
 /// alternate control algorithms can be tested).
@@ -91,6 +94,17 @@ pub struct UdtConfig {
     /// `Broken`, or a handshake rejection. No-op while `tracer` is
     /// disabled.
     pub flight_dir: Option<PathBuf>,
+    /// Packet-authentication policy (see [`AuthPolicy`] and the
+    /// "Authenticated transport" section of DESIGN.md). `Prefer` and
+    /// `Require` need `auth_key` set; connect/bind fail fast with
+    /// `UdtError::AuthConfig` otherwise.
+    pub auth: AuthPolicy,
+    /// 128-bit pre-shared key the authenticated profile derives all
+    /// per-connection MAC keys from. Unused while `auth` is `Off`.
+    pub auth_key: Option<PreSharedKey>,
+    /// Bad-tag count after which an authenticated connection dumps one
+    /// flight recording (reason `auth-storm`) into `flight_dir`.
+    pub auth_storm_threshold: u64,
 }
 
 /// Reconnect/backoff policy for resilient sessions: exponential backoff
@@ -165,6 +179,9 @@ impl Default for UdtConfig {
             retry: RetryPolicy::default(),
             tracer: Tracer::disabled(),
             flight_dir: None,
+            auth: AuthPolicy::Off,
+            auth_key: None,
+            auth_storm_threshold: 64,
         }
     }
 }

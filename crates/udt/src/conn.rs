@@ -299,6 +299,10 @@ pub(crate) struct Shared {
     pub instr: Arc<Instrument>,
     /// EWMA of the wall-clock cost of one UDP send, nanoseconds (§4.4).
     pub send_cost_ns: AtomicU64,
+    /// Authenticated-profile context, when the handshake negotiated one:
+    /// every outbound packet gets a trailer tag; the mux verifies inbound
+    /// tags before packets ever reach this connection.
+    pub auth: Option<Arc<crate::auth::AuthCtx>>,
 }
 
 impl Shared {
@@ -358,7 +362,9 @@ impl Shared {
             conn_id: self.peer_id,
             body,
         });
-        let _ = self.mux.send(&pkt, self.peer_addr, &self.instr);
+        let _ = self
+            .mux
+            .send_auth(&pkt, self.peer_addr, &self.instr, self.auth.as_deref());
     }
 }
 
@@ -395,6 +401,7 @@ impl UdtConnection {
         rcv_init: SeqNo,
         rx: Receiver<MuxMsg>,
         meta: SessionMeta,
+        auth: Option<Arc<crate::auth::AuthCtx>>,
     ) -> Result<UdtConnection> {
         let payload = cfg.payload_size();
         let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
@@ -437,6 +444,7 @@ impl UdtConnection {
             meta,
             instr: Instrument::new(),
             send_cost_ns: AtomicU64::new(0),
+            auth,
             clock: EpochClock::start(),
             cfg,
             local_id,
@@ -506,6 +514,17 @@ impl UdtConnection {
     /// Session token negotiated at handshake time (0 = not resumable).
     pub fn session_token(&self) -> u64 {
         self.sh.meta.token
+    }
+
+    /// `true` when the handshake negotiated the authenticated profile.
+    pub fn is_authenticated(&self) -> bool {
+        self.sh.auth.is_some()
+    }
+
+    /// Authenticated-profile counters for this connection; `None` on a
+    /// plaintext connection.
+    pub fn auth_counters(&self) -> Option<udt_metrics::counters::AuthSnapshot> {
+        self.sh.auth.as_ref().map(|a| a.counters.snapshot())
     }
 
     /// Resume offset the peer communicated in its handshake (see
@@ -722,7 +741,10 @@ fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
         conn_id: sh.peer_id,
         payload,
     });
-    if let Ok(cost) = sh.mux.send(&pkt, sh.peer_addr, &sh.instr) {
+    if let Ok(cost) = sh
+        .mux
+        .send_auth(&pkt, sh.peer_addr, &sh.instr, sh.auth.as_deref())
+    {
         // §4.4: feed the measured send cost back as the period floor.
         let old = sh.send_cost_ns.load(Ordering::Relaxed);
         let new = if old == 0 { cost } else { (old * 7 + cost) / 8 };

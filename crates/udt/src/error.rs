@@ -32,6 +32,10 @@ pub enum UdtError {
     Drained,
     /// A file operation failed during sendfile/recvfile.
     File(io::Error),
+    /// The local authentication configuration is unusable (e.g.
+    /// `AuthPolicy::Require` without an `auth_key`). Caught before any
+    /// packet is sent.
+    AuthConfig(&'static str),
 }
 
 impl std::fmt::Display for UdtError {
@@ -50,6 +54,7 @@ impl std::fmt::Display for UdtError {
             UdtError::FlushTimeout => write!(f, "close timed out flushing unacknowledged data"),
             UdtError::Drained => write!(f, "listener is drained and no longer accepts"),
             UdtError::File(e) => write!(f, "file error: {e}"),
+            UdtError::AuthConfig(reason) => write!(f, "auth configuration error: {reason}"),
         }
     }
 }
@@ -90,6 +95,7 @@ mod tests {
             UdtError::Drained,
             UdtError::Io(io::Error::other("x")),
             UdtError::File(io::Error::new(io::ErrorKind::NotFound, "y")),
+            UdtError::AuthConfig("auth: Require without auth_key"),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());

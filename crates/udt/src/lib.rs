@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod auth;
 pub mod bonded;
 pub mod buffer;
 pub mod config;
@@ -66,6 +67,7 @@ pub mod socket;
 pub mod stats;
 pub mod timing;
 
+pub use auth::AuthPolicy;
 pub use bonded::{bonded_accept, bonded_connect, bonded_path_cfg, UdtPathConnector, UdtPathStream};
 pub use config::{CcChoice, RetryPolicy, UdtConfig};
 pub use conn::UdtConnection;
@@ -78,3 +80,6 @@ pub use stats::ConnStats;
 // Re-export the tracing handle types so applications can enable tracing
 // without naming udt-trace in their own dependency list.
 pub use udt_trace::{Tracer, DEFAULT_RING_CAPACITY};
+// Likewise the pre-shared key type, so `--auth-key`-style configuration
+// does not need udt-proto as a direct dependency.
+pub use udt_proto::PreSharedKey;

@@ -22,10 +22,16 @@ use std::time::Duration;
 use bytes::{Bytes, BytesMut};
 use crossbeam::channel::{Receiver, Sender};
 use parking_lot::Mutex;
-use udt_proto::{decode, encode, Packet};
+use udt_proto::ctrl::type_code;
+use udt_proto::{decode, encode, Packet, SeqNo};
 use udt_trace::{DropReason, EventKind, Tracer};
 
+use crate::auth::AuthCtx;
 use crate::instrument::{Category, Instrument};
+
+/// Deferred replay-window mark: the context and data sequence to record
+/// once the packet is actually delivered to its connection.
+type ReplayMark = (Arc<AuthCtx>, SeqNo);
 
 /// A routed inbound packet.
 pub(crate) type MuxMsg = (Packet, SocketAddr);
@@ -40,6 +46,36 @@ pub(crate) struct Mux {
     /// Set once a traced connection/listener attaches; only consulted on
     /// the cold shed path, so a mutex (not a hot-path atomic) suffices.
     tracer: Mutex<Tracer>,
+    /// Authenticated-profile contexts, by local connection id. A present
+    /// entry makes the demux thread require (and strip) a valid trailer
+    /// tag on every non-handshake datagram for that connection — forged
+    /// packets are dropped *before* decode, so they can never reach the
+    /// connection's protocol state (no EXP refresh, no forged Shutdown).
+    auth: Mutex<HashMap<u32, Arc<AuthCtx>>>,
+}
+
+/// Minimal raw-header peek: `(is_control, type_code, conn_id, seq)`
+/// without decoding the packet. Returns `None` when the buffer is too
+/// short to carry the respective header (the decoder will reject it too).
+fn peek_header(buf: &[u8]) -> Option<(bool, u16, u32, u32)> {
+    if buf.len() < 12 {
+        return None;
+    }
+    // udt-lint: allow(unwrap) — 4-byte slices of a length-checked buffer
+    let w0 = u32::from_be_bytes(buf[0..4].try_into().expect("4 bytes"));
+    if w0 & 0x8000_0000 == 0 {
+        // udt-lint: allow(unwrap)
+        let conn_id = u32::from_be_bytes(buf[8..12].try_into().expect("4 bytes"));
+        Some((false, 0, conn_id, w0 & 0x7FFF_FFFF))
+    } else {
+        if buf.len() < 16 {
+            return None;
+        }
+        let tc = ((w0 >> 16) & 0x7FFF) as u16;
+        // udt-lint: allow(unwrap)
+        let conn_id = u32::from_be_bytes(buf[12..16].try_into().expect("4 bytes"));
+        Some((true, tc, conn_id, 0))
+    }
 }
 
 impl Mux {
@@ -56,6 +92,7 @@ impl Mux {
             stop: AtomicBool::new(false),
             thread: Mutex::new(None),
             tracer: Mutex::new(Tracer::disabled()),
+            auth: Mutex::new(HashMap::new()),
         });
         let weak = Arc::downgrade(&mux);
         let rx = mux.socket.try_clone()?;
@@ -70,11 +107,14 @@ impl Mux {
                     }
                     match rx.recv_from(&mut buf) {
                         Ok((n, from)) => {
+                            let Some((n, mark)) = mux.auth_gate(&buf[..n]) else {
+                                continue; // failed tag/replay check: drop
+                            };
                             let datagram = Bytes::copy_from_slice(&buf[..n]);
                             let Ok(pkt) = decode(datagram) else {
                                 continue; // malformed datagram: drop
                             };
-                            mux.route(pkt, from);
+                            mux.route(pkt, from, mark);
                         }
                         Err(e)
                             if e.kind() == io::ErrorKind::WouldBlock
@@ -87,7 +127,42 @@ impl Mux {
         Ok(mux)
     }
 
-    fn route(&self, pkt: Packet, from: SocketAddr) {
+    /// Gate one raw inbound datagram through the authenticated profile.
+    ///
+    /// Returns the number of leading bytes to decode (the trailer tag is
+    /// stripped when present) plus, for authenticated data packets, the
+    /// context/sequence pair to mark in the replay window once the packet
+    /// is actually delivered. `None` means drop: missing/invalid tag or a
+    /// replay. Handshake control packets always pass untagged — they are
+    /// authenticated at field level ([`udt_proto::auth::handshake_tag`]),
+    /// since they are what negotiates the trailer keys in the first place.
+    fn auth_gate(&self, buf: &[u8]) -> Option<(usize, Option<ReplayMark>)> {
+        let Some((is_ctrl, tc, conn_id, raw_seq)) = peek_header(buf) else {
+            return Some((buf.len(), None)); // let the decoder reject it
+        };
+        if conn_id == 0 {
+            return Some((buf.len(), None)); // listener handshake traffic
+        }
+        let ctx = self.auth.lock().get(&conn_id).cloned();
+        let Some(ctx) = ctx else {
+            return Some((buf.len(), None)); // plaintext connection
+        };
+        if is_ctrl && tc == type_code::HANDSHAKE {
+            return Some((buf.len(), None));
+        }
+        let seq_hint = if is_ctrl { 0 } else { raw_seq };
+        let body = ctx.verify_trailer(buf, seq_hint)?;
+        if is_ctrl {
+            return Some((body, None));
+        }
+        let seq = SeqNo::new(raw_seq);
+        if ctx.is_replay(seq) {
+            return None;
+        }
+        Some((body, Some((ctx, seq))))
+    }
+
+    fn route(&self, pkt: Packet, from: SocketAddr, mark: Option<ReplayMark>) {
         let id = pkt.conn_id();
         if id == 0 {
             // Handshake traffic addressed to no connection: the listener's.
@@ -99,23 +174,32 @@ impl Mux {
         let conns = self.conns.lock();
         if let Some(tx) = conns.get(&id) {
             // Bounded queues: shedding under overload beats unbounded RAM.
-            if let Err(
-                crossbeam::channel::TrySendError::Full((shed, _))
-                | crossbeam::channel::TrySendError::Disconnected((shed, _)),
-            ) = tx.try_send((pkt, from))
-            {
-                let seq = match &shed {
-                    Packet::Data(d) => d.seq.raw(),
-                    Packet::Control(_) => 0,
-                };
-                drop(conns);
-                self.tracer.lock().emit(
-                    id,
-                    EventKind::DataDrop {
-                        seq,
-                        reason: DropReason::Shed,
-                    },
-                );
+            match tx.try_send((pkt, from)) {
+                Ok(()) => {
+                    // Mark authenticated data as delivered only now: a
+                    // shed packet stays unmarked so its retransmission is
+                    // not mistaken for a replay.
+                    if let Some((ctx, seq)) = mark {
+                        ctx.mark_delivered(seq);
+                    }
+                }
+                Err(
+                    crossbeam::channel::TrySendError::Full((shed, _))
+                    | crossbeam::channel::TrySendError::Disconnected((shed, _)),
+                ) => {
+                    let seq = match &shed {
+                        Packet::Data(d) => d.seq.raw(),
+                        Packet::Control(_) => 0,
+                    };
+                    drop(conns);
+                    self.tracer.lock().emit(
+                        id,
+                        EventKind::DataDrop {
+                            seq,
+                            reason: DropReason::Shed,
+                        },
+                    );
+                }
             }
         }
     }
@@ -147,14 +231,40 @@ impl Mux {
         rx
     }
 
-    /// Remove a connection queue.
+    /// Remove a connection queue (and its auth context, if any).
     pub fn unregister(&self, local_id: u32) {
         self.conns.lock().remove(&local_id);
+        self.auth.lock().remove(&local_id);
+    }
+
+    /// Install (or replace) the authenticated-profile context for
+    /// `local_id`: inbound non-handshake datagrams for that id now require
+    /// a valid trailer tag.
+    pub fn set_auth(&self, local_id: u32, ctx: Arc<AuthCtx>) {
+        self.auth.lock().insert(local_id, ctx);
+    }
+
+    /// Drop the auth context for `local_id` (negotiated downgrade under
+    /// `AuthPolicy::Prefer`).
+    pub fn clear_auth(&self, local_id: u32) {
+        self.auth.lock().remove(&local_id);
     }
 
     /// Encode and send one packet. Returns the wall-clock cost in
     /// nanoseconds (fed back into §4.4's minimum-period correction).
     pub fn send(&self, pkt: &Packet, to: SocketAddr, instr: &Instrument) -> io::Result<u64> {
+        self.send_auth(pkt, to, instr, None)
+    }
+
+    /// Encode and send one packet, appending a trailer tag over the
+    /// encoded bytes when an auth context is supplied.
+    pub fn send_auth(
+        &self,
+        pkt: &Packet,
+        to: SocketAddr,
+        instr: &Instrument,
+        auth: Option<&AuthCtx>,
+    ) -> io::Result<u64> {
         thread_local! {
             static BUF: std::cell::RefCell<BytesMut> = std::cell::RefCell::new(BytesMut::with_capacity(65_536));
         }
@@ -164,6 +274,10 @@ impl Mux {
             {
                 let _t = instr.scope(Category::Packing);
                 encode(pkt, &mut buf);
+                if let Some(ctx) = auth {
+                    let tag = ctx.tx_key.tag(&buf);
+                    buf.extend_from_slice(&tag.to_be_bytes());
+                }
             }
             let t0 = std::time::Instant::now();
             let res = {
@@ -241,6 +355,80 @@ mod tests {
         .unwrap();
         let (pkt, _) = lq.recv_timeout(Duration::from_secs(2)).unwrap();
         assert_eq!(pkt.conn_id(), 0);
+    }
+
+    #[test]
+    fn auth_gate_enforces_tags_and_replay() {
+        use udt_proto::{DataPacket, PreSharedKey};
+
+        let a = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let b = Mux::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let q = b.register(7, 64);
+        let psk = PreSharedKey::from_bytes([1u8; 16]);
+        let client = AuthCtx::new(
+            psk.session_key(1, 2, true),
+            psk.session_key(1, 2, false),
+            Tracer::disabled(),
+            3,
+            None,
+            64,
+        );
+        let server = Arc::new(AuthCtx::new(
+            psk.session_key(1, 2, false),
+            psk.session_key(1, 2, true),
+            Tracer::disabled(),
+            7,
+            None,
+            64,
+        ));
+        b.set_auth(7, Arc::clone(&server));
+        let instr = Instrument::default();
+
+        // Untagged control is dropped before decode.
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(7)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        assert!(q.recv_timeout(Duration::from_millis(300)).is_err());
+        assert_eq!(server.counters.snapshot().tags_bad, 1);
+
+        // Correctly tagged control is delivered (tag stripped).
+        a.send_auth(
+            &Packet::Control(ControlPacket::keepalive(7)),
+            b.local_addr(),
+            &instr,
+            Some(&client),
+        )
+        .unwrap();
+        let (pkt, _) = q.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(pkt.conn_id(), 7);
+
+        // A tagged data packet delivers once; its byte-identical replay
+        // is dropped and counted.
+        let data = Packet::Data(DataPacket {
+            seq: SeqNo::new(5),
+            timestamp_us: 0,
+            conn_id: 7,
+            payload: Bytes::from_static(b"payload"),
+        });
+        a.send_auth(&data, b.local_addr(), &instr, Some(&client)).unwrap();
+        let (pkt, _) = q.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(matches!(pkt, Packet::Data(_)));
+        a.send_auth(&data, b.local_addr(), &instr, Some(&client)).unwrap();
+        assert!(q.recv_timeout(Duration::from_millis(300)).is_err());
+        assert_eq!(server.counters.snapshot().replays, 1);
+
+        // clear_auth returns the connection to plaintext.
+        b.clear_auth(7);
+        a.send(
+            &Packet::Control(ControlPacket::keepalive(7)),
+            b.local_addr(),
+            &instr,
+        )
+        .unwrap();
+        assert!(q.recv_timeout(Duration::from_secs(2)).is_ok());
     }
 
     #[test]

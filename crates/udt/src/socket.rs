@@ -40,11 +40,13 @@ use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rand::Rng;
 
-use udt_metrics::counters::{ListenerCounters, ListenerSnapshot};
+use udt_metrics::counters::{AuthCounters, AuthSnapshot, ListenerCounters, ListenerSnapshot};
+use udt_proto::auth::{ct_eq64, handshake_tag, AuthField, MacKey, AUTH_REQUIRE};
 use udt_proto::ctrl::{ControlBody, ControlPacket, HandshakeData, HandshakeExt, HandshakeReqType};
 use udt_proto::{Packet, SeqNo, SEQ_MAX};
 use udt_trace::{EventKind, HsPhase};
 
+use crate::auth::{AuthCtx, AuthPolicy};
 use crate::config::UdtConfig;
 use crate::conn::{SessionMeta, UdtConnection};
 use crate::error::{Result, UdtError};
@@ -113,6 +115,36 @@ fn cookie_for(secret: u64, peer: SocketAddr, socket_id: u32, bucket: u64) -> u32
     }
 }
 
+/// Fail fast on an unusable authentication configuration: `Prefer` and
+/// `Require` promise MAC coverage they cannot deliver without key
+/// material, so they are rejected before any packet is sent.
+fn check_auth_cfg(cfg: &UdtConfig) -> Result<()> {
+    if cfg.auth.enabled() && cfg.auth_key.is_none() {
+        return Err(UdtError::AuthConfig(match cfg.auth {
+            AuthPolicy::Require => "auth: Require without auth_key",
+            _ => "auth: Prefer without auth_key",
+        }));
+    }
+    Ok(())
+}
+
+/// Build the client-side verification context for one `(nonce, cookie)`
+/// pair. Installed on the mux *eagerly* (with cookie 0) before the first
+/// request and re-keyed when the listener's challenge supplies the real
+/// cookie, so there is no window in which an authenticated peer's tagged
+/// packets would be dropped as unverifiable.
+fn client_auth_ctx(cfg: &UdtConfig, nonce: u32, cookie: u32, local_id: u32) -> Option<Arc<AuthCtx>> {
+    let k = cfg.auth_key.as_ref()?;
+    Some(Arc::new(AuthCtx::new(
+        k.session_key(nonce, cookie, true),
+        k.session_key(nonce, cookie, false),
+        cfg.tracer.clone(),
+        local_id,
+        cfg.flight_dir.clone(),
+        cfg.auth_storm_threshold,
+    )))
+}
+
 impl UdtConnection {
     /// Connect to a UDT listener at `server`.
     pub fn connect(server: SocketAddr, cfg: UdtConfig) -> Result<UdtConnection> {
@@ -132,6 +164,7 @@ impl UdtConnection {
         token: u64,
         resume_offset: u64,
     ) -> Result<UdtConnection> {
+        check_auth_cfg(&cfg)?;
         let bind_addr: SocketAddr = if server.is_ipv4() {
             // udt-lint: allow(unwrap) — literal addresses always parse
             "0.0.0.0:0".parse().expect("addr")
@@ -148,6 +181,29 @@ impl UdtConnection {
             .unwrap_or_else(gen_init_seq);
         let instr = Instrument::default();
         let deadline = Instant::now() + cfg.connect_timeout;
+        // UDT-AUTH negotiation state. The nonce is fresh per connect call
+        // but constant across retransmissions, so the listener's
+        // idempotent-response cache still works; the key (if policy is
+        // `Off`) is deliberately left unused.
+        let auth_on = cfg.auth.enabled();
+        let auth_nonce: u32 = if auth_on { rand::thread_rng().gen() } else { 0 };
+        let auth_flags = if cfg.auth == AuthPolicy::Require {
+            AUTH_REQUIRE
+        } else {
+            0
+        };
+        let hs_key: Option<MacKey> = if auth_on {
+            cfg.auth_key.as_ref().map(udt_proto::PreSharedKey::handshake_key)
+        } else {
+            None
+        };
+        let mut auth_ctx: Option<Arc<AuthCtx>> = None;
+        if auth_on {
+            auth_ctx = client_auth_ctx(&cfg, auth_nonce, 0, local_id);
+            if let Some(c) = &auth_ctx {
+                mux.set_auth(local_id, Arc::clone(c));
+            }
+        }
         // Echoed back once the listener challenges us; 0 until then.
         let mut cookie = 0u32;
         let mut retries = 0u32;
@@ -156,22 +212,37 @@ impl UdtConnection {
         // server is down" from "the server refused us".
         let mut reject: Option<&'static str> = None;
         'solicit: loop {
+            let mut req_h = HandshakeData {
+                version: UDT_VERSION,
+                req_type: HandshakeReqType::Request,
+                init_seq,
+                mss: cfg.mss,
+                max_flow_win: cfg.rcv_buf_pkts,
+                socket_id: local_id,
+                ext: Some(HandshakeExt {
+                    cookie,
+                    session_token: token,
+                    resume_offset,
+                    auth: None,
+                }),
+            };
+            if let Some(hk) = &hs_key {
+                // Tag the request at field level (the trailer MAC cannot
+                // cover the packet that negotiates it). The tag binds the
+                // echoed cookie, so each cookie round gets a fresh one.
+                let tag = handshake_tag(hk, &req_h, auth_flags, auth_nonce);
+                if let Some(e) = &mut req_h.ext {
+                    e.auth = Some(AuthField {
+                        flags: auth_flags,
+                        nonce: auth_nonce,
+                        tag,
+                    });
+                }
+            }
             let req = Packet::Control(ControlPacket {
                 timestamp_us: 0,
                 conn_id: 0,
-                body: ControlBody::Handshake(HandshakeData {
-                    version: UDT_VERSION,
-                    req_type: HandshakeReqType::Request,
-                    init_seq,
-                    mss: cfg.mss,
-                    max_flow_win: cfg.rcv_buf_pkts,
-                    socket_id: local_id,
-                    ext: Some(HandshakeExt {
-                        cookie,
-                        session_token: token,
-                        resume_offset,
-                    }),
-                }),
+                body: ControlBody::Handshake(req_h),
             });
             mux.send(&req, server, &instr)?;
             cfg.tracer.emit(
@@ -197,8 +268,54 @@ impl UdtConnection {
                             HandshakeReqType::Challenge => {
                                 // Stateless listener wants proof of
                                 // reachability: echo its cookie in a fresh
-                                // request right away.
+                                // request right away — but only adopt a
+                                // cookie this endpoint's auth policy lets
+                                // it trust.
                                 if let Some(e) = h.ext {
+                                    match (e.auth, &hs_key) {
+                                        (Some(af), Some(hk)) => {
+                                            // Both sides keyed: the tag must
+                                            // verify and the nonce must be
+                                            // ours, else the challenge is
+                                            // forged or cross-keyed.
+                                            let tag =
+                                                handshake_tag(hk, &h, af.flags, af.nonce);
+                                            if !(ct_eq64(tag, af.tag)
+                                                && af.nonce == auth_nonce)
+                                            {
+                                                reject = Some(
+                                                    "server authentication failed (key mismatch?)",
+                                                );
+                                                continue;
+                                            }
+                                            // Re-key the session context with
+                                            // the real cookie before echoing
+                                            // it (the listener derives from
+                                            // the cookie it gets back).
+                                            if let Some(c) = client_auth_ctx(
+                                                &cfg, auth_nonce, e.cookie, local_id,
+                                            ) {
+                                                mux.set_auth(local_id, Arc::clone(&c));
+                                                auth_ctx = Some(c);
+                                            }
+                                        }
+                                        (Some(af), None) => {
+                                            // Keyless side of a keyed server.
+                                            if af.flags & AUTH_REQUIRE != 0 {
+                                                reject =
+                                                    Some("server requires authentication");
+                                                continue;
+                                            }
+                                        }
+                                        (None, _) => {
+                                            if cfg.auth == AuthPolicy::Require {
+                                                reject = Some(
+                                                    "peer did not authenticate (auth required)",
+                                                );
+                                                continue;
+                                            }
+                                        }
+                                    }
                                     cookie = e.cookie;
                                     cfg.tracer.emit(
                                         local_id,
@@ -230,6 +347,40 @@ impl UdtConnection {
                                     reject = Some("peer proposed an unusable MSS");
                                     continue;
                                 }
+                                match (h.ext.and_then(|e| e.auth), &hs_key) {
+                                    (Some(af), Some(hk)) => {
+                                        // Authenticated response: the tag
+                                        // covers every negotiated field and
+                                        // the nonce pins it to this attempt.
+                                        let tag = handshake_tag(hk, &h, af.flags, af.nonce);
+                                        if !(ct_eq64(tag, af.tag) && af.nonce == auth_nonce) {
+                                            reject = Some(
+                                                "server authentication failed (key mismatch?)",
+                                            );
+                                            continue;
+                                        }
+                                        // Keep the installed context: the
+                                        // session is authenticated.
+                                    }
+                                    (None, Some(_)) => {
+                                        if cfg.auth == AuthPolicy::Require {
+                                            reject = Some(
+                                                "peer did not authenticate (auth required)",
+                                            );
+                                            continue;
+                                        }
+                                        // Prefer: the peer cannot or will
+                                        // not authenticate — downgrade to a
+                                        // plaintext session.
+                                        mux.clear_auth(local_id);
+                                        auth_ctx = None;
+                                    }
+                                    // Keyless this side: any auth field the
+                                    // server sent is unverifiable noise (a
+                                    // Require server would not have answered
+                                    // a keyless request); ignore it.
+                                    (_, None) => {}
+                                }
                                 cfg.tracer.emit(
                                     local_id,
                                     EventKind::Handshake {
@@ -255,6 +406,7 @@ impl UdtConnection {
                                     h.init_seq,
                                     rx,
                                     meta,
+                                    auth_ctx,
                                 );
                             }
                             HandshakeReqType::Request => {}
@@ -306,6 +458,7 @@ pub struct UdtListener {
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     counters: Arc<ListenerCounters>,
+    auth_counters: Arc<AuthCounters>,
     sessions: Arc<SessionTable>,
     conn_table: ConnTable,
     service: Mutex<Option<std::thread::JoinHandle<()>>>,
@@ -325,6 +478,7 @@ impl UdtListener {
         cfg: UdtConfig,
         sessions: Arc<SessionTable>,
     ) -> Result<UdtListener> {
+        check_auth_cfg(&cfg)?;
         let mux = Mux::bind(addr)?;
         mux.set_tracer(&cfg.tracer);
         let hs_queue = mux.set_listener();
@@ -332,12 +486,14 @@ impl UdtListener {
         let stop = Arc::new(AtomicBool::new(false));
         let draining = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ListenerCounters::new());
+        let auth_counters = Arc::new(AuthCounters::new());
         let conn_table: ConnTable = Arc::new(Mutex::new(HashMap::new()));
         let service = {
             let mux = Arc::clone(&mux);
             let stop = Arc::clone(&stop);
             let draining = Arc::clone(&draining);
             let counters = Arc::clone(&counters);
+            let auth_counters = Arc::clone(&auth_counters);
             let sessions = Arc::clone(&sessions);
             let conn_table = Arc::clone(&conn_table);
             std::thread::Builder::new()
@@ -351,6 +507,7 @@ impl UdtListener {
                         stop,
                         draining,
                         counters,
+                        auth_counters,
                         sessions,
                         conn_table,
                     });
@@ -362,6 +519,7 @@ impl UdtListener {
             stop,
             draining,
             counters,
+            auth_counters,
             sessions,
             conn_table,
             service: Mutex::new(Some(service)),
@@ -409,6 +567,16 @@ impl UdtListener {
         self.counters.snapshot()
     }
 
+    /// Snapshot of the handshake-level authentication counters: requests
+    /// rejected for missing (`unauth_rejected`) or invalid (`tags_bad`)
+    /// UDT-AUTH credentials, and requests whose field tag verified
+    /// (`tags_ok`). Per-connection trailer-tag counters live on the
+    /// connections themselves
+    /// ([`UdtConnection::auth_counters`](crate::UdtConnection::auth_counters)).
+    pub fn auth_counters(&self) -> AuthSnapshot {
+        self.auth_counters.snapshot()
+    }
+
     /// The session table used to answer resume offsets.
     pub fn sessions(&self) -> Arc<SessionTable> {
         Arc::clone(&self.sessions)
@@ -441,6 +609,7 @@ struct ListenerCtx {
     stop: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     counters: Arc<ListenerCounters>,
+    auth_counters: Arc<AuthCounters>,
     sessions: Arc<SessionTable>,
     conn_table: ConnTable,
 }
@@ -497,6 +666,20 @@ impl RateTable {
 fn listener_service(ctx: ListenerCtx) {
     let instr = Instrument::default();
     let secret: u64 = rand::thread_rng().gen();
+    let auth_on = ctx.cfg.auth.enabled();
+    let hs_key: Option<MacKey> = if auth_on {
+        ctx.cfg
+            .auth_key
+            .as_ref()
+            .map(udt_proto::PreSharedKey::handshake_key)
+    } else {
+        None
+    };
+    let auth_flags = if ctx.cfg.auth == AuthPolicy::Require {
+        AUTH_REQUIRE
+    } else {
+        0
+    };
     let epoch = Instant::now();
     let mut rate = RateTable::new();
     let mut last_gc = Instant::now();
@@ -599,24 +782,77 @@ fn listener_service(ctx: ListenerCtx) {
                         peer: h.socket_id,
                     },
                 );
+                let mut ch_h = HandshakeData {
+                    version: UDT_VERSION,
+                    req_type: HandshakeReqType::Challenge,
+                    init_seq: h.init_seq,
+                    mss: h.mss,
+                    max_flow_win: h.max_flow_win,
+                    socket_id: 0,
+                    ext: Some(HandshakeExt {
+                        cookie: cookie_for(secret, from, h.socket_id, bucket),
+                        session_token: h.ext.map_or(0, |e| e.session_token),
+                        resume_offset: 0,
+                        auth: None,
+                    }),
+                };
+                if let Some(hk) = &hs_key {
+                    // Authenticate the challenge (and with it, the cookie)
+                    // so a keyed client only echoes cookies this listener
+                    // really minted. The client's nonce is echoed back;
+                    // keyless clients get nonce 0 and ignore the field.
+                    let nonce = h.ext.and_then(|e| e.auth).map_or(0, |af| af.nonce);
+                    let tag = handshake_tag(hk, &ch_h, auth_flags, nonce);
+                    if let Some(e) = &mut ch_h.ext {
+                        e.auth = Some(AuthField {
+                            flags: auth_flags,
+                            nonce,
+                            tag,
+                        });
+                    }
+                }
                 let challenge = Packet::Control(ControlPacket {
                     timestamp_us: 0,
                     conn_id: h.socket_id,
-                    body: ControlBody::Handshake(HandshakeData {
-                        version: UDT_VERSION,
-                        req_type: HandshakeReqType::Challenge,
-                        init_seq: h.init_seq,
-                        mss: h.mss,
-                        max_flow_win: h.max_flow_win,
-                        socket_id: 0,
-                        ext: Some(HandshakeExt {
-                            cookie: cookie_for(secret, from, h.socket_id, bucket),
-                            session_token: h.ext.map_or(0, |e| e.session_token),
-                            resume_offset: 0,
-                        }),
-                    }),
+                    body: ControlBody::Handshake(ch_h),
                 });
                 let _ = ctx.mux.send(&challenge, from, &instr);
+                continue;
+            }
+        }
+        // UDT-AUTH gate: a request past the cookie proof must also present
+        // a valid field-level tag before an authenticated session is
+        // granted. Under `Require` an unauthenticated request is dropped
+        // as silently as a bad cookie (no oracle for key guessing), but
+        // counted and traced; under `Prefer` it falls back to plaintext.
+        let req_auth = h.ext.and_then(|e| e.auth);
+        let authenticated = match (&hs_key, req_auth) {
+            (Some(hk), Some(af)) => {
+                let ok = ct_eq64(handshake_tag(hk, &h, af.flags, af.nonce), af.tag);
+                if ok {
+                    ctx.auth_counters.tags_ok(1);
+                } else {
+                    ctx.auth_counters.tags_bad(1);
+                }
+                ok
+            }
+            _ => false,
+        };
+        if auth_on && !authenticated {
+            if req_auth.is_some() {
+                // A tag was presented but did not verify: wrong key or a
+                // tampered handshake. Worth an event under any policy.
+                ctx.cfg
+                    .tracer
+                    .emit(0, EventKind::AuthReject { peer: h.socket_id });
+            }
+            if ctx.cfg.auth == AuthPolicy::Require {
+                if req_auth.is_none() {
+                    ctx.auth_counters.unauth_rejected(1);
+                    ctx.cfg
+                        .tracer
+                        .emit(0, EventKind::AuthReject { peer: h.socket_id });
+                }
                 continue;
             }
         }
@@ -648,21 +884,63 @@ fn listener_service(ctx: ListenerCtx) {
             // Upload resume: tell the client how much of this session we
             // already confirmed, so it can skip re-sending it.
             resume_offset: ctx.sessions.offset(token),
+            auth: None,
         });
+        let mut resp_h = HandshakeData {
+            version: UDT_VERSION,
+            req_type: HandshakeReqType::Response,
+            init_seq: our_init,
+            mss: negotiated_mss,
+            max_flow_win: ctx.cfg.rcv_buf_pkts,
+            socket_id: local_id,
+            ext: resp_ext,
+        };
+        if authenticated {
+            // Close the loop: tag the response (binding the negotiated
+            // parameters and the client's nonce) so the client knows an
+            // authenticated session was really granted by the key holder.
+            if let (Some(hk), Some(af)) = (&hs_key, req_auth) {
+                let tag = handshake_tag(hk, &resp_h, auth_flags, af.nonce);
+                if let Some(e) = &mut resp_h.ext {
+                    e.auth = Some(AuthField {
+                        flags: auth_flags,
+                        nonce: af.nonce,
+                        tag,
+                    });
+                }
+            }
+        }
         let resp = Packet::Control(ControlPacket {
             timestamp_us: 0,
             conn_id: h.socket_id,
-            body: ControlBody::Handshake(HandshakeData {
-                version: UDT_VERSION,
-                req_type: HandshakeReqType::Response,
-                init_seq: our_init,
-                mss: negotiated_mss,
-                max_flow_win: ctx.cfg.rcv_buf_pkts,
-                socket_id: local_id,
-                ext: resp_ext,
-            }),
+            body: ControlBody::Handshake(resp_h),
         });
         let rx = ctx.mux.register(local_id, CONN_QUEUE_DEPTH);
+        let conn_auth = if authenticated {
+            req_auth.and_then(|af| {
+                let k = ctx.cfg.auth_key.as_ref()?;
+                // Session keys derive from the client's fresh nonce plus
+                // the cookie it echoed (0 when `require_cookie` is off —
+                // the client derived with 0 too, having never been
+                // challenged).
+                let echoed = h.ext.map_or(0, |e| e.cookie);
+                Some(Arc::new(AuthCtx::new(
+                    k.session_key(af.nonce, echoed, false),
+                    k.session_key(af.nonce, echoed, true),
+                    ctx.cfg.tracer.clone(),
+                    local_id,
+                    ctx.cfg.flight_dir.clone(),
+                    ctx.cfg.auth_storm_threshold,
+                )))
+            })
+        } else {
+            None
+        };
+        if let Some(c) = &conn_auth {
+            // Enforcement must precede the response: the client may send
+            // tagged packets the instant it processes our answer.
+            ctx.mux.set_auth(local_id, Arc::clone(c));
+        }
         let conn_cfg = UdtConfig {
             mss: negotiated_mss,
             ..ctx.cfg.clone()
@@ -681,6 +959,7 @@ fn listener_service(ctx: ListenerCtx) {
             h.init_seq,
             rx,
             meta,
+            conn_auth,
         ) {
             Ok(conn) => conn,
             Err(_) => {

@@ -287,6 +287,7 @@ fn spoofed_request(socket_id: u32, cookie: u32) -> Vec<u8> {
                 cookie,
                 session_token: 0,
                 resume_offset: 0,
+                auth: None,
             }),
         }),
     });
