@@ -45,6 +45,13 @@ timeout 300 ./target/release/exp_multipath --quick
 # loopback goodput. Emits BENCH_auth.json.
 timeout 300 ./target/release/exp_auth --quick
 
+# Batched datapath, CI-sized: raw pump msgs/s must hit 2x the legacy
+# per-packet datapath (gate auto-skips where recvmmsg/sendmmsg are
+# unavailable — the fallback *is* the per-packet path), the receive pool
+# must recycle (hits > misses), and the exp_tbl3-style UDP-syscall CPU
+# share must shrink with batching on. Emits BENCH_datapath.json.
+timeout 300 ./target/release/exp_datapath --quick
+
 # One release-codegen pass with the runtime invariant hooks compiled in
 # (conn/buffer/losslist check_invariants fire on the live data path).
 # Kept last: the different RUSTFLAGS rebuild replaces target/release

@@ -1,0 +1,16 @@
+//! Batched-datapath audit: raw pump msgs/s speedup (gated at 2x when the
+//! multi-message syscalls are active) and exp_tbl3-style UDP-syscall CPU
+//! share with batching off vs on. `--quick` shrinks both for CI.
+//! See DESIGN.md for the experiment index.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        bench::experiments::datapath::run_with(60_000, 60_000_000)
+    } else {
+        bench::experiments::datapath::run()
+    };
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

@@ -30,6 +30,7 @@ pub mod experiments {
     pub mod abl_syn;
     pub mod chaos;
     pub mod cmp_protocols;
+    pub mod datapath;
     pub mod flightrec;
     pub mod trace_overhead;
     pub mod multibottleneck;
@@ -85,6 +86,7 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
         experiments::chaos::run,
         experiments::multibottleneck::run,
         experiments::trace_overhead::run,
+        experiments::datapath::run,
         experiments::flightrec::run,
         experiments::multipath::run_full,
     ]

@@ -90,10 +90,19 @@ struct RelayDir {
 }
 
 impl RelayDir {
+    /// Cap on recycled payload buffers kept per direction. Far above the
+    /// release heap's steady-state depth; purely a memory bound.
+    const SPARE_CAP: usize = 64;
+
     fn run(mut self) {
         let mut heap: BinaryHeap<Pending> = BinaryHeap::new();
         let mut seq = 0u64;
+        // One-time receive scratch, reused for every datagram.
+        // udt-lint: allow(hot-alloc)
         let mut buf = vec![0u8; 65_536];
+        // Recycled payload buffers: a released packet donates its `Vec`
+        // back, so steady-state forwarding allocates nothing per datagram.
+        let mut spare: Vec<Vec<u8>> = Vec::with_capacity(Self::SPARE_CAP);
         self.rx
             .set_read_timeout(Some(POLL))
             // udt-lint: allow(unwrap) — only fails for a zero Duration; POLL is non-zero
@@ -115,6 +124,11 @@ impl RelayDir {
                     let _ = self.tx.send_to(&p.data, dest);
                     self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
                 }
+                if spare.len() < Self::SPARE_CAP {
+                    let mut v = p.data;
+                    v.clear();
+                    spare.push(v);
+                }
             }
             match self.rx.recv_from(&mut buf) {
                 Ok((n, from)) => {
@@ -125,17 +139,33 @@ impl RelayDir {
                             *slot = Some(from);
                         }
                     }
-                    let mut data = buf[..n].to_vec();
+                    let mut data = spare.pop().unwrap_or_default();
+                    data.extend_from_slice(&buf[..n]);
                     let now_us = self.epoch.elapsed().as_micros() as u64;
                     let verdict = self.chain.apply(now_us, n, Some(&mut data));
                     let base = Instant::now();
-                    for &extra_us in &verdict.copies {
+                    let copies = verdict.copies.len();
+                    for (i, &extra_us) in verdict.copies.iter().enumerate() {
+                        // The last copy takes the payload by move; extra
+                        // copies (duplication) fill recycled buffers.
+                        let payload = if i + 1 == copies {
+                            std::mem::take(&mut data)
+                        } else {
+                            let mut c = spare.pop().unwrap_or_default();
+                            c.extend_from_slice(&data);
+                            c
+                        };
                         heap.push(Pending {
                             release_at: base + Duration::from_micros(extra_us),
                             seq,
-                            data: data.clone(),
+                            data: payload,
                         });
                         seq += 1;
+                    }
+                    if copies == 0 && spare.len() < Self::SPARE_CAP {
+                        // Dropped by the chain: recycle the payload buffer.
+                        data.clear();
+                        spare.push(data);
                     }
                     // Adversarial injections (forgeries, replays) enter
                     // the same release heap, so a delayed replay really
@@ -214,6 +244,8 @@ impl ChaosRelay {
             stop: Arc::clone(&stop),
             epoch,
         };
+        // Cold path: two spawns at relay construction.
+        // udt-lint: allow(hot-alloc)
         let threads = vec![
             std::thread::Builder::new()
                 .name("chaos-fwd".into())

@@ -129,6 +129,9 @@ fn main() -> ExitCode {
         if scope.secret_material {
             findings.extend(rules::secret_material(&rel_str, &lexed));
         }
+        if scope.hot_alloc {
+            findings.extend(rules::hot_alloc(&rel_str, &lexed));
+        }
     }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));

@@ -10,6 +10,7 @@
 //! | `lock-order`| lock acquisition violating the documented order               |
 //! | `println`   | `println!`/`eprintln!` in library crates (use udt-trace)      |
 //! | `secret-material` | key/secret/tag identifiers fed to format macros         |
+//! | `hot-alloc` | per-packet heap allocation in the datapath modules            |
 //!
 //! Every rule honours the `// udt-lint: allow(<rule>)` escape hatch on the
 //! finding's line or the line above it.
@@ -39,6 +40,7 @@ pub const RULES: &[&str] = &[
     "lock-order",
     "println",
     "secret-material",
+    "hot-alloc",
 ];
 
 /// Identifiers treated as sequence-number-typed. Field and local names in
@@ -441,6 +443,64 @@ pub fn secret_material(file: &str, lexed: &LexedFile) -> Vec<Finding> {
     out
 }
 
+/// `hot-alloc`: per-packet heap allocation (`Vec::new`, `vec![…]`,
+/// `.to_vec()`) in the blessed datapath modules. The batched datapath's
+/// contract is zero per-packet allocation in steady state: receive buffers
+/// come from the recycling pool, send buffers from thread-local scratch,
+/// and batch-granularity vectors use `Vec::with_capacity` (deliberately
+/// not matched — one allocation per *batch* is amortized, one per *packet*
+/// is the regression this rule exists to catch). Cold paths — connection
+/// establishment, loss events, teardown — take the escape hatch with a
+/// justification comment.
+pub fn hot_alloc(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            "Vec" if punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2) == Some("new") => {
+                out.push(finding(
+                    file,
+                    lexed,
+                    t.line,
+                    "hot-alloc",
+                    "`Vec::new()` in a datapath module: reuse a pooled/scratch buffer, \
+                     or `with_capacity` at batch granularity (annotate cold paths)"
+                        .to_string(),
+                ));
+            }
+            "vec" if punct_at(tokens, i + 1, "!") => {
+                out.push(finding(
+                    file,
+                    lexed,
+                    t.line,
+                    "hot-alloc",
+                    "`vec![…]` in a datapath module: reuse a pooled/scratch buffer \
+                     (annotate cold paths)"
+                        .to_string(),
+                ));
+            }
+            "to_vec"
+                if punct_at(tokens, i.wrapping_sub(1), ".") && punct_at(tokens, i + 1, "(") =>
+            {
+                out.push(finding(
+                    file,
+                    lexed,
+                    t.line,
+                    "hot-alloc",
+                    "`.to_vec()` copies into a fresh allocation: slice the pooled \
+                     buffer or reuse a scratch `Vec` (annotate cold paths)"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 /// One lock the order rule tracks.
 #[derive(Debug, Clone)]
 struct Held {
@@ -622,6 +682,7 @@ pub struct Scope {
     pub lock_order: bool,
     pub println: bool,
     pub secret_material: bool,
+    pub hot_alloc: bool,
 }
 
 impl Scope {
@@ -634,6 +695,7 @@ impl Scope {
             || self.lock_order
             || self.println
             || self.secret_material
+            || self.hot_alloc
     }
 }
 
@@ -666,6 +728,13 @@ pub fn scope_for(rel: &Path) -> Scope {
             | "udt-trace"
     );
     let test_file = p.ends_with("_tests.rs") || p.ends_with("/tests.rs");
+    // The blessed hot-path modules of the batched datapath: zero
+    // per-packet allocation in steady state is a contract there.
+    let hot_path = p.ends_with("udt/src/mux.rs")
+        || p.ends_with("udt/src/conn.rs")
+        || p.ends_with("udt/src/pool.rs")
+        || p.ends_with("udt/src/mmsg.rs")
+        || p.ends_with("udt-chaos/src/relay.rs");
     Scope {
         seq_cmp: !is_blessed_seqno && !is_tcp_model && !harness,
         wall_clock: matches!(crate_name, "netsim" | "udt-algo"),
@@ -679,6 +748,7 @@ pub fn scope_for(rel: &Path) -> Scope {
         // never holding raw keys beyond parse keeps the risk at the parse
         // site, which is library code.
         secret_material: lib_crate && !in_bin && !test_file,
+        hot_alloc: hot_path,
     }
 }
 
@@ -842,6 +912,47 @@ mod tests {
         assert!(scope_for(Path::new("crates/udt/src/mux.rs")).secret_material);
         assert!(!scope_for(Path::new("crates/udt/src/bin/udtcat.rs")).secret_material);
         assert!(!scope_for(Path::new("crates/bench/src/experiments/auth.rs")).secret_material);
+    }
+
+    #[test]
+    fn hot_alloc_catches_per_packet_allocation() {
+        let fs = run(
+            "fn f(buf: &[u8]) { let v = Vec::new(); let w = vec![0u8; 64]; let c = buf.to_vec(); }",
+            hot_alloc,
+        );
+        assert_eq!(fs.len(), 3, "{fs:?}");
+        assert!(fs.iter().all(|f| !f.allowed));
+    }
+
+    #[test]
+    fn hot_alloc_skips_with_capacity_tests_and_lookalikes() {
+        assert!(run("fn f() { let v: Vec<u8> = Vec::with_capacity(64); }", hot_alloc).is_empty());
+        assert!(run("#[test]\nfn t() { let v = Vec::new(); }", hot_alloc).is_empty());
+        // `to_vec` only fires as a method call.
+        assert!(run("fn f() { let n = to_vec; }", hot_alloc).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_honours_allow() {
+        let fs = run(
+            "fn f() {\n // udt-lint: allow(hot-alloc)\n let v = Vec::new();\n}",
+            hot_alloc,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn hot_alloc_scope_covers_only_the_blessed_datapath_modules() {
+        use std::path::Path;
+        assert!(scope_for(Path::new("crates/udt/src/mux.rs")).hot_alloc);
+        assert!(scope_for(Path::new("crates/udt/src/conn.rs")).hot_alloc);
+        assert!(scope_for(Path::new("crates/udt/src/pool.rs")).hot_alloc);
+        assert!(scope_for(Path::new("crates/udt/src/mmsg.rs")).hot_alloc);
+        assert!(scope_for(Path::new("crates/udt-chaos/src/relay.rs")).hot_alloc);
+        assert!(!scope_for(Path::new("crates/udt/src/socket.rs")).hot_alloc);
+        assert!(!scope_for(Path::new("crates/udt/src/buffer.rs")).hot_alloc);
+        assert!(!scope_for(Path::new("crates/bench/src/realnet.rs")).hot_alloc);
     }
 
     #[test]

@@ -234,6 +234,57 @@ counter_set! {
     bytes_recv,
 }
 
+counter_set! {
+    /// Batched-datapath counters: one per UDP demultiplexer, bumped from
+    /// the demux thread (receive side, pool) and the sending threads.
+    counters BatchCounters;
+    /// Point-in-time copy of a [`BatchCounters`].
+    snapshot BatchSnapshot;
+    /// Demux wakeups that drained at least one datagram.
+    recv_batches,
+    /// Datagrams drained across all receive batches.
+    recv_pkts,
+    /// Socket flushes on the send side (one `sendmmsg`/`send_to` group).
+    send_batches,
+    /// Packets pushed across all send flushes.
+    send_pkts,
+    /// Receive buffers served from the recycling pool.
+    pool_hits,
+    /// Receive buffers that had to be freshly allocated (pool empty or
+    /// every retired buffer still referenced).
+    pool_misses,
+}
+
+impl BatchSnapshot {
+    /// Mean datagrams per receive batch (0 when nothing was received).
+    pub fn avg_recv_batch(&self) -> f64 {
+        if self.recv_batches == 0 {
+            0.0
+        } else {
+            self.recv_pkts as f64 / self.recv_batches as f64
+        }
+    }
+
+    /// Mean packets per send flush (0 when nothing was sent).
+    pub fn avg_send_batch(&self) -> f64 {
+        if self.send_batches == 0 {
+            0.0
+        } else {
+            self.send_pkts as f64 / self.send_batches as f64
+        }
+    }
+
+    /// Fraction of buffer requests served without allocating.
+    pub fn pool_hit_rate(&self) -> f64 {
+        let total = self.pool_hits + self.pool_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pool_hits as f64 / total as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +357,27 @@ mod tests {
             (s.tags_ok, s.tags_bad, s.replays, s.unauth_rejected),
             (100, 7, 3, 1)
         );
+    }
+
+    #[test]
+    fn batch_counters_accumulate_and_derive_rates() {
+        let b = BatchCounters::new();
+        b.recv_batches(4);
+        b.recv_pkts(100);
+        b.send_batches(2);
+        b.send_pkts(32);
+        b.pool_hits(75);
+        b.pool_misses(25);
+        let s = b.snapshot();
+        assert_eq!((s.recv_batches, s.recv_pkts), (4, 100));
+        assert_eq!((s.send_batches, s.send_pkts), (2, 32));
+        assert!((s.avg_recv_batch() - 25.0).abs() < 1e-12);
+        assert!((s.avg_send_batch() - 16.0).abs() < 1e-12);
+        assert!((s.pool_hit_rate() - 0.75).abs() < 1e-12);
+        let zero = BatchCounters::new().snapshot();
+        assert_eq!(zero.avg_recv_batch(), 0.0);
+        assert_eq!(zero.avg_send_batch(), 0.0);
+        assert_eq!(zero.pool_hit_rate(), 0.0);
     }
 
     #[test]

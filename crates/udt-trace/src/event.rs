@@ -502,6 +502,12 @@ pub enum EventKind {
         /// Peer socket id (0 when unknown).
         peer: u32,
     },
+    /// A batched delivery arrived from the demultiplexer (batched
+    /// datapath): one receiver wakeup processed this many packets.
+    BatchRecv {
+        /// Packets in the batch.
+        pkts: u32,
+    },
 }
 
 impl EventKind {
@@ -539,6 +545,7 @@ impl EventKind {
             EventKind::AuthFail { .. } => "auth_fail",
             EventKind::AuthReplay { .. } => "auth_replay",
             EventKind::AuthReject { .. } => "auth_reject",
+            EventKind::BatchRecv { .. } => "batch",
         }
     }
 }

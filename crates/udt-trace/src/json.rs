@@ -171,6 +171,9 @@ pub fn encode(ev: &TraceEvent) -> String {
         EventKind::AuthReject { peer } => {
             field_u(&mut s, "peer", u64::from(*peer));
         }
+        EventKind::BatchRecv { pkts } => {
+            field_u(&mut s, "pkts", u64::from(*pkts));
+        }
     }
     s.push('}');
     s
@@ -435,6 +438,9 @@ pub fn parse_line(line: &str) -> Result<TraceEvent, String> {
         },
         "auth_reject" => EventKind::AuthReject {
             peer: req_u32("peer")?,
+        },
+        "batch" => EventKind::BatchRecv {
+            pkts: req_u32("pkts")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };
@@ -788,6 +794,7 @@ mod tests {
             EventKind::AuthFail { seq: 101 },
             EventKind::AuthReplay { seq: 102 },
             EventKind::AuthReject { peer: 0xBEEF },
+            EventKind::BatchRecv { pkts: 27 },
         ]
     }
 

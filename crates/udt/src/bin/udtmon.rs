@@ -64,6 +64,10 @@ struct ConnAgg {
     auth_fail: u64,
     auth_replay: u64,
     auth_reject: u64,
+    /// Batched-datapath deliveries (receiver wakeups) and the packets
+    /// they carried; ratio = demux batching efficiency.
+    batches: u64,
+    batch_pkts: u64,
     last_t_ns: u64,
     /// Bonded-session paths seen on this connection, by path id.
     paths: BTreeMap<u32, PathAgg>,
@@ -100,6 +104,10 @@ impl ConnAgg {
             EventKind::AuthFail { .. } => self.auth_fail += 1,
             EventKind::AuthReplay { .. } => self.auth_replay += 1,
             EventKind::AuthReject { .. } => self.auth_reject += 1,
+            EventKind::BatchRecv { pkts } => {
+                self.batches += 1;
+                self.batch_pkts += u64::from(pkts);
+            }
             EventKind::PathUp { path } => self.path(path, ev.t_ns).ups += 1,
             EventKind::PathDown { path } => self.path(path, ev.t_ns).downs += 1,
             EventKind::PathSend { path, bytes, .. } => {
@@ -198,6 +206,14 @@ impl Monitor {
                 s.push_str(&format!(
                     "  └ auth: {} bad tags rejected, {} replays dropped, {} peers refused\n",
                     a.auth_fail, a.auth_replay, a.auth_reject,
+                ));
+            }
+            if a.batches > 0 {
+                s.push_str(&format!(
+                    "  └ batch: {} deliveries, {} pkts, {:.1} avg pkts/batch\n",
+                    a.batches,
+                    a.batch_pkts,
+                    a.batch_pkts as f64 / a.batches as f64, // udt-lint: allow(as-cast) — display maths
                 ));
             }
             for (pid, p) in &a.paths {

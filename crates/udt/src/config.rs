@@ -105,6 +105,34 @@ pub struct UdtConfig {
     /// Bad-tag count after which an authenticated connection dumps one
     /// flight recording (reason `auth-storm`) into `flight_dir`.
     pub auth_storm_threshold: u64,
+    /// Batched datapath: maximum datagrams drained from the UDP socket per
+    /// demultiplexer wakeup (one `recvmmsg` on Linux). `1` disables
+    /// receive batching and reproduces the legacy one-`recv_from`-per-
+    /// wakeup behavior — also the semantics of the portable fallback.
+    pub rcv_batch_pkts: u32,
+    /// Batched datapath: maximum data packets the sender coalesces into
+    /// one socket flush (`sendmmsg` on Linux) when the pacing period
+    /// allows. Pacing is preserved in aggregate: a burst of `n` packets
+    /// advances the send timer by `n` periods. `1` disables send
+    /// coalescing (legacy per-packet sends).
+    pub snd_batch_pkts: u32,
+    /// Batched datapath: recycled receive-buffer pool depth, in buffers.
+    /// Exhaustion is never fatal — the pool falls back to counted fresh
+    /// allocations (`pool_misses` in the batch counters).
+    pub buf_pool_pkts: u32,
+    /// `SO_SNDBUF` requested for the shared UDP socket at bind, bytes
+    /// (`0` = leave the OS default). The reference implementation sets
+    /// 64 KB: sends drain synchronously on most paths, so the send side
+    /// needs far less than the receive side.
+    pub udp_sndbuf_bytes: u32,
+    /// `SO_RCVBUF` requested for the shared UDP socket at bind, bytes
+    /// (`0` = leave the OS default). The reference implementation sizes
+    /// this at ~10 MB (receive window × MSS): a burst absorbed by the
+    /// kernel queue is drained as one big `recvmmsg` batch, while an
+    /// OS-default queue (a few hundred KB) overflows under exactly the
+    /// conditions batching is for. Best-effort: the kernel silently caps
+    /// at `net.core.rmem_max`.
+    pub udp_rcvbuf_bytes: u32,
 }
 
 /// Reconnect/backoff policy for resilient sessions: exponential backoff
@@ -182,6 +210,11 @@ impl Default for UdtConfig {
             auth: AuthPolicy::Off,
             auth_key: None,
             auth_storm_threshold: 64,
+            rcv_batch_pkts: 32,
+            snd_batch_pkts: 16,
+            buf_pool_pkts: 256,
+            udp_sndbuf_bytes: 65_536,
+            udp_rcvbuf_bytes: 10_000_000,
         }
     }
 }
@@ -208,6 +241,14 @@ mod tests {
         assert_eq!(c.mss, 1500);
         assert_eq!(c.payload_size(), 1488);
         assert!(matches!(c.cc, CcChoice::Udt(_)));
+        // Batched-datapath knobs: batching on by default, bounded pool.
+        assert_eq!(c.rcv_batch_pkts, 32);
+        assert_eq!(c.snd_batch_pkts, 16);
+        assert_eq!(c.buf_pool_pkts, 256);
+        // UDP socket buffers: reference-implementation parity (64 KB
+        // send, ~10 MB receive).
+        assert_eq!(c.udp_sndbuf_bytes, 65_536);
+        assert_eq!(c.udp_rcvbuf_bytes, 10_000_000);
     }
 
     #[test]

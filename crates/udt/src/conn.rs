@@ -57,7 +57,7 @@ use crate::buffer::{InsertOutcome, RcvBuffer, SndBuffer};
 use crate::config::{CcChoice, UdtConfig};
 use crate::error::{Result, UdtError};
 use crate::instrument::{Category, Instrument};
-use crate::mux::{Mux, MuxMsg};
+use crate::mux::{Mux, MuxBatch};
 use crate::stats::ConnStats;
 use crate::timing::EpochClock;
 
@@ -399,7 +399,7 @@ impl UdtConnection {
         peer_addr: SocketAddr,
         snd_init: SeqNo,
         rcv_init: SeqNo,
-        rx: Receiver<MuxMsg>,
+        rx: Receiver<MuxBatch>,
         meta: SessionMeta,
         auth: Option<Arc<crate::auth::AuthCtx>>,
     ) -> Result<UdtConnection> {
@@ -436,6 +436,7 @@ impl UdtConnection {
                 last_ack_time: Nanos::ZERO,
                 last_ack_acked: rcv_init,
                 eof: false,
+                // udt-lint: allow(hot-alloc) — one-time connection setup
                 loss_events: Vec::new(),
             }),
             rcv_cv: Condvar::new(),
@@ -452,6 +453,7 @@ impl UdtConnection {
             peer_addr,
             mux,
         });
+        // udt-lint: allow(hot-alloc) — one-time connection setup
         let mut threads = Vec::new();
         let bail = |sh: &Arc<Shared>, e: std::io::Error| {
             // The already-spawned thread (if any) exits promptly on the
@@ -723,6 +725,26 @@ fn pick_packet(s: &mut SndCtl) -> Option<(SeqNo, Bytes, bool)> {
     Some((seq, payload, false))
 }
 
+/// Pick up to `n_target` packets under one `snd` lock, preserving the
+/// §3.4 probe-pair invariant: if the last picked packet starts a probe
+/// pair (`seq % PROBE_INTERVAL == 0`), its partner is appended so the
+/// pair still leaves the host back-to-back inside one flush.
+fn pick_burst(s: &mut SndCtl, n_target: usize, out: &mut Vec<(SeqNo, Bytes, bool)>) {
+    while out.len() < n_target {
+        match pick_packet(s) {
+            Some(p) => out.push(p),
+            None => return,
+        }
+    }
+    if let Some(&(seq, _, _)) = out.last() {
+        if seq.raw() % PROBE_INTERVAL == 0 {
+            if let Some(p) = pick_packet(s) {
+                out.push(p);
+            }
+        }
+    }
+}
+
 fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
     let now = sh.clock.now();
     // udt-lint: allow(as-cast) — payload bounded by the MSS
@@ -762,12 +784,86 @@ fn transmit(sh: &Shared, seq: SeqNo, payload: Bytes, retx: bool) {
     });
 }
 
+/// Transmit a picked burst as one socket flush (`sendmmsg` when the mux
+/// has it). A single-packet burst takes the legacy [`transmit`] path, so
+/// `snd_batch_pkts = 1` reproduces per-packet sends exactly. The §4.4
+/// send-cost EWMA absorbs the *per-packet* share of the flush cost, which
+/// is precisely what batching improves.
+fn transmit_burst(sh: &Shared, picked: &mut Vec<(SeqNo, Bytes, bool)>) {
+    let n = picked.len();
+    if n <= 1 {
+        if let Some((seq, payload, retx)) = picked.pop() {
+            transmit(sh, seq, payload, retx);
+        }
+        return;
+    }
+    let now = sh.clock.now();
+    {
+        let mut s = sh.snd.lock();
+        for &(seq, _, _) in picked.iter() {
+            // udt-lint: allow(seq-cmp) — compares wrap-safe offsets, not raw seqnos
+            if s.snd_una.offset_to(seq) > s.snd_una.offset_to(s.curr_seq) {
+                s.curr_seq = seq;
+            }
+        }
+    }
+    // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
+    let timestamp_us = (now.as_micros() & 0xFFFF_FFFF) as u32;
+    // Per-burst scratch, amortized over every packet in the flush.
+    let mut metas: Vec<(u32, u32, bool)> = Vec::with_capacity(picked.len());
+    let mut pkts: Vec<Packet> = Vec::with_capacity(picked.len());
+    for (seq, payload, retx) in picked.drain(..) {
+        // udt-lint: allow(as-cast) — payload bounded by the MSS
+        metas.push((seq.raw(), payload.len() as u32, retx));
+        pkts.push(Packet::Data(DataPacket {
+            seq,
+            timestamp_us,
+            conn_id: sh.peer_id,
+            payload,
+        }));
+    }
+    if let Ok(cost) = sh
+        .mux
+        .send_batch(&pkts, sh.peer_addr, &sh.instr, sh.auth.as_deref())
+    {
+        // §4.4: feed the measured per-packet send cost back as the
+        // period floor.
+        let per_pkt = cost / n as u64;
+        let old = sh.send_cost_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            per_pkt
+        } else {
+            (old * 7 + per_pkt) / 8
+        };
+        sh.send_cost_ns.store(new, Ordering::Relaxed);
+    }
+    for (seq, bytes, retx) in metas {
+        if retx {
+            ConnStats::inc(&sh.stats.pkts_retransmitted, 1);
+        } else {
+            ConnStats::inc(&sh.stats.pkts_sent, 1);
+        }
+        sh.trace(EventKind::DataSend { seq, bytes, retx });
+    }
+}
+
 /// The sender thread: pace data packets by the rate controller's period,
 /// loss list first, bounded by the flow window.
+///
+/// Batched datapath: when the inter-packet period is shorter than the
+/// timer's spin window, several packets are due within one wakeup's
+/// precision anyway — those are picked together (bounded by
+/// `snd_batch_pkts`) and flushed as one burst, then the pacing timer
+/// advances by `n` periods. Aggregate rate is identical to per-packet
+/// pacing; burst granularity never exceeds what the spin window already
+/// allowed.
 #[allow(clippy::needless_pass_by_value)] // thread entry point: owns its Arc for the thread lifetime
 pub(crate) fn sender_loop(sh: Arc<Shared>) {
     let spin = sh.cfg.timer_spin;
+    let burst_cap = sh.cfg.snd_batch_pkts.max(1) as usize;
+    let spin_us = spin.as_secs_f64() * 1e6;
     let mut next_time = Instant::now();
+    let mut picked: Vec<(SeqNo, Bytes, bool)> = Vec::with_capacity(burst_cap + 1);
     loop {
         match sh.state() {
             State::Closed | State::Broken => return,
@@ -779,7 +875,8 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
             let (_overshoot, spun) = crate::timing::precise_sleep_until_timed(next_time, spin);
             sh.instr.add(Category::Timing, spun.as_nanos() as u64);
         }
-        let picked = {
+        picked.clear();
+        let period_us = {
             let mut s = sh.snd.lock();
             if s.cc.take_freeze() {
                 // §3.3: skip one SYN after a decrease to drain the queue.
@@ -790,38 +887,33 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
                 next_time = Instant::now() + SYN.into();
                 continue;
             }
-            match pick_packet(&mut s) {
-                Some(p) => p,
-                None => {
-                    if sh.state() == State::Closing && s.buffer.is_empty() {
-                        // Flushed: nothing left to do; close() finishes up.
-                        sh.snd_cv.notify_all();
-                    }
-                    // Wait for data / window space / ACK progress.
-                    sh.snd_cv.wait_for(&mut s, Duration::from_millis(10));
-                    next_time = Instant::now();
-                    continue;
-                }
-            }
-        };
-        let (seq, payload, retx) = picked;
-        transmit(&sh, seq, payload, retx);
-        if seq.raw() % PROBE_INTERVAL == 0 {
-            // §3.4: send the probe pair's second packet back-to-back.
-            let follow = {
-                let mut s = sh.snd.lock();
-                pick_packet(&mut s)
+            let period_us = s.cc.pkt_snd_period_us();
+            let n_target = if burst_cap == 1 {
+                1
+            } else {
+                // Packets due within one spin window of pacing budget.
+                // udt-lint: allow(as-cast) — clamped to burst_cap below
+                ((spin_us / period_us.max(1.0)) as usize).clamp(1, burst_cap)
             };
-            if let Some((seq2, payload2, retx2)) = follow {
-                transmit(&sh, seq2, payload2, retx2);
+            pick_burst(&mut s, n_target, &mut picked);
+            if picked.is_empty() {
+                if sh.state() == State::Closing && s.buffer.is_empty() {
+                    // Flushed: nothing left to do; close() finishes up.
+                    sh.snd_cv.notify_all();
+                }
+                // Wait for data / window space / ACK progress.
+                sh.snd_cv.wait_for(&mut s, Duration::from_millis(10));
+                next_time = Instant::now();
+                continue;
             }
-        }
-        let period_us = {
-            let s = sh.snd.lock();
-            s.cc.pkt_snd_period_us()
+            period_us
         };
-        // Drift-free pacing with a no-catch-up floor.
-        next_time += Duration::from_secs_f64(period_us / 1e6);
+        let n = picked.len();
+        transmit_burst(&sh, &mut picked);
+        // Drift-free pacing with a no-catch-up floor: a burst of n
+        // packets spends n periods of budget.
+        // udt-lint: allow(as-cast) — n ≤ burst_cap + 1, far below 2^52
+        next_time += Duration::from_secs_f64(period_us * n as f64 / 1e6);
         let now_i = Instant::now();
         if next_time < now_i {
             next_time = now_i;
@@ -831,10 +923,20 @@ pub(crate) fn sender_loop(sh: Arc<Shared>) {
 
 /// The receiver thread: bounded receive, then the ACK / NAK / EXP timer
 /// checks (§4.8).
+///
+/// Batched datapath: the demux hands over a whole [`MuxBatch`] per
+/// channel receive. Every packet is processed with the same per-packet
+/// semantics as before; control *replies* the processing generates
+/// (gap NAKs, ACK2s) are coalesced into `ctrl_out` and flushed as one
+/// burst after the batch. Timer-driven sends (periodic ACK, NAK resend,
+/// keep-alive, Shutdown) keep their direct paths.
 #[allow(clippy::needless_pass_by_value)] // thread entry point: owns its Arc and channel
-pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxMsg>) {
+pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxBatch>) {
     let mut next_ack = sh.clock.now().plus(SYN);
     let mut next_nak = sh.clock.now().plus(SYN);
+    // Control replies generated while processing one batch.
+    // udt-lint: allow(hot-alloc) — one-time thread setup, reused per batch
+    let mut ctrl_out: Vec<ControlBody> = Vec::new();
     loop {
         match sh.state() {
             State::Closed | State::Broken => return,
@@ -844,10 +946,17 @@ pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxMsg>) {
         // waits are idle, not CPU (the Table 3 profile is CPU time).
         let t_recv = Instant::now();
         match rx.recv_timeout(Duration::from_micros(500)) {
-            Ok((pkt, _from)) => {
+            Ok(batch) => {
                 sh.instr
                     .add(Category::UdpRecv, t_recv.elapsed().as_nanos() as u64);
-                process_packet(&sh, pkt);
+                // udt-lint: allow(as-cast) — batch length bounded by rcv_batch_pkts
+                sh.trace(EventKind::BatchRecv {
+                    pkts: batch.len() as u32,
+                });
+                for (pkt, _from) in batch {
+                    process_packet(&sh, pkt, &mut ctrl_out);
+                }
+                flush_ctrl(&sh, &mut ctrl_out);
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => return,
@@ -865,7 +974,39 @@ pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxMsg>) {
     }
 }
 
-fn process_packet(sh: &Shared, pkt: Packet) {
+/// Flush the control replies coalesced over one receive batch. One reply
+/// takes the legacy single-packet path (identical bytes on the wire);
+/// several go out as a single `sendmmsg` flush.
+fn flush_ctrl(sh: &Shared, out: &mut Vec<ControlBody>) {
+    match out.len() {
+        0 => {}
+        1 => {
+            if let Some(body) = out.pop() {
+                sh.send_ctrl(body, sh.clock.now());
+            }
+        }
+        _ => {
+            let now = sh.clock.now();
+            // udt-lint: allow(as-cast) — the wire timestamp field is 32-bit
+            let timestamp_us = (now.as_micros() & 0xFFFF_FFFF) as u32;
+            let pkts: Vec<Packet> = out
+                .drain(..)
+                .map(|body| {
+                    Packet::Control(ControlPacket {
+                        timestamp_us,
+                        conn_id: sh.peer_id,
+                        body,
+                    })
+                })
+                .collect();
+            let _ = sh
+                .mux
+                .send_batch(&pkts, sh.peer_addr, &sh.instr, sh.auth.as_deref());
+        }
+    }
+}
+
+fn process_packet(sh: &Shared, pkt: Packet, out: &mut Vec<ControlBody>) {
     let now = sh.clock.now();
     // Any sign of life from the peer resets the EXP escalation.
     {
@@ -874,11 +1015,11 @@ fn process_packet(sh: &Shared, pkt: Packet) {
         s.last_rsp = now;
     }
     match pkt {
-        Packet::Data(d) => handle_data(sh, d, now),
+        Packet::Data(d) => handle_data(sh, d, now, out),
         Packet::Control(c) => {
             let _t = sh.instr.scope(Category::Control);
             match c.body {
-                ControlBody::Ack { ack_seq, data } => handle_ack(sh, ack_seq, data, now),
+                ControlBody::Ack { ack_seq, data } => handle_ack(sh, ack_seq, data, now, out),
                 ControlBody::Nak(ranges) => handle_nak(sh, &ranges, now),
                 ControlBody::Ack2 { ack_seq } => {
                     sh.trace(EventKind::Ack2Recv { ack_no: ack_seq });
@@ -908,7 +1049,7 @@ fn process_packet(sh: &Shared, pkt: Packet) {
     }
 }
 
-fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
+fn handle_data(sh: &Shared, d: DataPacket, now: Nanos, out: &mut Vec<ControlBody>) {
     let mut r = sh.rcv.lock();
     {
         let _m = sh.instr.scope(Category::Measurement);
@@ -958,7 +1099,8 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
                     first_hi: to.raw(),
                     ranges: 1,
                 });
-                sh.send_ctrl(ControlBody::Nak(vec![SeqRange::new(from, to)]), now);
+                // udt-lint: allow(hot-alloc) — single-range NAK, loss path only
+                out.push(ControlBody::Nak(vec![SeqRange::new(from, to)]));
             }
         }
         r.lrsn = d.seq;
@@ -994,7 +1136,7 @@ fn handle_data(sh: &Shared, d: DataPacket, now: Nanos) {
     sh.rcv_cv.notify_all();
 }
 
-fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
+fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos, out: &mut Vec<ControlBody>) {
     ConnStats::inc(&sh.stats.acks_received, 1);
     sh.trace(EventKind::AckRecv {
         ack_no: ack_seq,
@@ -1063,7 +1205,7 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos) {
     sh.snd_cv.notify_all();
     if !data.is_light() {
         sh.trace(EventKind::Ack2Send { ack_no: ack_seq });
-        sh.send_ctrl(ControlBody::Ack2 { ack_seq }, now);
+        out.push(ControlBody::Ack2 { ack_seq });
     }
 }
 

@@ -57,11 +57,14 @@ pub mod bonded;
 pub mod buffer;
 pub mod config;
 pub mod conn;
+pub mod datapath;
 pub mod error;
 pub mod file;
 pub mod instrument;
+pub(crate) mod mmsg;
 pub(crate) mod mux;
 pub mod perfmon;
+pub(crate) mod pool;
 pub mod resilience;
 pub mod socket;
 pub mod stats;

@@ -172,7 +172,7 @@ impl UdtConnection {
             // udt-lint: allow(unwrap)
             "[::]:0".parse().expect("addr")
         };
-        let mux = Mux::bind(bind_addr)?;
+        let mux = Mux::bind(bind_addr, &cfg)?;
         let local_id = gen_socket_id();
         let rx = mux.register(local_id, CONN_QUEUE_DEPTH);
         let init_seq = cfg
@@ -259,162 +259,163 @@ impl UdtConnection {
                 if now >= wait_until {
                     break;
                 }
-                match rx.recv_timeout(wait_until - now) {
-                    Ok((Packet::Control(c), from)) => {
-                        let ControlBody::Handshake(h) = c.body else {
-                            continue;
-                        };
-                        match h.req_type {
-                            HandshakeReqType::Challenge => {
-                                // Stateless listener wants proof of
-                                // reachability: echo its cookie in a fresh
-                                // request right away — but only adopt a
-                                // cookie this endpoint's auth policy lets
-                                // it trust.
-                                if let Some(e) = h.ext {
-                                    match (e.auth, &hs_key) {
-                                        (Some(af), Some(hk)) => {
-                                            // Both sides keyed: the tag must
-                                            // verify and the nonce must be
-                                            // ours, else the challenge is
-                                            // forged or cross-keyed.
-                                            let tag =
-                                                handshake_tag(hk, &h, af.flags, af.nonce);
-                                            if !(ct_eq64(tag, af.tag)
-                                                && af.nonce == auth_nonce)
-                                            {
-                                                reject = Some(
-                                                    "server authentication failed (key mismatch?)",
-                                                );
-                                                continue;
-                                            }
-                                            // Re-key the session context with
-                                            // the real cookie before echoing
-                                            // it (the listener derives from
-                                            // the cookie it gets back).
-                                            if let Some(c) = client_auth_ctx(
-                                                &cfg, auth_nonce, e.cookie, local_id,
-                                            ) {
-                                                mux.set_auth(local_id, Arc::clone(&c));
-                                                auth_ctx = Some(c);
-                                            }
-                                        }
-                                        (Some(af), None) => {
-                                            // Keyless side of a keyed server.
-                                            if af.flags & AUTH_REQUIRE != 0 {
-                                                reject =
-                                                    Some("server requires authentication");
-                                                continue;
-                                            }
-                                        }
-                                        (None, _) => {
-                                            if cfg.auth == AuthPolicy::Require {
-                                                reject = Some(
-                                                    "peer did not authenticate (auth required)",
-                                                );
-                                                continue;
-                                            }
-                                        }
-                                    }
-                                    cookie = e.cookie;
-                                    cfg.tracer.emit(
-                                        local_id,
-                                        EventKind::Handshake {
-                                            phase: HsPhase::Challenge,
-                                            peer: 0,
-                                        },
-                                    );
-                                    continue 'solicit;
-                                }
-                            }
-                            HandshakeReqType::Response => {
-                                // A response must be structurally plausible
-                                // before it may establish state: right
-                                // protocol version, a non-zero peer id (0
-                                // addresses listeners), and an MSS a sane
-                                // peer could have proposed. Anything else is
-                                // remembered as a rejection and the retry
-                                // loop re-solicits.
-                                if h.version != UDT_VERSION {
-                                    reject = Some("peer speaks a different protocol version");
-                                    continue;
-                                }
-                                if h.socket_id == 0 {
-                                    reject = Some("peer answered with a zero socket id");
-                                    continue;
-                                }
-                                if h.mss < crate::config::MIN_MSS {
-                                    reject = Some("peer proposed an unusable MSS");
-                                    continue;
-                                }
-                                match (h.ext.and_then(|e| e.auth), &hs_key) {
+                let batch = match rx.recv_timeout(wait_until - now) {
+                    Ok(batch) => batch,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => return Err(UdtError::NotConnected),
+                };
+                for (pkt, from) in batch {
+                    let Packet::Control(c) = pkt else { continue };
+                    let ControlBody::Handshake(h) = c.body else {
+                        continue;
+                    };
+                    match h.req_type {
+                        HandshakeReqType::Challenge => {
+                            // Stateless listener wants proof of
+                            // reachability: echo its cookie in a fresh
+                            // request right away — but only adopt a
+                            // cookie this endpoint's auth policy lets
+                            // it trust.
+                            if let Some(e) = h.ext {
+                                match (e.auth, &hs_key) {
                                     (Some(af), Some(hk)) => {
-                                        // Authenticated response: the tag
-                                        // covers every negotiated field and
-                                        // the nonce pins it to this attempt.
-                                        let tag = handshake_tag(hk, &h, af.flags, af.nonce);
-                                        if !(ct_eq64(tag, af.tag) && af.nonce == auth_nonce) {
+                                        // Both sides keyed: the tag must
+                                        // verify and the nonce must be
+                                        // ours, else the challenge is
+                                        // forged or cross-keyed.
+                                        let tag =
+                                            handshake_tag(hk, &h, af.flags, af.nonce);
+                                        if !(ct_eq64(tag, af.tag)
+                                            && af.nonce == auth_nonce)
+                                        {
                                             reject = Some(
                                                 "server authentication failed (key mismatch?)",
                                             );
                                             continue;
                                         }
-                                        // Keep the installed context: the
-                                        // session is authenticated.
+                                        // Re-key the session context with
+                                        // the real cookie before echoing
+                                        // it (the listener derives from
+                                        // the cookie it gets back).
+                                        if let Some(c) = client_auth_ctx(
+                                            &cfg, auth_nonce, e.cookie, local_id,
+                                        ) {
+                                            mux.set_auth(local_id, Arc::clone(&c));
+                                            auth_ctx = Some(c);
+                                        }
                                     }
-                                    (None, Some(_)) => {
+                                    (Some(af), None) => {
+                                        // Keyless side of a keyed server.
+                                        if af.flags & AUTH_REQUIRE != 0 {
+                                            reject =
+                                                Some("server requires authentication");
+                                            continue;
+                                        }
+                                    }
+                                    (None, _) => {
                                         if cfg.auth == AuthPolicy::Require {
                                             reject = Some(
                                                 "peer did not authenticate (auth required)",
                                             );
                                             continue;
                                         }
-                                        // Prefer: the peer cannot or will
-                                        // not authenticate — downgrade to a
-                                        // plaintext session.
-                                        mux.clear_auth(local_id);
-                                        auth_ctx = None;
                                     }
-                                    // Keyless this side: any auth field the
-                                    // server sent is unverifiable noise (a
-                                    // Require server would not have answered
-                                    // a keyless request); ignore it.
-                                    (_, None) => {}
                                 }
+                                cookie = e.cookie;
                                 cfg.tracer.emit(
                                     local_id,
                                     EventKind::Handshake {
-                                        phase: HsPhase::Accepted,
-                                        peer: h.socket_id,
+                                        phase: HsPhase::Challenge,
+                                        peer: 0,
                                     },
                                 );
-                                let negotiated = UdtConfig {
-                                    mss: cfg.mss.min(h.mss),
-                                    ..cfg
-                                };
-                                let meta = SessionMeta {
-                                    token,
-                                    peer_resume: h.ext.map_or(0, |e| e.resume_offset),
-                                };
-                                return UdtConnection::establish(
-                                    mux,
-                                    negotiated,
-                                    local_id,
-                                    h.socket_id,
-                                    from,
-                                    init_seq,
-                                    h.init_seq,
-                                    rx,
-                                    meta,
-                                    auth_ctx,
-                                );
+                                continue 'solicit;
                             }
-                            HandshakeReqType::Request => {}
                         }
+                        HandshakeReqType::Response => {
+                            // A response must be structurally plausible
+                            // before it may establish state: right
+                            // protocol version, a non-zero peer id (0
+                            // addresses listeners), and an MSS a sane
+                            // peer could have proposed. Anything else is
+                            // remembered as a rejection and the retry
+                            // loop re-solicits.
+                            if h.version != UDT_VERSION {
+                                reject = Some("peer speaks a different protocol version");
+                                continue;
+                            }
+                            if h.socket_id == 0 {
+                                reject = Some("peer answered with a zero socket id");
+                                continue;
+                            }
+                            if h.mss < crate::config::MIN_MSS {
+                                reject = Some("peer proposed an unusable MSS");
+                                continue;
+                            }
+                            match (h.ext.and_then(|e| e.auth), &hs_key) {
+                                (Some(af), Some(hk)) => {
+                                    // Authenticated response: the tag
+                                    // covers every negotiated field and
+                                    // the nonce pins it to this attempt.
+                                    let tag = handshake_tag(hk, &h, af.flags, af.nonce);
+                                    if !(ct_eq64(tag, af.tag) && af.nonce == auth_nonce) {
+                                        reject = Some(
+                                            "server authentication failed (key mismatch?)",
+                                        );
+                                        continue;
+                                    }
+                                    // Keep the installed context: the
+                                    // session is authenticated.
+                                }
+                                (None, Some(_)) => {
+                                    if cfg.auth == AuthPolicy::Require {
+                                        reject = Some(
+                                            "peer did not authenticate (auth required)",
+                                        );
+                                        continue;
+                                    }
+                                    // Prefer: the peer cannot or will
+                                    // not authenticate — downgrade to a
+                                    // plaintext session.
+                                    mux.clear_auth(local_id);
+                                    auth_ctx = None;
+                                }
+                                // Keyless this side: any auth field the
+                                // server sent is unverifiable noise (a
+                                // Require server would not have answered
+                                // a keyless request); ignore it.
+                                (_, None) => {}
+                            }
+                            cfg.tracer.emit(
+                                local_id,
+                                EventKind::Handshake {
+                                    phase: HsPhase::Accepted,
+                                    peer: h.socket_id,
+                                },
+                            );
+                            let negotiated = UdtConfig {
+                                mss: cfg.mss.min(h.mss),
+                                ..cfg
+                            };
+                            let meta = SessionMeta {
+                                token,
+                                peer_resume: h.ext.map_or(0, |e| e.resume_offset),
+                            };
+                            return UdtConnection::establish(
+                                mux,
+                                negotiated,
+                                local_id,
+                                h.socket_id,
+                                from,
+                                init_seq,
+                                h.init_seq,
+                                rx,
+                                meta,
+                                auth_ctx,
+                            );
+                        }
+                        HandshakeReqType::Request => {}
                     }
-                    Ok(_) => {}
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => return Err(UdtError::NotConnected),
                 }
             }
             if Instant::now() >= deadline {
@@ -479,7 +480,7 @@ impl UdtListener {
         sessions: Arc<SessionTable>,
     ) -> Result<UdtListener> {
         check_auth_cfg(&cfg)?;
-        let mux = Mux::bind(addr)?;
+        let mux = Mux::bind(addr, &cfg)?;
         mux.set_tracer(&cfg.tracer);
         let hs_queue = mux.set_listener();
         let (tx, rx) = crossbeam::channel::bounded(cfg.accept_backlog.max(1));

@@ -101,6 +101,37 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.as_slice().to_vec()
     }
+
+    /// Try to recover the unique underlying allocation as a [`BytesMut`]
+    /// without copying (mirrors `bytes` 1.4's `try_into_mut`). Succeeds
+    /// only when this handle is the sole owner: no clone or slice of the
+    /// allocation is alive anywhere else. The recovered buffer keeps the
+    /// allocation's full capacity — this is what lets a receive-buffer
+    /// pool recycle datagram buffers once the protocol has consumed them.
+    pub fn try_into_mut(self) -> Result<BytesMut, Bytes> {
+        match self.repr {
+            Repr::Shared(arc) => match Arc::try_unwrap(arc) {
+                Ok(mut v) => {
+                    // Reduce the full backing store to this handle's view.
+                    v.truncate(self.off + self.len);
+                    if self.off > 0 {
+                        v.drain(..self.off);
+                    }
+                    Ok(BytesMut { inner: v })
+                }
+                Err(arc) => Err(Bytes {
+                    repr: Repr::Shared(arc),
+                    off: self.off,
+                    len: self.len,
+                }),
+            },
+            repr @ Repr::Static(_) => Err(Bytes {
+                repr,
+                off: self.off,
+                len: self.len,
+            }),
+        }
+    }
 }
 
 impl Default for Bytes {
@@ -273,6 +304,24 @@ impl BytesMut {
     /// Convert into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.inner)
+    }
+
+    /// Set the length directly (mirrors `bytes` 1.x `set_len`).
+    ///
+    /// # Safety
+    ///
+    /// `len` must be at most [`capacity`](BytesMut::capacity), and the
+    /// first `len` bytes of the allocation must have been initialised —
+    /// e.g. written in place by a syscall such as `recvmmsg` that filled
+    /// the spare capacity behind the buffer pointer.
+    pub unsafe fn set_len(&mut self, len: usize) {
+        debug_assert!(len <= self.inner.capacity());
+        self.inner.set_len(len);
+    }
+
+    /// Grow (zero-filling) or shrink to exactly `len` bytes.
+    pub fn resize(&mut self, len: usize, value: u8) {
+        self.inner.resize(len, value);
     }
 }
 
@@ -484,5 +533,53 @@ mod tests {
     #[should_panic(expected = "slice out of bounds")]
     fn out_of_bounds_slice_panics() {
         Bytes::from_static(b"ab").slice(0..3);
+    }
+
+    #[test]
+    fn try_into_mut_recovers_unique_allocation_with_capacity() {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"hello");
+        let ptr = v.as_ptr();
+        let b = Bytes::from(v);
+        let m = b.try_into_mut().expect("sole owner");
+        assert_eq!(&m[..], b"hello");
+        assert!(m.capacity() >= 64, "capacity must survive the round trip");
+        assert_eq!(m.as_ptr(), ptr, "no copy");
+    }
+
+    #[test]
+    fn try_into_mut_fails_while_a_clone_is_alive() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        let clone = b.clone();
+        let back = b.try_into_mut().expect_err("clone keeps it shared");
+        assert_eq!(&back[..], &[1, 2, 3], "handle survives the failed try");
+        drop(clone);
+        assert!(back.try_into_mut().is_ok(), "unique again after drop");
+    }
+
+    #[test]
+    fn try_into_mut_respects_the_sliced_view() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]).slice(1..4);
+        let m = b.try_into_mut().expect("sole owner");
+        assert_eq!(&m[..], &[2, 3, 4]);
+    }
+
+    #[test]
+    fn try_into_mut_rejects_static_backing() {
+        assert!(Bytes::from_static(b"ab").try_into_mut().is_err());
+    }
+
+    #[test]
+    fn set_len_exposes_bytes_written_in_place() {
+        let mut m = BytesMut::with_capacity(16);
+        // Simulate a syscall writing behind the pointer.
+        let dst = m.as_mut_ptr();
+        unsafe {
+            std::ptr::copy_nonoverlapping(b"abc".as_ptr(), dst, 3);
+            m.set_len(3);
+        }
+        assert_eq!(&m[..], b"abc");
+        m.resize(5, 0);
+        assert_eq!(&m[..], b"abc\0\0");
     }
 }
