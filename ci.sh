@@ -1,8 +1,60 @@
 #!/usr/bin/env bash
 # CI gate: build, full test suite, lints, static analysis, model check.
 # Run from the repo root.
+#
+#   ./ci.sh            — the full deterministic gate below
+#   ./ci.sh --sanitize — sanitizer battery over the threaded datapath /
+#                        pool / chaos test subset: AddressSanitizer,
+#                        ThreadSanitizer (instrumented std), and Miri on
+#                        the pool/buffer/seqno units. Each leg prints a
+#                        visible SKIP when its toolchain prerequisite
+#                        (nightly, rust-src, miri) is missing.
 set -euo pipefail
 cd "$(dirname "$0")"
+
+if [[ "${1:-}" == "--sanitize" ]]; then
+  if ! rustup run nightly rustc --version >/dev/null 2>&1; then
+    echo "sanitize: SKIP all (nightly toolchain not installed)"
+    exit 0
+  fi
+  host="$(rustc -vV | sed -n 's/^host: //p')"
+
+  # ASan works against the precompiled std (it changes no ABI): the
+  # whole threaded subset runs instrumented.
+  echo "sanitize: AddressSanitizer (udt pool/mmsg/mux + udt-chaos)"
+  RUSTFLAGS="-Zsanitizer=address" CARGO_TARGET_DIR=target/san-asan \
+    cargo +nightly test -q -p udt --lib -- pool:: mmsg:: mux::
+  RUSTFLAGS="-Zsanitizer=address" CARGO_TARGET_DIR=target/san-asan \
+    cargo +nightly test -q -p udt-chaos --lib
+
+  # TSan needs every crate (std included) instrumented, or it reports
+  # false races inside uninstrumented sync primitives — hence -Zbuild-std,
+  # which requires the rust-src component.
+  if rustup component list --toolchain nightly --installed 2>/dev/null | grep -q rust-src; then
+    echo "sanitize: ThreadSanitizer (udt pool/mmsg/mux + udt-chaos, -Zbuild-std)"
+    RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/san-tsan \
+      cargo +nightly test -q -Zbuild-std --target "$host" -p udt --lib -- pool:: mmsg:: mux::
+    RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/san-tsan \
+      cargo +nightly test -q -Zbuild-std --target "$host" -p udt-chaos --lib
+  else
+    echo "sanitize: SKIP ThreadSanitizer (rust-src not installed; TSan needs an instrumented std)"
+  fi
+
+  # Miri: aliasing/UB check on the allocation-free pool and the wrap
+  # arithmetic. The mmsg FFI is cfg(not(miri))-gated, so the udt crate
+  # builds clean under the interpreter.
+  if cargo +nightly miri --version >/dev/null 2>&1; then
+    echo "sanitize: Miri (udt::pool, udt::buffer, udt-proto::seqno)"
+    CARGO_TARGET_DIR=target/san-miri \
+      cargo +nightly miri test -p udt --lib -- pool:: buffer::
+    CARGO_TARGET_DIR=target/san-miri \
+      cargo +nightly miri test -p udt-proto --lib -- seqno::
+  else
+    echo "sanitize: SKIP Miri (miri component not installed for nightly)"
+  fi
+  echo "sanitize: done"
+  exit 0
+fi
 
 cargo build --release
 cargo test -q

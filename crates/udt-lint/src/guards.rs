@@ -1,0 +1,566 @@
+//! `guard-liveness`: deadlock-shaped guard lifetimes, statically.
+//!
+//! PR 8 shipped a real debug-build deadlock: `if let Some(buf) =
+//! self.free.lock().pop()` keeps the `parking_lot` guard alive for the
+//! whole `if let` body (Rust 2021 scrutinee temporary extension), and a
+//! sampled invariant hook inside the body re-locked `free`. Only a
+//! runtime check caught it. This rule makes the whole *class* of bug a
+//! static deny:
+//!
+//! 1. **Re-acquisition**: a guard live on mutex path `X` while `X` is
+//!    acquired again — named guards, statement temporaries, and the
+//!    scrutinee-temporary forms (`if let` / `while let` / `match` on an
+//!    expression chaining through `.lock()`).
+//! 2. **Blocking channel ops**: a guard held across `.send()` /
+//!    `.recv()` / `.recv_timeout()` / `.send_timeout()` on a
+//!    channel-named receiver (`tx` / `rx` / `*_tx` / `*_rx` / `q` /
+//!    `queue` / `sender` / `receiver`): a full bounded channel turns the
+//!    held lock into a system-wide stall.
+//! 3. **One-level inter-procedural**: a guard on `X` held across a call
+//!    into a function whose (per-crate, transitively propagated)
+//!    lock-acquisition summary includes `X`.
+//!
+//! Mutex paths are name-level: the last identifier before `.lock()` /
+//! `.read()` / `.write()` (`self.free.lock()` and `pool.free.lock()`
+//! both key as `free`). That matches how this workspace names its locks
+//! and is exactly the resolution the escape hatch is for.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::lexer::{Kind, LexedFile, Token};
+use crate::rules::Finding;
+use crate::scope::{self, StmtCtx};
+
+/// Per-crate summary: function name → mutex keys it may acquire
+/// (directly, or through calls — propagated to a fixpoint so a helper
+/// that only *calls* a locking helper still carries the locks).
+#[derive(Debug, Default)]
+pub struct LockSummary {
+    map: HashMap<String, HashSet<String>>,
+}
+
+impl LockSummary {
+    pub fn locks_of(&self, func: &str) -> Option<&HashSet<String>> {
+        self.map.get(func)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Does the token at `k` name a guard acquisition method? Matches
+/// `<chain>.lock()`, `<chain>.read()`, `<chain>.write()` with *empty*
+/// argument lists (`io::Read::read(&mut buf)` and friends take
+/// arguments, so they never match).
+fn acquisition_key(tokens: &[Token], k: usize) -> Option<String> {
+    let t = tokens.get(k)?;
+    if t.kind != Kind::Ident || !matches!(t.text.as_str(), "lock" | "read" | "write") {
+        return None;
+    }
+    if !(punct(tokens, k.checked_sub(1)?, ".") && punct(tokens, k + 1, "(") && punct(tokens, k + 2, ")"))
+    {
+        return None;
+    }
+    // The mutex path: last ident of the chain before the `.`.
+    let chain = scope::chain_idents(tokens, k - 1);
+    let key = chain.last()?;
+    // `stdin().lock()` / `stdout().lock()` are io handle locks, not
+    // mutexes: re-entrant per thread and single-owner in practice.
+    if matches!(key.as_str(), "stdin" | "stdout" | "stderr") {
+        return None;
+    }
+    Some(key.clone())
+}
+
+fn punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == p)
+}
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// Identifier naming conventions for channel endpoints.
+fn is_channelish(name: &str) -> bool {
+    matches!(name, "tx" | "rx" | "q" | "queue" | "chan" | "sender" | "receiver")
+        || name.ends_with("_tx")
+        || name.ends_with("_rx")
+        || name.ends_with("_queue")
+}
+
+/// Keywords & prelude names that look like calls but are not functions
+/// this rule should resolve through the summary.
+fn is_call_noise(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "Some"
+            | "None"
+            | "Ok"
+            | "Err"
+            | "Box"
+            | "Arc"
+            | "Rc"
+            | "Vec"
+            | "drop"
+            | "lock"
+            | "read"
+            | "write"
+            | "try_lock"
+    )
+}
+
+/// Build the per-crate function→locks summary from every lexed file of
+/// the crate, then propagate callee sets into callers until stable (the
+/// PR-8 chain was two hops: `get` → `debug_check_sampled` →
+/// `check_invariants` → locks `free`).
+pub fn lock_summary(files: &[&LexedFile]) -> LockSummary {
+    let mut direct: HashMap<String, HashSet<String>> = HashMap::new();
+    let mut calls: HashMap<String, HashSet<String>> = HashMap::new();
+    for lexed in files {
+        let tokens = &lexed.tokens;
+        for f in scope::functions(tokens) {
+            let Some((open, close)) = f.body else { continue };
+            let d = direct.entry(f.name.clone()).or_default();
+            let c = calls.entry(f.name.clone()).or_default();
+            let mut k = open + 1;
+            while k < close {
+                if let Some(key) = acquisition_key(tokens, k) {
+                    d.insert(key);
+                    k += 3;
+                    continue;
+                }
+                // A call: `name(` or `.name(` — record for propagation.
+                if let Some(name) = ident(tokens, k) {
+                    if punct(tokens, k + 1, "(") && !is_call_noise(name) && ident(tokens, k.wrapping_sub(1)) != Some("fn") {
+                        c.insert(name.to_string());
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    // Fixpoint propagation, bounded (call graphs here are tiny).
+    for _ in 0..16 {
+        let mut changed = false;
+        let snapshot: HashMap<String, HashSet<String>> = direct.clone();
+        for (f, callees) in &calls {
+            let mut add: HashSet<String> = HashSet::new();
+            for callee in callees {
+                if callee == f {
+                    continue;
+                }
+                if let Some(locks) = snapshot.get(callee) {
+                    add.extend(locks.iter().cloned());
+                }
+            }
+            let entry = direct.entry(f.clone()).or_default();
+            for key in add {
+                changed |= entry.insert(key);
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    direct.retain(|_, locks| !locks.is_empty());
+    LockSummary { map: direct }
+}
+
+/// One live guard being tracked through a function body.
+struct Live {
+    /// Mutex key (`free`, `snd`, …).
+    key: String,
+    /// Acquisition line, for diagnostics.
+    line: u32,
+    /// Brace depth at acquisition: scope exit below this releases it.
+    depth: i32,
+    /// `let`-bound name, if any (`drop(name)` releases early).
+    var: Option<String>,
+    /// Token index after which the guard is dead (statement temporaries:
+    /// the terminating `;`; scrutinee temporaries: the construct's final
+    /// `}`). `usize::MAX` for named guards (scope/drop releases those).
+    release_at: usize,
+}
+
+/// Run guard-liveness over one file. `summary` is the per-crate
+/// function→locks map (may be empty: the inter-procedural check simply
+/// stays quiet).
+pub fn guard_liveness(file: &str, lexed: &LexedFile, summary: &LockSummary) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    for f in scope::functions(tokens) {
+        let Some((open, close)) = f.body else { continue };
+        walk_body(file, lexed, tokens, open, close, summary, &mut out);
+    }
+    out
+}
+
+fn finding(file: &str, lexed: &LexedFile, line: u32, acq_line: u32, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule: "guard-liveness",
+        message,
+        // A hatch either at the flagged line or at the acquisition that
+        // created the guard suppresses the finding — one annotated
+        // acquisition covers everything under it.
+        allowed: lexed.is_allowed(line, "guard-liveness")
+            || lexed.is_allowed(acq_line, "guard-liveness"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn walk_body(
+    file: &str,
+    lexed: &LexedFile,
+    tokens: &[Token],
+    open: usize,
+    close: usize,
+    summary: &LockSummary,
+    out: &mut Vec<Finding>,
+) {
+    let mut live: Vec<Live> = Vec::new();
+    let mut depth = 1i32;
+    let mut k = open + 1;
+    while k < close {
+        // Expire temporaries whose window has passed.
+        live.retain(|g| k <= g.release_at);
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    live.retain(|g| g.depth <= depth);
+                }
+                _ => {}
+            }
+            k += 1;
+            continue;
+        }
+        // `drop(var)` releases a named guard early.
+        if t.kind == Kind::Ident
+            && t.text == "drop"
+            && punct(tokens, k + 1, "(")
+            && tokens.get(k + 2).is_some_and(|v| v.kind == Kind::Ident)
+            && punct(tokens, k + 3, ")")
+        {
+            let var = &tokens[k + 2].text;
+            live.retain(|g| g.var.as_deref() != Some(var.as_str()));
+            k += 4;
+            continue;
+        }
+        // A new acquisition?
+        if let Some(key) = acquisition_key(tokens, k) {
+            // Check against everything currently live.
+            for g in &live {
+                if g.key == key {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        g.line,
+                        format!(
+                            "`{key}` acquired while a guard on `{key}` (line {}) is still \
+                             live: deadlock (parking_lot locks are not reentrant)",
+                            g.line
+                        ),
+                    ));
+                }
+            }
+            // Classify the guard's lifetime.
+            let chain_head = scope::chain_start(tokens, k - 1);
+            let ctx = scope::stmt_ctx(tokens, chain_head);
+            let (var, release_at) = match ctx {
+                StmtCtx::LetScrutinee | StmtCtx::MatchScrutinee => {
+                    (None, scope::scrutinee_end(tokens, k))
+                }
+                // Plain if/while condition: a temporary scope; the guard
+                // drops before the body. Track it only up to the body
+                // brace so a second lock *inside the condition* is still
+                // caught.
+                StmtCtx::Condition => (None, body_brace(tokens, k)),
+                StmtCtx::Statement => {
+                    let var = binding_for(tokens, chain_head, k);
+                    if var.is_some() {
+                        (var, usize::MAX)
+                    } else {
+                        (None, stmt_end(tokens, k, close))
+                    }
+                }
+            };
+            live.push(Live {
+                key,
+                line: t.line,
+                depth,
+                var,
+                release_at,
+            });
+            k += 3; // past `lock ( )`
+            continue;
+        }
+        // Guard held across a blocking channel op?
+        if !live.is_empty()
+            && t.kind == Kind::Ident
+            && matches!(t.text.as_str(), "send" | "recv" | "recv_timeout" | "send_timeout")
+            && punct(tokens, k.wrapping_sub(1), ".")
+            && punct(tokens, k + 1, "(")
+        {
+            let recv_chain = scope::chain_idents(tokens, k - 1);
+            if recv_chain.last().is_some_and(|n| is_channelish(n)) {
+                for g in &live {
+                    out.push(finding(
+                        file,
+                        lexed,
+                        t.line,
+                        g.line,
+                        format!(
+                            "guard on `{}` (line {}) held across blocking channel op \
+                             `.{}()`: a full/empty channel stalls every thread waiting \
+                             on the lock — drop the guard first",
+                            g.key, g.line, t.text
+                        ),
+                    ));
+                }
+            }
+            k += 2;
+            continue;
+        }
+        // Guard held across a call into a function that itself locks the
+        // same mutex (one-level inter-procedural via the crate summary)?
+        // The summary is keyed by bare function name, so method calls are
+        // only resolved through it when the receiver is literally `self`
+        // — `map.get(k)` colliding with a local `fn get` that locks would
+        // otherwise drown the rule in false positives.
+        if !live.is_empty() && t.kind == Kind::Ident && punct(tokens, k + 1, "(") {
+            let name = t.text.as_str();
+            let is_decl = ident(tokens, k.wrapping_sub(1)) == Some("fn");
+            let is_method = punct(tokens, k.wrapping_sub(1), ".");
+            let resolvable = !is_method
+                || scope::chain_idents(tokens, k - 1) == ["self".to_string()];
+            if !is_decl && resolvable && !is_call_noise(name) {
+                if let Some(locks) = summary.locks_of(name) {
+                    for g in &live {
+                        if locks.contains(&g.key) {
+                            out.push(finding(
+                                file,
+                                lexed,
+                                t.line,
+                                g.line,
+                                format!(
+                                    "guard on `{}` (line {}) held across call to `{name}()`, \
+                                     which acquires `{}` (per-crate lock summary): deadlock",
+                                    g.key, g.line, g.key
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Token index of the `;` ending the statement containing `at` (bracket
+/// aware), bounded by the function close.
+fn stmt_end(tokens: &[Token], at: usize, close: usize) -> usize {
+    let mut level = 0i32;
+    let mut k = at;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" => level += 1,
+                ")" | "]" => level -= 1,
+                ";" if level <= 0 => return k,
+                "{" if level <= 0 => {
+                    // Statement flows into a block (e.g. the acquisition
+                    // is an argument to a call whose closure opens).
+                    // Treat the block's close as the statement end.
+                    return scope::matching_brace(tokens, k);
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    close
+}
+
+/// Token index of the first body `{` after `at` (for plain-condition
+/// temporaries, which die when the condition finishes evaluating).
+fn body_brace(tokens: &[Token], at: usize) -> usize {
+    let mut k = at;
+    while k < tokens.len() && !(tokens[k].kind == Kind::Punct && tokens[k].text == "{") {
+        k += 1;
+    }
+    k
+}
+
+/// For an acquisition whose chain starts at `chain_head`, find the `let`
+/// binding receiving the guard — but only when the `.lock()` call IS the
+/// whole initializer (`let g = x.lock();`). A chained initializer
+/// (`let v = x.lock().pop();`) produces a temporary, not a named guard.
+fn binding_for(tokens: &[Token], chain_head: usize, lock_ident: usize) -> Option<String> {
+    // The token after `lock ( )` must end the statement.
+    if !punct(tokens, lock_ident + 3, ";") {
+        return None;
+    }
+    // Scan back from the chain head: `let [mut] NAME =` directly before.
+    let mut j = chain_head;
+    if j == 0 {
+        return None;
+    }
+    j -= 1;
+    if !punct(tokens, j, "=") {
+        return None;
+    }
+    let name = ident(tokens, j.checked_sub(1)?)?;
+    let before = j.checked_sub(2)?;
+    match ident(tokens, before) {
+        Some("let") => Some(name.to_string()),
+        Some("mut") if ident(tokens, before.checked_sub(1)?) == Some("let") => {
+            Some(name.to_string())
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let summary = lock_summary(&[&lexed]);
+        guard_liveness("t.rs", &lexed, &summary)
+    }
+
+    #[test]
+    fn named_guard_relock_is_flagged() {
+        let fs = run("fn f(s: &S) { let a = s.m.lock(); let b = s.m.lock(); }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("deadlock"));
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_lives_through_the_body() {
+        // The PR-8 shape, minimal.
+        let fs = run("fn f(s: &S) { if let Some(x) = s.m.lock().pop() { s.m.lock(); } }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        // The fixed shape: bind first, then if-let on the binding.
+        let ok = run("fn f(s: &S) { let hit = s.m.lock().pop(); if let Some(x) = hit { s.m.lock(); } }");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn match_scrutinee_guard_lives_through_the_arms() {
+        let fs = run("fn f(s: &S) { match s.m.lock().pop() { Some(_) => { s.m.lock(); } None => {} } }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn plain_if_condition_is_a_temporary_scope() {
+        // Rust drops condition temporaries before the body runs.
+        let fs = run("fn f(s: &S) { if s.m.lock().is_empty() { s.m.lock(); } }");
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn statement_temp_dies_at_semicolon_but_not_before() {
+        assert!(run("fn f(s: &S) { s.m.lock().push(1); s.m.lock().push(2); }").is_empty());
+        // Two locks inside one statement overlap.
+        let fs = run("fn f(s: &S) { let t = (s.m.lock().len(), s.m.lock().len()); }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+    }
+
+    #[test]
+    fn scope_exit_and_drop_release_named_guards() {
+        assert!(run("fn f(s: &S) { { let a = s.m.lock(); } let b = s.m.lock(); }").is_empty());
+        assert!(run("fn f(s: &S) { let a = s.m.lock(); drop(a); let b = s.m.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        assert!(run("fn f(s: &S) { let a = s.m.lock(); let b = s.n.lock(); }").is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_count_as_guards() {
+        let fs = run("fn f(s: &S) { let a = s.tbl.read(); let b = s.tbl.write(); }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        // io::Read::read takes arguments — not a guard.
+        assert!(run("fn f(s: &S) { let n = file.read(&mut buf); let m = file.read(&mut buf); }").is_empty());
+    }
+
+    #[test]
+    fn guard_across_channel_send_is_flagged() {
+        let fs = run("fn f(s: &S) { let g = s.m.lock(); tx.send(x); }");
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("channel"));
+        // try_send is non-blocking; socket send_to is not a channel.
+        assert!(run("fn f(s: &S) { let g = s.m.lock(); tx.try_send(x); }").is_empty());
+        assert!(run("fn f(s: &S) { let g = s.m.lock(); sock.send_to(b, a); }").is_empty());
+        // Non-channel receiver name.
+        assert!(run("fn f(s: &S) { let g = s.m.lock(); self.send(pkt); }").is_empty());
+    }
+
+    #[test]
+    fn interprocedural_one_level_via_summary() {
+        let src = "impl P {\n fn helper(&self) { self.m.lock().clear(); }\n fn f(&self) { let g = self.m.lock(); self.helper(); }\n}";
+        let fs = run(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn interprocedural_two_hop_chain_via_fixpoint() {
+        // The actual PR-8 shape: get → debug_check → check_invariants → m.lock().
+        let src = concat!(
+            "impl P {\n",
+            " fn check_invariants(&self) { let f = self.m.lock(); }\n",
+            " fn debug_check(&self) { self.check_invariants(); }\n",
+            " fn get(&self) { if let Some(b) = self.m.lock().pop() { self.debug_check(); } }\n",
+            "}"
+        );
+        let fs = run(src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("debug_check"), "{fs:?}");
+    }
+
+    #[test]
+    fn interprocedural_different_lock_is_fine() {
+        let src = "impl P {\n fn helper(&self) { self.n.lock().clear(); }\n fn f(&self) { let g = self.m.lock(); self.helper(); }\n}";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn allow_hatch_at_acquisition_or_event_suppresses() {
+        let src = "fn f(s: &S) {\n // udt-lint: allow(guard-liveness)\n let a = s.m.lock();\n let b = s.m.lock();\n}";
+        let fs = run(src);
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed, "{fs:?}");
+    }
+
+    #[test]
+    fn summary_fixpoint_terminates_on_recursion() {
+        let src = "fn a(s: &S) { s.m.lock().x(); b(s); }\nfn b(s: &S) { a(s); }";
+        let lexed = lex(src);
+        let summary = lock_summary(&[&lexed]);
+        assert!(summary.locks_of("a").is_some());
+        assert!(summary.locks_of("b").is_some());
+    }
+}

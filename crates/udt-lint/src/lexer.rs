@@ -50,6 +50,11 @@ pub struct LexedFile {
     /// A directive covers its own line and the next line, so it can sit
     /// either above the offending statement or trail it.
     pub allows: HashMap<u32, HashSet<String>>,
+    /// Every comment, keyed by its starting line (block comments span
+    /// multiple lines; the text keeps the delimiters). Rules that audit
+    /// documentation — `unsafe-audit`'s `// SAFETY:` requirement — read
+    /// these instead of re-scanning the source.
+    pub comments: Vec<(u32, String)>,
 }
 
 impl LexedFile {
@@ -190,7 +195,11 @@ pub fn lex(src: &str) -> LexedFile {
     }
     mark_test_regions(&mut tokens);
     let allows = collect_allows(&comments);
-    LexedFile { tokens, allows }
+    LexedFile {
+        tokens,
+        allows,
+        comments,
+    }
 }
 
 fn push(tokens: &mut Vec<Token>, kind: Kind, text: &str, line: u32, ws_before: bool, b: &[u8], end: usize) {
@@ -381,10 +390,16 @@ fn is_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Collect `udt-lint: allow(rule, …)` directives out of comments. Each
-/// directive covers the comment's own line and the following line.
+/// directive covers the comment's own line and the following line. Doc
+/// comments (`///`, `//!`) never carry directives — they *describe* the
+/// directive syntax (this tool's own sources, DESIGN excerpts) and must
+/// not activate it.
 fn collect_allows(comments: &[(u32, String)]) -> HashMap<u32, HashSet<String>> {
     let mut allows: HashMap<u32, HashSet<String>> = HashMap::new();
     for (line, text) in comments {
+        if text.starts_with("///") || text.starts_with("//!") {
+            continue;
+        }
         let Some(pos) = text.find("udt-lint:") else {
             continue;
         };

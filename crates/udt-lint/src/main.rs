@@ -1,22 +1,23 @@
-//! udt-lint: workspace-native static analysis for the UDT repo.
+//! udt-lint CLI: walk `crates/*/src` and `shims/*/src`, run every rule in
+//! the [`udt_lint`] library, print findings.
 //!
-//! Walks every `crates/*/src` tree, lexes each file with the hand-rolled
-//! lexer (no external parser) and applies the repo-specific deny rules in
-//! [`rules`]. Findings not covered by an inline
-//! `// udt-lint: allow(<rule>)` directive are denied: they are printed as
+//! Findings not covered by an inline `// udt-lint: allow(<rule>)`
+//! directive are denied: they are printed as
 //! `path:line: deny[rule]: message` and the process exits non-zero.
 //!
 //! Usage:
 //!   udt-lint [--root <dir>] [--json] [--list-rules]
+//!
+//! `--json` emits the schema-version-2 report: an object with
+//! `schema_version`, file/deny/allow totals, `unsafe` SAFETY-comment
+//! coverage, per-rule counts, and the findings array.
 
-mod lexer;
-mod rules;
-
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rules::{Finding, Scope};
+use udt_lint::{analyze, rules, Report};
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
@@ -69,87 +70,60 @@ fn main() -> ExitCode {
     };
 
     let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    match fs::read_dir(&crates_dir) {
-        Ok(entries) => {
-            let mut dirs: Vec<PathBuf> = entries
-                .filter_map(|e| e.ok().map(|e| e.path()))
-                .filter(|p| p.is_dir())
-                .collect();
-            dirs.sort();
-            for d in dirs {
-                collect_rs(&d.join("src"), &mut files);
+    for tree in ["crates", "shims"] {
+        let dir = root.join(tree);
+        match fs::read_dir(&dir) {
+            Ok(entries) => {
+                let mut dirs: Vec<PathBuf> = entries
+                    .filter_map(|e| e.ok().map(|e| e.path()))
+                    .filter(|p| p.is_dir())
+                    .collect();
+                dirs.sort();
+                for d in dirs {
+                    collect_rs(&d.join("src"), &mut files);
+                }
             }
-        }
-        Err(e) => {
-            eprintln!("cannot read {}: {e}", crates_dir.display());
-            return ExitCode::from(2);
+            Err(e) => {
+                // `crates` missing is fatal; `shims` may legitimately be
+                // absent in a partial checkout.
+                if tree == "crates" {
+                    eprintln!("cannot read {}: {e}", dir.display());
+                    return ExitCode::from(2);
+                }
+            }
         }
     }
     files.sort();
 
-    let mut findings: Vec<Finding> = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let Ok(src) = fs::read_to_string(path) else {
             continue;
         };
         let rel = path.strip_prefix(&root).unwrap_or(path);
-        let rel_str = rel.to_string_lossy().replace('\\', "/");
-        let scope: Scope = rules::scope_for(rel);
-        let lexed = lexer::lex(&src);
-        if scope.any() {
-            for (line, names) in &lexed.allows {
-                for n in names {
-                    if !rules::RULES.contains(&n.as_str()) {
-                        eprintln!(
-                            "warning: {rel_str}:{line}: unknown rule `{n}` in udt-lint allow directive"
-                        );
-                    }
-                }
-            }
-        }
-        if scope.seq_cmp {
-            findings.extend(rules::seq_cmp(&rel_str, &lexed));
-        }
-        if scope.wall_clock {
-            findings.extend(rules::wall_clock(&rel_str, &lexed));
-        }
-        if scope.unwrap {
-            findings.extend(rules::unwrap_rule(&rel_str, &lexed));
-        }
-        if scope.as_cast {
-            findings.extend(rules::as_cast(&rel_str, &lexed));
-        }
-        if scope.lock_order && !lock_order.is_empty() {
-            findings.extend(rules::lock_order(&rel_str, &lexed, &lock_order));
-        }
-        if scope.println {
-            findings.extend(rules::println_rule(&rel_str, &lexed));
-        }
-        if scope.secret_material {
-            findings.extend(rules::secret_material(&rel_str, &lexed));
-        }
-        if scope.hot_alloc {
-            findings.extend(rules::hot_alloc(&rel_str, &lexed));
-        }
+        sources.push((rel.to_string_lossy().replace('\\', "/"), src));
     }
 
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    let denied = findings.iter().filter(|f| !f.allowed).count();
-    let allowed = findings.len() - denied;
+    let report = analyze(&sources, &lock_order);
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    let denied = report.findings.iter().filter(|f| !f.allowed).count();
+    let allowed = report.findings.len() - denied;
 
     if json {
-        println!("{}", to_json(&findings));
+        println!("{}", to_json(&report, denied, allowed));
     } else {
-        for f in &findings {
+        for f in &report.findings {
             if f.allowed {
                 continue;
             }
             println!("{}:{}: deny[{}]: {}", f.file, f.line, f.rule, f.message);
         }
         eprintln!(
-            "udt-lint: {} file(s), {denied} denied, {allowed} allowed via directive",
-            files.len()
+            "udt-lint: {} file(s), {denied} denied, {allowed} allowed via directive, \
+             unsafe SAFETY coverage {}/{}",
+            report.files, report.stats.with_safety, report.stats.sites
         );
     }
 
@@ -175,16 +149,49 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Minimal JSON serialisation (no external crates): an array of finding
-/// objects, `allowed` included so tooling can see suppressions too.
-fn to_json(findings: &[Finding]) -> String {
-    let mut s = String::from("[");
-    for (i, f) in findings.iter().enumerate() {
+/// Schema-version-2 JSON report (no external crates). The v1 format was
+/// a bare findings array; v2 wraps it in an object with counts so CI can
+/// trend deny/allow/unsafe-coverage without re-deriving them.
+fn to_json(report: &Report, denied: usize, allowed: usize) -> String {
+    let mut per_rule: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for r in rules::RULES {
+        per_rule.insert(r, (0, 0));
+    }
+    for f in &report.findings {
+        let e = per_rule.entry(f.rule).or_insert((0, 0));
+        if f.allowed {
+            e.1 += 1;
+        } else {
+            e.0 += 1;
+        }
+    }
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema_version\": 2,\n");
+    s.push_str(&format!("  \"files\": {},\n", report.files));
+    s.push_str(&format!("  \"denied\": {denied},\n"));
+    s.push_str(&format!("  \"allowed\": {allowed},\n"));
+    s.push_str(&format!(
+        "  \"unsafe_sites\": {},\n  \"unsafe_with_safety\": {},\n",
+        report.stats.sites, report.stats.with_safety
+    ));
+    s.push_str("  \"rules\": [");
+    for (i, (rule, (d, a))) in per_rule.iter().enumerate() {
         if i > 0 {
             s.push(',');
         }
         s.push_str(&format!(
-            "\n  {{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"allowed\":{}}}",
+            "\n    {{\"rule\":{},\"denied\":{d},\"allowed\":{a}}}",
+            json_str(rule)
+        ));
+    }
+    s.push_str("\n  ],\n");
+    s.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\":{},\"line\":{},\"rule\":{},\"message\":{},\"allowed\":{}}}",
             json_str(&f.file),
             f.line,
             json_str(f.rule),
@@ -192,7 +199,7 @@ fn to_json(findings: &[Finding]) -> String {
             f.allowed
         ));
     }
-    s.push_str("\n]");
+    s.push_str("\n  ]\n}");
     s
 }
 

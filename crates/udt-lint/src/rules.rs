@@ -12,6 +12,14 @@
 //! | `secret-material` | key/secret/tag identifiers fed to format macros         |
 //! | `hot-alloc` | per-packet heap allocation in the datapath modules            |
 //!
+//! Three further rules live in their own modules, built on the
+//! block-structure layer in [`crate::scope`]:
+//! [`crate::guards::guard_liveness`] (`guard-liveness`: a mutex guard live
+//! across a re-acquisition, a blocking channel op, or a call into a
+//! locking function), and [`crate::unsafe_audit`] (`unsafe-audit`:
+//! SAFETY-comment coverage + FFI allowlist; `ffi-contract`: pointer
+//! provenance and length hygiene at `extern` call sites).
+//!
 //! Every rule honours the `// udt-lint: allow(<rule>)` escape hatch on the
 //! finding's line or the line above it.
 
@@ -41,6 +49,9 @@ pub const RULES: &[&str] = &[
     "println",
     "secret-material",
     "hot-alloc",
+    "guard-liveness",
+    "unsafe-audit",
+    "ffi-contract",
 ];
 
 /// Identifiers treated as sequence-number-typed. Field and local names in
@@ -459,6 +470,12 @@ pub fn hot_alloc(file: &str, lexed: &LexedFile) -> Vec<Finding> {
         if t.in_test || t.kind != Kind::Ident {
             continue;
         }
+        if in_cold_context(tokens, i) {
+            // Cold by construction: a closure handed to an error-path
+            // combinator, or a `const { … }` initializer evaluated at
+            // compile time — neither runs per packet.
+            continue;
+        }
         match t.text.as_str() {
             "Vec" if punct_at(tokens, i + 1, "::") && ident_at(tokens, i + 2) == Some("new") => {
                 out.push(finding(
@@ -499,6 +516,66 @@ pub fn hot_alloc(file: &str, lexed: &LexedFile) -> Vec<Finding> {
         }
     }
     out
+}
+
+/// Combinators whose closure argument only runs on the cold branch of a
+/// `Result`/`Option` — an allocation there is error-path, not per-packet.
+const COLD_COMBINATORS: &[&str] = &[
+    "map_err",
+    "unwrap_or_else",
+    "ok_or_else",
+    "or_else",
+    "or_insert_with",
+    "get_or_insert_with",
+];
+
+/// Is token `i` inside a context `hot-alloc` should not police: a closure
+/// passed to a cold-branch combinator, or a `const { … }` block (e.g. a
+/// `thread_local!` const initializer)? Walks outward through enclosing
+/// parens/braces; stops at the first plain block (fn bodies, loops).
+fn in_cold_context(tokens: &[Token], i: usize) -> bool {
+    let mut pd = 0i32; // ) seen while scanning backwards
+    let mut bd = 0i32; // } seen while scanning backwards
+    let mut k = i;
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            ")" => pd += 1,
+            "}" => bd += 1,
+            "(" if pd > 0 => pd -= 1,
+            "{" if bd > 0 => bd -= 1,
+            "(" => {
+                // An enclosing, unclosed call paren. A cold-combinator
+                // call whose argument is a closure exempts the site;
+                // any other enclosing call keeps us walking outward.
+                let callee = ident_at(tokens, k.wrapping_sub(1));
+                let arg_is_closure = tokens
+                    .get(k + 1)
+                    .is_some_and(|a| a.text == "|" || a.text == "||" || a.text == "move");
+                if arg_is_closure
+                    && callee.is_some_and(|c| COLD_COMBINATORS.contains(&c))
+                {
+                    return true;
+                }
+            }
+            "{" => {
+                // An enclosing, unclosed block. `const { … }` exempts;
+                // a closure body (`|e| { … }`) keeps walking outward;
+                // anything else (fn body, loop, if) ends the search.
+                match tokens.get(k.wrapping_sub(1)).map(|t| t.text.as_str()) {
+                    Some("const") => return true,
+                    Some("|" | "||" | "move") => {}
+                    _ => return false,
+                }
+            }
+            _ => {}
+        }
+    }
+    false
 }
 
 /// One lock the order rule tracks.
@@ -683,6 +760,11 @@ pub struct Scope {
     pub println: bool,
     pub secret_material: bool,
     pub hot_alloc: bool,
+    pub guard_liveness: bool,
+    pub unsafe_audit: bool,
+    /// Doubles as the FFI allowlist flag: `ffi-contract` runs here, and
+    /// `unsafe-audit` treats `unsafe` as structurally expected.
+    pub ffi_contract: bool,
 }
 
 impl Scope {
@@ -696,6 +778,9 @@ impl Scope {
             || self.println
             || self.secret_material
             || self.hot_alloc
+            || self.guard_liveness
+            || self.unsafe_audit
+            || self.ffi_contract
     }
 }
 
@@ -735,6 +820,7 @@ pub fn scope_for(rel: &Path) -> Scope {
         || p.ends_with("udt/src/pool.rs")
         || p.ends_with("udt/src/mmsg.rs")
         || p.ends_with("udt-chaos/src/relay.rs");
+    let ffi = crate::unsafe_audit::is_ffi_allowlisted(&p);
     Scope {
         seq_cmp: !is_blessed_seqno && !is_tcp_model && !harness,
         wall_clock: matches!(crate_name, "netsim" | "udt-algo"),
@@ -749,6 +835,14 @@ pub fn scope_for(rel: &Path) -> Scope {
         // site, which is library code.
         secret_material: lib_crate && !in_bin && !test_file,
         hot_alloc: hot_path,
+        // Locks live in the transport crates; the multipath bonding layer
+        // is just as deadlock-prone as core udt even though the older
+        // name-based rules never covered it.
+        guard_liveness: lib_crate || crate_name == "udt-multipath",
+        // `unsafe` is audited everywhere the linter walks — harness code
+        // and shims included: an undocumented unsafe block is never fine.
+        unsafe_audit: true,
+        ffi_contract: ffi,
     }
 }
 

@@ -1,0 +1,402 @@
+//! Block-structure analysis over the token stream: function boundaries,
+//! brace matching, dotted-chain navigation, and statement-context
+//! classification. This is the layer that upgrades udt-lint from pure
+//! token-window rules to scope-aware ones (`guard-liveness`,
+//! `unsafe-audit`, `ffi-contract`) while staying dependency-free — it is
+//! a *shape* parser, not a grammar: it never needs to understand an
+//! expression, only where scopes open and close and what chain a method
+//! call hangs off.
+
+use crate::lexer::{Kind, Token};
+
+/// One `fn` item: its name, parameter names, and body token range.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub kw: usize,
+    /// Identifiers bound by the parameter list (pattern names only).
+    pub params: Vec<String>,
+    /// Token indices of the body's `{` and its matching `}`.
+    /// `None` for bodiless declarations (trait methods, extern fns).
+    pub body: Option<(usize, usize)>,
+    /// Declared `unsafe fn`.
+    pub is_unsafe: bool,
+    /// Lies inside a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+}
+
+/// Find the `}` matching the `{` at `open`. Returns the index of the
+/// closing brace (or the last token when the file is truncated — the
+/// lexer never fails, so neither does this).
+pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == Kind::Punct {
+            match tokens[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Extract every function item in the file, at any nesting depth (free
+/// functions, inherent/trait impl methods, functions inside `mod`).
+/// Bodiless declarations (trait signatures, `extern` block fns) come back
+/// with `body: None`.
+pub fn functions(tokens: &[Token]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if !(t.kind == Kind::Ident && t.text == "fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` in type position (`fn(u8) -> u8`) has no name ident next.
+        let Some(name) = tokens.get(i + 1).filter(|n| n.kind == Kind::Ident) else {
+            i += 1;
+            continue;
+        };
+        let is_unsafe = i > 0
+            && tokens[..i]
+                .iter()
+                .rev()
+                .take(3)
+                .any(|p| p.kind == Kind::Ident && p.text == "unsafe");
+        // Parameter list: the first `(...)` after the name (skipping
+        // generics, whose angle brackets may nest).
+        let mut j = i + 2;
+        let mut params = Vec::new();
+        while j < tokens.len() {
+            let tj = &tokens[j];
+            if tj.kind == Kind::Punct && (tj.text == "(" || tj.text == "{" || tj.text == ";") {
+                break;
+            }
+            j += 1;
+        }
+        if j < tokens.len() && tokens[j].text == "(" {
+            let mut depth = 0i32;
+            let mut expect_name = true;
+            let mut k = j;
+            while k < tokens.len() {
+                let tk = &tokens[k];
+                if tk.kind == Kind::Punct {
+                    match tk.text.as_str() {
+                        "(" | "[" => depth += 1,
+                        ")" | "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "," if depth == 1 => expect_name = true,
+                        ":" if depth == 1 => expect_name = false,
+                        _ => {}
+                    }
+                } else if tk.kind == Kind::Ident && depth == 1 && expect_name {
+                    match tk.text.as_str() {
+                        "mut" | "ref" => {}
+                        "self" => {
+                            params.push("self".to_string());
+                            expect_name = false;
+                        }
+                        name => {
+                            params.push(name.to_string());
+                            // Only the first ident of a pattern; the rest
+                            // of the pattern/type waits for `,` or `:`.
+                            expect_name = false;
+                        }
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // Body: next `{` (or `;` for a declaration) at this level.
+        while j < tokens.len()
+            && !(tokens[j].kind == Kind::Punct && (tokens[j].text == "{" || tokens[j].text == ";"))
+        {
+            j += 1;
+        }
+        let body = if j < tokens.len() && tokens[j].text == "{" {
+            Some((j, matching_brace(tokens, j)))
+        } else {
+            None
+        };
+        out.push(FnItem {
+            name: name.text.clone(),
+            kw: i,
+            params,
+            body,
+            is_unsafe,
+            in_test: t.in_test,
+        });
+        // Continue scanning from just inside the body so nested fns and
+        // closures containing fns are found too.
+        i = j + 1;
+    }
+    out
+}
+
+/// Walk back from the token *before* `end` over a dotted chain —
+/// `a.b[idx].c` — and return the index of the chain's first token.
+/// `end` typically points at the `.` of a method call. Index brackets
+/// are skipped as a unit; a chain can also start with `&`/`&mut`
+/// (ignored) or a `(`-parenthesised subexpression (treated as opaque:
+/// the returned start is the `(`... no — the walk stops there and the
+/// caller sees a non-ident head, which is what "derived from a
+/// temporary" means).
+pub fn chain_start(tokens: &[Token], end: usize) -> usize {
+    let mut k = end; // exclusive end: first token NOT in the chain + 1
+    loop {
+        if k == 0 {
+            return 0;
+        }
+        let prev = &tokens[k - 1];
+        match (prev.kind, prev.text.as_str()) {
+            (Kind::Ident, _) | (Kind::Num, _) => {
+                // Ident joins the chain only when preceded by `.` / `::`
+                // or when it is the head.
+                k -= 1;
+                if k == 0 {
+                    return 0;
+                }
+                let before = &tokens[k - 1];
+                if before.kind == Kind::Punct && (before.text == "." || before.text == "::") {
+                    k -= 1; // consume the separator, keep walking
+                } else {
+                    return k;
+                }
+            }
+            (Kind::Punct, "]") => {
+                // Skip the `[...]` index as one unit.
+                let mut depth = 0i32;
+                while k > 0 {
+                    k -= 1;
+                    if tokens[k].kind == Kind::Punct {
+                        match tokens[k].text.as_str() {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            (Kind::Punct, ")") => {
+                // Chain hangs off a call/parenthesised expression: the
+                // head is not a plain binding. Report the `(`'s index so
+                // the caller can classify it as a temporary.
+                let mut depth = 0i32;
+                while k > 0 {
+                    k -= 1;
+                    if tokens[k].kind == Kind::Punct {
+                        match tokens[k].text.as_str() {
+                            ")" => depth += 1,
+                            "(" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                return k;
+            }
+            _ => return k,
+        }
+    }
+}
+
+/// The identifiers of a dotted chain ending just before `end` (e.g. the
+/// `.` of a method call): `s.hdrs[i].msg_hdr` → `["s", "hdrs", "msg_hdr"]`.
+/// Empty when the chain head is not a plain identifier (a temporary).
+pub fn chain_idents(tokens: &[Token], end: usize) -> Vec<String> {
+    let start = chain_start(tokens, end);
+    if tokens.get(start).map(|t| t.kind) != Some(Kind::Ident) {
+        return Vec::new();
+    }
+    tokens[start..end]
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Statement context of an acquisition-like expression at token `at`:
+/// what construct owns the temporary its scrutinee creates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmtCtx {
+    /// Plain statement / let-initializer: temporaries die at the `;`.
+    Statement,
+    /// `if let` / `while let` scrutinee: the temporary lives through the
+    /// body (and any `else` chain) under Rust 2021 scoping.
+    LetScrutinee,
+    /// `match` scrutinee: the temporary lives through every arm.
+    MatchScrutinee,
+    /// Plain `if` / `while` condition: a temporary scope — the guard
+    /// drops before the body runs.
+    Condition,
+}
+
+/// Classify the statement context at token `at` by scanning back to the
+/// start of the enclosing statement (the previous `;`, `{` or `}` at
+/// bracket level zero).
+pub fn stmt_ctx(tokens: &[Token], at: usize) -> StmtCtx {
+    let mut k = at;
+    let mut level = 0i32; // ( and [ nesting while scanning backwards
+    while k > 0 {
+        k -= 1;
+        let t = &tokens[k];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                ")" | "]" => level += 1,
+                "(" | "[" => level -= 1,
+                ";" | "{" | "}" if level <= 0 => {
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    // Tokens from statement start forward: the first few decide.
+    let mut it = tokens[k..at]
+        .iter()
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str());
+    let first_three = (it.next(), it.next(), it.next());
+    match first_three {
+        (Some("if"), Some("let"), _) | (Some("while"), Some("let"), _) => StmtCtx::LetScrutinee,
+        (Some("else"), Some("if"), Some("let")) => StmtCtx::LetScrutinee,
+        (Some("else"), Some("if"), _) => StmtCtx::Condition,
+        (Some("match"), ..) => StmtCtx::MatchScrutinee,
+        (Some("if"), ..) | (Some("while"), ..) => StmtCtx::Condition,
+        _ => StmtCtx::Statement,
+    }
+}
+
+/// For a scrutinee-context acquisition at `at`, find the token index at
+/// which its temporary dies: the close of the construct's block,
+/// extended through any `else` / `else if` chain for `if let`.
+pub fn scrutinee_end(tokens: &[Token], at: usize) -> usize {
+    // Forward to the body `{`.
+    let mut k = at;
+    while k < tokens.len() && !(tokens[k].kind == Kind::Punct && tokens[k].text == "{") {
+        k += 1;
+    }
+    if k >= tokens.len() {
+        return tokens.len().saturating_sub(1);
+    }
+    let mut close = matching_brace(tokens, k);
+    // `else` / `else if let …` chains keep the scrutinee alive.
+    while let Some(next) = tokens.get(close + 1) {
+        if !(next.kind == Kind::Ident && next.text == "else") {
+            break;
+        }
+        let mut j = close + 2;
+        while j < tokens.len() && !(tokens[j].kind == Kind::Punct && tokens[j].text == "{") {
+            j += 1;
+        }
+        if j >= tokens.len() {
+            return tokens.len().saturating_sub(1);
+        }
+        close = matching_brace(tokens, j);
+    }
+    close
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn functions_finds_methods_and_nested_fns() {
+        let src = "impl S { fn a(&self, n: u32) -> u32 { n } }\nfn b(x: u8, mut y: Vec<u8>) { fn inner() {} }\ntrait T { fn decl(&self); }\n";
+        let f = lex(src);
+        let fns = functions(&f.tokens);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "inner", "decl"]);
+        assert_eq!(fns[0].params, ["self", "n"]);
+        assert_eq!(fns[1].params, ["x", "y"]);
+        assert!(fns[3].body.is_none());
+    }
+
+    #[test]
+    fn unsafe_fn_is_marked() {
+        let f = lex("pub unsafe fn set_len(&mut self, len: usize) {}\nfn safe() {}");
+        let fns = functions(&f.tokens);
+        assert!(fns[0].is_unsafe);
+        assert!(!fns[1].is_unsafe);
+    }
+
+    #[test]
+    fn chain_idents_walks_fields_and_indexes() {
+        let f = lex("s.hdrs[sent].as_mut_ptr()");
+        // `end` = index of the `.` before as_mut_ptr.
+        let dot = f
+            .tokens
+            .iter()
+            .position(|t| t.text == "as_mut_ptr")
+            .unwrap()
+            - 1;
+        assert_eq!(chain_idents(&f.tokens, dot), ["s", "hdrs", "sent"]);
+    }
+
+    #[test]
+    fn chain_head_of_a_call_is_not_an_ident() {
+        let f = lex("make_buf().as_ptr()");
+        let dot = f.tokens.iter().position(|t| t.text == "as_ptr").unwrap() - 1;
+        assert!(chain_idents(&f.tokens, dot).is_empty());
+    }
+
+    #[test]
+    fn stmt_ctx_classifies_constructs() {
+        let f = lex("fn f() { if let Some(x) = m.lock().pop() { } }");
+        let at = f.tokens.iter().position(|t| t.text == "m").unwrap();
+        assert_eq!(stmt_ctx(&f.tokens, at), StmtCtx::LetScrutinee);
+        let f = lex("fn f() { match m.lock().pop() { _ => {} } }");
+        let at = f.tokens.iter().position(|t| t.text == "m").unwrap();
+        assert_eq!(stmt_ctx(&f.tokens, at), StmtCtx::MatchScrutinee);
+        let f = lex("fn f() { if m.lock().is_empty() { } }");
+        let at = f.tokens.iter().position(|t| t.text == "m").unwrap();
+        assert_eq!(stmt_ctx(&f.tokens, at), StmtCtx::Condition);
+        let f = lex("fn f() { let g = m.lock(); }");
+        let at = f.tokens.iter().position(|t| t.text == "m").unwrap();
+        assert_eq!(stmt_ctx(&f.tokens, at), StmtCtx::Statement);
+    }
+
+    #[test]
+    fn scrutinee_end_spans_else_chains() {
+        let src = "fn f() { if let Some(x) = m.lock().pop() { a(); } else { b(); } c(); }";
+        let f = lex(src);
+        let at = f.tokens.iter().position(|t| t.text == "m").unwrap();
+        let end = scrutinee_end(&f.tokens, at);
+        // The token after the scrutinee's death must be `c`.
+        let after: Vec<&str> = f.tokens[end + 1..]
+            .iter()
+            .take(1)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(after, ["c"]);
+    }
+}

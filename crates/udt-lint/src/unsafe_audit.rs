@@ -1,0 +1,678 @@
+//! `unsafe-audit` and `ffi-contract`: the rules that keep the hand-rolled
+//! FFI honest.
+//!
+//! The workspace vendors everything, so the `recvmmsg`/`sendmmsg` layer in
+//! `crates/udt/src/mmsg.rs` is raw `extern "C"` with hand-laid-out
+//! structs — the exact code the paper says transport performance lives in,
+//! and the exact code a reviewer cannot eyeball for UB. Two rules:
+//!
+//! * **unsafe-audit** — every `unsafe` block / `unsafe fn` / `unsafe impl`
+//!   outside `#[cfg(test)]` must sit under a `// SAFETY:` comment (or a
+//!   `# Safety` doc section for `unsafe fn`) whose text names the
+//!   raw-pointer sources the site dereferences or passes across the FFI
+//!   boundary. Additionally, `unsafe` is denied entirely outside the FFI
+//!   allowlist (`mmsg.rs` and the vendored shims) — non-FFI unsafe (e.g.
+//!   the seqlock in `udt-trace`) takes an explicit, justified allow hatch.
+//! * **ffi-contract** — in allowlisted modules, every pointer handed to an
+//!   `extern` function must be derived (name-level) from a live owned
+//!   binding in scope — a `let`, a parameter, `self`, or a named const —
+//!   never from a call temporary; and lengths must not be magic integer
+//!   literals (use `size_of::<T>()` or a named constant), checked both at
+//!   call sites and at `*len`-field initialisation.
+
+use std::collections::HashSet;
+
+use crate::lexer::{Kind, LexedFile, Token};
+use crate::rules::Finding;
+use crate::scope;
+
+/// Files whose `unsafe` is structurally expected: the FFI seam and the
+/// vendored shims (which exist precisely to wrap std's unsafe surface).
+pub fn is_ffi_allowlisted(rel: &str) -> bool {
+    rel.ends_with("udt/src/mmsg.rs") || rel.starts_with("shims/")
+}
+
+/// Coverage stats surfaced in the report: how many non-test `unsafe`
+/// sites exist and how many carry a SAFETY comment.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct UnsafeStats {
+    pub sites: usize,
+    pub with_safety: usize,
+}
+
+/// How many lines above an `unsafe` token the SAFETY comment may start.
+/// Generous enough for a multi-line comment plus attributes, small enough
+/// that an unrelated file-header comment never counts.
+const SAFETY_WINDOW: u32 = 8;
+
+fn punct(tokens: &[Token], i: usize, p: &str) -> bool {
+    tokens
+        .get(i)
+        .is_some_and(|t| t.kind == Kind::Punct && t.text == p)
+}
+
+fn ident(tokens: &[Token], i: usize) -> Option<&str> {
+    tokens
+        .get(i)
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+/// All comment text starting within the window above (and on) `line`.
+fn window_text(lexed: &LexedFile, line: u32) -> String {
+    let lo = line.saturating_sub(SAFETY_WINDOW);
+    let mut s = String::new();
+    for (l, text) in &lexed.comments {
+        if *l >= lo && *l <= line {
+            s.push_str(text);
+            s.push('\n');
+        }
+    }
+    s
+}
+
+fn has_safety_marker(text: &str) -> bool {
+    text.contains("SAFETY:") || text.contains("# Safety")
+}
+
+/// Word-boundary membership: does `text` mention `name` as a whole word?
+fn mentions(text: &str, name: &str) -> bool {
+    text.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|w| w == name)
+}
+
+/// The body range governed by an `unsafe` token at index `i`:
+/// the next `{` before a `;` (an `unsafe {}` block, or an `unsafe fn`'s
+/// body). `None` for bodiless forms (`unsafe fn` declarations in extern
+/// blocks, `unsafe impl Send {}` has an empty body that yields no names).
+fn unsafe_body(tokens: &[Token], i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.kind == Kind::Punct {
+            if t.text == "{" {
+                return Some((j, scope::matching_brace(tokens, j)));
+            }
+            if t.text == ";" {
+                return None;
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Collect, per raw-pointer expression inside `(open, close)`, the set of
+/// identifier candidates the SAFETY comment may name. One pointer
+/// expression yields several candidates (`s.hdrs.as_mut_ptr()` →
+/// {`s`, `hdrs`}); the comment must mention at least one of them.
+fn pointer_exprs(tokens: &[Token], open: usize, close: usize) -> Vec<HashSet<String>> {
+    let mut out: Vec<HashSet<String>> = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        let t = &tokens[k];
+        if t.kind != Kind::Ident {
+            k += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            // `<chain>.as_ptr()` / `<chain>.as_mut_ptr()`
+            "as_ptr" | "as_mut_ptr" if punct(tokens, k.wrapping_sub(1), ".") => {
+                let names: HashSet<String> =
+                    scope::chain_idents(tokens, k - 1).into_iter().collect();
+                out.push(names); // empty set = temporary-headed chain
+            }
+            // `<ident> as *const T` / `as *mut T`
+            "as" if punct(tokens, k + 1, "*")
+                && matches!(ident(tokens, k + 2), Some("const" | "mut")) =>
+            {
+                let mut names = HashSet::new();
+                if let Some(n) = ident(tokens, k.wrapping_sub(1)) {
+                    names.insert(n.to_string());
+                }
+                out.push(names);
+            }
+            // `ptr::write_volatile(<arg>, …)` and friends: the first
+            // argument is the pointer; its idents are the candidates.
+            "write_volatile" | "read_volatile" | "copy" | "copy_nonoverlapping"
+                if punct(tokens, k + 1, "(") =>
+            {
+                let mut names = HashSet::new();
+                let mut j = k + 2;
+                let mut depth = 1i32;
+                while j < close {
+                    let a = &tokens[j];
+                    if a.kind == Kind::Punct {
+                        match a.text.as_str() {
+                            "(" | "[" => depth += 1,
+                            ")" | "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            "," if depth == 1 => break,
+                            _ => {}
+                        }
+                    } else if a.kind == Kind::Ident {
+                        names.insert(a.text.clone());
+                    }
+                    j += 1;
+                }
+                out.push(names);
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    out
+}
+
+/// Run `unsafe-audit` over one file. `allowlisted` says whether the file
+/// is an FFI module (shims, `mmsg.rs`); elsewhere every `unsafe` site is
+/// additionally denied as out-of-place.
+pub fn unsafe_audit(
+    file: &str,
+    lexed: &LexedFile,
+    allowlisted: bool,
+) -> (Vec<Finding>, UnsafeStats) {
+    let mut out = Vec::new();
+    let mut stats = UnsafeStats::default();
+    let tokens = &lexed.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident || t.text != "unsafe" {
+            continue;
+        }
+        // `unsafe` inside an extern block header (`unsafe extern "C"`) or
+        // fn-pointer types carry no body and no obligation of their own.
+        let form = ident(tokens, i + 1).unwrap_or("{");
+        stats.sites += 1;
+        let comments = window_text(lexed, t.line);
+        let documented = has_safety_marker(&comments);
+        if documented {
+            stats.with_safety += 1;
+        } else {
+            out.push(finding(
+                file,
+                lexed,
+                t.line,
+                "unsafe-audit",
+                format!(
+                    "`unsafe{}` without a `// SAFETY:` comment (or `# Safety` doc \
+                     section) directly above it",
+                    if form == "{" { " block" } else { " item" }
+                ),
+            ));
+        }
+        if !allowlisted {
+            out.push(finding(
+                file,
+                lexed,
+                t.line,
+                "unsafe-audit",
+                "`unsafe` outside the FFI allowlist (crates/udt/src/mmsg.rs, shims/*): \
+                 move FFI into an allowlisted module or justify with an allow hatch"
+                    .to_string(),
+            ));
+        }
+        // Pointer-mention check: only meaningful when a SAFETY comment
+        // exists and the site has a body to inspect.
+        if documented {
+            if let Some((open, close)) = unsafe_body(tokens, i) {
+                for names in pointer_exprs(tokens, open, close) {
+                    if names.is_empty() {
+                        // Temporary-headed pointer chains are ffi-contract's
+                        // business; nothing for the comment to name.
+                        continue;
+                    }
+                    if !names.iter().any(|n| mentions(&comments, n)) {
+                        let mut sorted: Vec<&String> = names.iter().collect();
+                        sorted.sort();
+                        out.push(finding(
+                            file,
+                            lexed,
+                            t.line,
+                            "unsafe-audit",
+                            format!(
+                                "SAFETY comment does not mention the raw-pointer source \
+                                 (expected one of: {})",
+                                sorted
+                                    .iter()
+                                    .map(|n| format!("`{n}`"))
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+fn finding(file: &str, lexed: &LexedFile, line: u32, rule: &'static str, message: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        rule,
+        message,
+        allowed: lexed.is_allowed(line, rule),
+    }
+}
+
+/// Names of `fn`s declared inside `extern` blocks.
+fn extern_fns(tokens: &[Token]) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if ident(tokens, i) == Some("extern") {
+            // `extern "C" {` (ABI literal optional).
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.kind == Kind::Literal) {
+                j += 1;
+            }
+            if punct(tokens, j, "{") {
+                let close = scope::matching_brace(tokens, j);
+                let mut k = j + 1;
+                while k < close {
+                    if ident(tokens, k) == Some("fn") {
+                        if let Some(name) = ident(tokens, k + 1) {
+                            out.insert(name.to_string());
+                        }
+                    }
+                    k += 1;
+                }
+                i = close;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Names a function body binds: parameters, `let` / `for` bindings,
+/// `self`. Used as the "live owned roots" set for the escape analysis.
+fn owned_roots(tokens: &[Token], f: &scope::FnItem) -> HashSet<String> {
+    let mut roots: HashSet<String> = f.params.iter().cloned().collect();
+    roots.insert("self".to_string());
+    if let Some((open, close)) = f.body {
+        let mut k = open;
+        while k < close {
+            match ident(tokens, k) {
+                Some("let") => {
+                    let mut j = k + 1;
+                    if ident(tokens, j) == Some("mut") {
+                        j += 1;
+                    }
+                    if let Some(n) = ident(tokens, j) {
+                        roots.insert(n.to_string());
+                    }
+                }
+                Some("for") => {
+                    if let Some(n) = ident(tokens, k + 1) {
+                        roots.insert(n.to_string());
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    roots
+}
+
+/// Parse a numeric literal's value (handles `_` separators and type
+/// suffixes; hex/octal/binary literals come back `None` — named constants
+/// are expected for those anyway).
+fn literal_value(text: &str) -> Option<u64> {
+    let digits: String = text
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '_')
+        .filter(|c| *c != '_')
+        .collect();
+    if digits.is_empty() || text.starts_with("0x") || text.starts_with("0b") || text.starts_with("0o")
+    {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Run `ffi-contract` over one (allowlisted) file. Quiet when the file
+/// declares no `extern` block — the contract is about the FFI boundary.
+pub fn ffi_contract(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let tokens = &lexed.tokens;
+    let externs = extern_fns(tokens);
+    if externs.is_empty() {
+        return out;
+    }
+    // Length-ish fields must not be initialised from magic literals:
+    // `msg_namelen: 128` silently encodes sizeof(sockaddr_storage).
+    for (k, t) in tokens.iter().enumerate() {
+        if t.in_test || t.kind != Kind::Ident || !t.text.ends_with("len") {
+            continue;
+        }
+        let assigns = punct(tokens, k + 1, ":") || punct(tokens, k + 1, "=");
+        if !assigns {
+            continue;
+        }
+        let Some(v) = tokens.get(k + 2).filter(|v| v.kind == Kind::Num) else {
+            continue;
+        };
+        if literal_value(&v.text).is_some_and(|n| n >= 2) {
+            out.push(finding(
+                file,
+                lexed,
+                t.line,
+                "ffi-contract",
+                format!(
+                    "`{}` set from magic literal `{}`: use `size_of::<T>()` or a \
+                     named constant so the layout assumption is visible",
+                    t.text, v.text
+                ),
+            ));
+        }
+    }
+    // Call-site checks, per enclosing function.
+    for f in scope::functions(tokens) {
+        let Some((open, close)) = f.body else { continue };
+        if tokens[f.kw].in_test {
+            continue;
+        }
+        let roots = owned_roots(tokens, &f);
+        let mut k = open + 1;
+        while k < close {
+            let Some(name) = ident(tokens, k) else {
+                k += 1;
+                continue;
+            };
+            if !externs.contains(name) || !punct(tokens, k + 1, "(") {
+                k += 1;
+                continue;
+            }
+            let call_line = tokens[k].line;
+            let args_close = matching_paren(tokens, k + 1);
+            check_call_args(
+                file, lexed, tokens, name, call_line, k + 1, args_close, &roots, &mut out,
+            );
+            k = args_close + 1;
+        }
+    }
+    out
+}
+
+fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < tokens.len() {
+        if tokens[k].kind == Kind::Punct {
+            match tokens[k].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return k;
+                    }
+                }
+                _ => {}
+            }
+        }
+        k += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_call_args(
+    file: &str,
+    lexed: &LexedFile,
+    tokens: &[Token],
+    callee: &str,
+    call_line: u32,
+    open: usize,
+    close: usize,
+    roots: &HashSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    // Split (open, close) into top-level argument ranges.
+    let mut args: Vec<(usize, usize)> = Vec::new();
+    let mut start = open + 1;
+    let mut depth = 0i32;
+    for (k, tok) in tokens.iter().enumerate().take(close).skip(open + 1) {
+        if tok.kind == Kind::Punct {
+            match tok.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                "," if depth == 0 => {
+                    args.push((start, k));
+                    start = k + 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    if start < close {
+        args.push((start, close));
+    }
+    for (a0, a1) in args {
+        // A bare integer literal as a whole argument: magic length/flag.
+        if a1 == a0 + 1 && tokens[a0].kind == Kind::Num {
+            if literal_value(&tokens[a0].text).is_some_and(|n| n >= 2) {
+                out.push(finding(
+                    file,
+                    lexed,
+                    call_line,
+                    "ffi-contract",
+                    format!(
+                        "magic literal `{}` passed to extern `{callee}`: use \
+                         `size_of::<T>()` or a named constant",
+                        tokens[a0].text
+                    ),
+                ));
+            }
+            continue;
+        }
+        // Pointer-producing expressions inside the argument must be rooted
+        // at a live owned binding.
+        let mut k = a0;
+        while k < a1 {
+            let Some(id) = ident(tokens, k) else {
+                k += 1;
+                continue;
+            };
+            match id {
+                "as_ptr" | "as_mut_ptr" if punct(tokens, k.wrapping_sub(1), ".") => {
+                    let chain = scope::chain_idents(tokens, k - 1);
+                    match chain.first() {
+                        None => out.push(finding(
+                            file,
+                            lexed,
+                            call_line,
+                            "ffi-contract",
+                            format!(
+                                "pointer passed to extern `{callee}` is derived from a \
+                                 temporary: bind the buffer to a local that outlives \
+                                 the call"
+                            ),
+                        )),
+                        Some(root) if !roots.contains(root) && !is_const_name(root) => {
+                            out.push(finding(
+                                file,
+                                lexed,
+                                call_line,
+                                "ffi-contract",
+                                format!(
+                                    "pointer passed to extern `{callee}` is rooted at \
+                                     `{root}`, which is not a parameter or local `let` \
+                                     binding in this function"
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                "as" if punct(tokens, k + 1, "*")
+                    && matches!(ident(tokens, k + 2), Some("const" | "mut")) =>
+                {
+                    match ident(tokens, k.wrapping_sub(1)) {
+                        None => out.push(finding(
+                            file,
+                            lexed,
+                            call_line,
+                            "ffi-contract",
+                            format!(
+                                "pointer cast passed to extern `{callee}` is not rooted \
+                                 at a named binding"
+                            ),
+                        )),
+                        Some(root) if !roots.contains(root) && !is_const_name(root) => {
+                            out.push(finding(
+                                file,
+                                lexed,
+                                call_line,
+                                "ffi-contract",
+                                format!(
+                                    "pointer cast passed to extern `{callee}` is rooted \
+                                     at `{root}`, which is not a parameter or local \
+                                     `let` binding in this function"
+                                ),
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+/// `SCREAMING_CASE` names are consts/statics: owned for the program's
+/// lifetime, always a valid pointer root.
+fn is_const_name(name: &str) -> bool {
+    name.chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && name.chars().any(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn audit(src: &str, allowlisted: bool) -> (Vec<Finding>, UnsafeStats) {
+        unsafe_audit("t.rs", &lex(src), allowlisted)
+    }
+
+    #[test]
+    fn undocumented_unsafe_block_is_flagged() {
+        let (fs, st) = audit("fn f() { unsafe { do_thing() }; }", true);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("SAFETY"));
+        assert_eq!((st.sites, st.with_safety), (1, 0));
+    }
+
+    #[test]
+    fn documented_block_with_pointer_mention_is_clean() {
+        let src = "fn f(s: &mut S) {\n // SAFETY: `hdrs` outlives the call.\n let n = unsafe { recvmmsg(fd, s.hdrs.as_mut_ptr(), v) };\n}";
+        let (fs, st) = audit(src, true);
+        assert!(fs.is_empty(), "{fs:?}");
+        assert_eq!((st.sites, st.with_safety), (1, 1));
+    }
+
+    #[test]
+    fn safety_comment_must_mention_the_pointer() {
+        let src = "fn f(s: &mut S) {\n // SAFETY: trust me.\n let n = unsafe { recvmmsg(fd, s.hdrs.as_mut_ptr(), v) };\n}";
+        let (fs, _) = audit(src, true);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("hdrs"), "{fs:?}");
+    }
+
+    #[test]
+    fn unsafe_outside_allowlist_is_denied_even_with_safety() {
+        let src = "// SAFETY: seqlock write into `slot`.\nunsafe impl Sync for T {}";
+        let (fs, st) = audit(src, false);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("allowlist"));
+        assert_eq!((st.sites, st.with_safety), (1, 1));
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc_section() {
+        let src = "/// Set length.\n///\n/// # Safety\n///\n/// `len` must not exceed capacity.\npub unsafe fn set_len(&mut self, len: usize) { self.inner.set_len(len); }";
+        let (fs, st) = audit(src, true);
+        assert!(fs.is_empty(), "{fs:?}");
+        assert_eq!((st.sites, st.with_safety), (1, 1));
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let (fs, st) = audit("#[cfg(test)]\nmod tests { fn f() { unsafe { x() } } }", false);
+        assert!(fs.is_empty());
+        assert_eq!(st.sites, 0);
+    }
+
+    fn contract(src: &str) -> Vec<Finding> {
+        ffi_contract("t.rs", &lex(src))
+    }
+
+    const EXTERN: &str = "extern \"C\" { fn sendx(p: *mut u8, n: u32) -> i32; }\n";
+
+    #[test]
+    fn pointer_from_local_binding_is_fine() {
+        let src = format!(
+            "{EXTERN}fn f() {{ let mut buf = [0u8; 8]; let n = unsafe {{ sendx(buf.as_mut_ptr(), LEN) }}; }}"
+        );
+        assert!(contract(&src).is_empty(), "{:?}", contract(&src));
+    }
+
+    #[test]
+    fn pointer_from_temporary_is_flagged() {
+        let src = format!("{EXTERN}fn f() {{ let n = unsafe {{ sendx(make().as_mut_ptr(), LEN) }}; }}");
+        let fs = contract(&src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("temporary"));
+    }
+
+    #[test]
+    fn pointer_from_unknown_root_is_flagged() {
+        let src = format!("{EXTERN}fn f() {{ let n = unsafe {{ sendx(mystery.as_mut_ptr(), LEN) }}; }}");
+        let fs = contract(&src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn magic_literal_arg_is_flagged_but_zero_and_one_pass() {
+        let src = format!("{EXTERN}fn f(p: &mut [u8]) {{ unsafe {{ sendx(p.as_mut_ptr(), 128) }}; }}");
+        let fs = contract(&src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("128"));
+        let src = format!("{EXTERN}fn f(p: &mut [u8]) {{ unsafe {{ sendx(p.as_mut_ptr(), 0) }}; }}");
+        assert!(contract(&src).is_empty());
+    }
+
+    #[test]
+    fn len_field_from_literal_is_flagged() {
+        let src = format!("{EXTERN}fn f() {{ let h = Hdr {{ msg_namelen: 128 }}; }}");
+        let fs = contract(&src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("msg_namelen"));
+        // size_of-based initialisation passes.
+        let src = format!("{EXTERN}fn f() {{ let h = Hdr {{ msg_namelen: ADDR_LEN }}; }}");
+        assert!(contract(&src).is_empty());
+    }
+
+    #[test]
+    fn files_without_extern_blocks_are_quiet() {
+        assert!(contract("fn f() { let total_len = 4096; }").is_empty());
+    }
+
+    #[test]
+    fn const_roots_are_accepted() {
+        let src = format!("{EXTERN}fn f() {{ unsafe {{ sendx(TABLE.as_mut_ptr(), LEN) }}; }}");
+        assert!(contract(&src).is_empty(), "{:?}", contract(&src));
+    }
+}

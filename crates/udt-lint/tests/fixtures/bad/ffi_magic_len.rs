@@ -1,0 +1,16 @@
+//! A struct size smuggled in as a bare literal: when the struct layout
+//! changes, the literal silently keeps lying to the kernel.
+
+extern "C" {
+    fn recvmsgx(fd: i32, hdr: *mut MsgHdr) -> i32;
+}
+
+fn arm(fd: i32, storage: &mut AddrStorage) -> i32 {
+    let mut hdr = MsgHdr {
+        // SAFETY-adjacent layout assumption hidden in a number:
+        msg_namelen: 128,
+        msg_name: storage,
+    };
+    // SAFETY: `hdr` points at live locals for the whole call.
+    unsafe { recvmsgx(fd, &mut hdr) }
+}

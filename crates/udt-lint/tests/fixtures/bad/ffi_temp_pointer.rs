@@ -1,0 +1,11 @@
+//! A pointer passed to an extern call derived from a temporary: the
+//! buffer may be freed before (or while) the kernel reads through it.
+
+extern "C" {
+    fn sendmsgx(fd: i32, buf: *const u8, len: usize) -> i32;
+}
+
+fn flush(fd: i32) -> i32 {
+    // SAFETY: the kernel only reads FRAME_LEN bytes through the pointer.
+    unsafe { sendmsgx(fd, frame().as_ptr(), FRAME_LEN) }
+}

@@ -1,0 +1,11 @@
+//! A guard held across a blocking channel send: if the channel is full,
+//! every thread that wants `state` stalls behind a sender that cannot
+//! make progress until a consumer drains the channel.
+
+impl Relay {
+    fn forward(&self, pkt: Packet) {
+        let mut state = self.state.lock();
+        state.forwarded += 1;
+        self.out_tx.send(pkt);
+    }
+}

@@ -1,0 +1,28 @@
+//! Verbatim reduction of the PR-8 BufPool deadlock: the `if let`
+//! scrutinee keeps the `free` guard alive through the body (Rust 2021
+//! temporary-lifetime extension), and the sampled debug hook two calls
+//! down re-locks `free`. Shipped; only a runtime invariant caught it.
+
+impl BufPool {
+    pub(crate) fn get(&self) -> BytesMut {
+        if let Some(mut buf) = self.free.lock().pop() {
+            self.counters.pool_hits(1);
+            self.debug_check_sampled();
+            buf.clear();
+            return buf;
+        }
+        self.counters.pool_misses(1);
+        BytesMut::with_capacity(self.stride)
+    }
+
+    fn debug_check_sampled(&self) {
+        if self.sample.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+            self.check_invariants();
+        }
+    }
+
+    fn check_invariants(&self) {
+        let free = self.free.lock();
+        assert!(free.len() <= self.depth);
+    }
+}

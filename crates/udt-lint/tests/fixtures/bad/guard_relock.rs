@@ -1,0 +1,11 @@
+//! A named guard still live when the same mutex path is locked again:
+//! parking_lot mutexes are not reentrant, so this deadlocks every time.
+
+impl Mux {
+    fn register(&self, id: u32, handle: Handle) {
+        let mut conns = self.conns.lock();
+        conns.insert(id, handle);
+        let count = self.conns.lock().len();
+        self.tracer.emit(count);
+    }
+}

@@ -1,0 +1,9 @@
+//! Per-packet allocation on the hot path proper — not inside a cold
+//! combinator closure, so the exemption must NOT apply.
+
+impl Mux {
+    fn deliver(&self, pkt: &[u8]) {
+        let copy = pkt.to_vec();
+        self.route(copy);
+    }
+}

@@ -1,0 +1,8 @@
+//! Acquiring `rcv` before `snd` inverts the canonical order documented
+//! in conn.rs: two threads doing this in opposite orders deadlock.
+
+fn pump(sh: &Shared) {
+    let r = sh.rcv.lock();
+    let s = sh.snd.lock();
+    s.merge(&r);
+}

@@ -1,0 +1,6 @@
+//! An unsafe block with no SAFETY comment: the auditor has nothing to
+//! check the invariants against.
+
+fn publish_len(buf: &mut BytesMut, len: usize) {
+    unsafe { buf.set_len(len) };
+}

@@ -1,0 +1,8 @@
+//! `unsafe` in a non-FFI library module: denied even when documented.
+//! FFI belongs in mmsg.rs or the shims; anything else needs an explicit,
+//! justified allow hatch.
+
+fn peek(slot: &Slot) -> Event {
+    // SAFETY: `slot` is never written concurrently in this phase.
+    unsafe { std::ptr::read_volatile(slot.ev.get()) }
+}

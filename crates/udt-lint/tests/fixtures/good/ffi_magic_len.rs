@@ -1,0 +1,17 @@
+//! The fixed form: the length is derived from the type, so layout and
+//! length can never drift apart.
+
+extern "C" {
+    fn recvmsgx(fd: i32, hdr: *mut MsgHdr) -> i32;
+}
+
+const ADDR_LEN: u32 = std::mem::size_of::<AddrStorage>() as u32;
+
+fn arm(fd: i32, storage: &mut AddrStorage) -> i32 {
+    let mut hdr = MsgHdr {
+        msg_namelen: ADDR_LEN,
+        msg_name: storage,
+    };
+    // SAFETY: `hdr` points at live locals for the whole call.
+    unsafe { recvmsgx(fd, &mut hdr) }
+}

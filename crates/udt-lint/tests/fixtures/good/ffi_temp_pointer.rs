@@ -1,0 +1,13 @@
+//! The fixed form: bind the frame to a local that provably outlives the
+//! extern call, and document the pointer in the SAFETY comment.
+
+extern "C" {
+    fn sendmsgx(fd: i32, buf: *const u8, len: usize) -> i32;
+}
+
+fn flush(fd: i32) -> i32 {
+    let frame = frame();
+    // SAFETY: `frame` is a live local; the kernel only reads `FRAME_LEN`
+    // bytes through the pointer, which is the frame's exact length.
+    unsafe { sendmsgx(fd, frame.as_ptr(), FRAME_LEN) }
+}

@@ -1,0 +1,13 @@
+//! The fixed form: finish the bookkeeping, release the guard, then do
+//! the potentially-blocking send. (Non-blocking `try_send` while holding
+//! a guard is also accepted by the rule.)
+
+impl Relay {
+    fn forward(&self, pkt: Packet) {
+        {
+            let mut state = self.state.lock();
+            state.forwarded += 1;
+        }
+        self.out_tx.send(pkt);
+    }
+}

@@ -1,0 +1,28 @@
+//! The PR-8 fix: bind the popped value FIRST, so the `free` guard dies
+//! at the end of that statement, then match on the binding. The sampled
+//! invariant hook is now safe to call.
+
+impl BufPool {
+    pub(crate) fn get(&self) -> BytesMut {
+        let hit = self.free.lock().pop();
+        if let Some(mut buf) = hit {
+            self.counters.pool_hits(1);
+            self.debug_check_sampled();
+            buf.clear();
+            return buf;
+        }
+        self.counters.pool_misses(1);
+        BytesMut::with_capacity(self.stride)
+    }
+
+    fn debug_check_sampled(&self) {
+        if self.sample.fetch_add(1, Ordering::Relaxed) % 64 == 0 {
+            self.check_invariants();
+        }
+    }
+
+    fn check_invariants(&self) {
+        let free = self.free.lock();
+        assert!(free.len() <= self.depth);
+    }
+}

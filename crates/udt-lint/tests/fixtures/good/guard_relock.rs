@@ -1,0 +1,12 @@
+//! The fixed form: read what is needed while the guard is live, or drop
+//! it before touching the mutex again.
+
+impl Mux {
+    fn register(&self, id: u32, handle: Handle) {
+        let mut conns = self.conns.lock();
+        conns.insert(id, handle);
+        let count = conns.len();
+        drop(conns);
+        self.tracer.emit(count);
+    }
+}

@@ -1,0 +1,21 @@
+//! Allocations that only run on cold branches: a closure handed to an
+//! error-path combinator, and a `const { … }` thread-local initializer.
+//! The hot-alloc rule exempts both without an allow hatch.
+
+impl Mux {
+    fn scratch(&self) -> &'static LocalKey<RefCell<Vec<u8>>> {
+        thread_local! {
+            static SLOTS: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+        }
+        &SLOTS
+    }
+
+    fn route_or_queue(&self, id: u32, pkt: Packet) {
+        self.pending
+            .entry(id)
+            .or_insert_with(|| Vec::new())
+            .push(pkt);
+        let fallback = self.names.entry(id).or_insert_with(|| Vec::new());
+        self.tracer.note(fallback.len());
+    }
+}

@@ -1,0 +1,8 @@
+//! Canonical order: `snd` (outer) before `rcv` (inner) is the documented
+//! nesting and passes clean.
+
+fn pump(sh: &Shared) {
+    let s = sh.snd.lock();
+    let r = sh.rcv.lock();
+    s.merge(&r);
+}

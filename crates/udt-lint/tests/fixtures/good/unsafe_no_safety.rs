@@ -1,0 +1,8 @@
+//! The documented twin: the SAFETY comment states the initialisation
+//! invariant the caller provides.
+
+fn publish_len(buf: &mut BytesMut, len: usize) {
+    // SAFETY: the kernel initialized exactly `len` bytes of `buf`, and
+    // `len` was clamped to the buffer capacity by the caller.
+    unsafe { buf.set_len(len) };
+}

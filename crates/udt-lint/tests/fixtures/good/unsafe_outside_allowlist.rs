@@ -1,0 +1,9 @@
+//! The accepted form of non-FFI unsafe: a SAFETY comment stating the
+//! invariant, plus an explicit allow hatch justifying why this `unsafe`
+//! lives outside the FFI allowlist (the seqlock pattern in udt-trace).
+
+fn peek(slot: &Slot) -> Event {
+    // SAFETY: `slot` is never written concurrently in this phase.
+    // udt-lint: allow(unsafe-audit) — seqlock read, not FFI; invariant above.
+    unsafe { std::ptr::read_volatile(slot.ev.get()) }
+}

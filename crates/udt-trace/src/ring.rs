@@ -36,7 +36,9 @@ pub struct TraceBuf {
 // SAFETY: slot bodies are only accessed through the seqlock protocol
 // (volatile copy guarded by the slot sequence word); torn reads are
 // detected and discarded.
+// udt-lint: allow(unsafe-audit) — seqlock concurrency (invariant above), not FFI.
 unsafe impl Sync for TraceBuf {}
+// udt-lint: allow(unsafe-audit) — same seqlock justification as Sync.
 unsafe impl Send for TraceBuf {}
 
 impl TraceBuf {
@@ -76,8 +78,10 @@ impl TraceBuf {
         let idx = usize::try_from(n & self.mask).unwrap_or(0);
         let slot = &self.slots[idx];
         slot.seq.store(2 * n + 1, Ordering::SeqCst);
-        // SAFETY: seqlock write — the odd sequence word above tells readers
-        // the body is unstable until the even store below.
+        // SAFETY: seqlock write into `slot.ev` — the odd sequence word
+        // above tells readers the body is unstable until the even store
+        // below.
+        // udt-lint: allow(unsafe-audit) — volatile seqlock store, not FFI.
         unsafe { std::ptr::write_volatile(slot.ev.get(), ev) };
         slot.seq.store(2 * n + 2, Ordering::SeqCst);
     }
@@ -97,8 +101,10 @@ impl TraceBuf {
             if slot.seq.load(Ordering::SeqCst) != want {
                 continue;
             }
-            // SAFETY: seqlock read — the copy is only kept if the sequence
-            // word is unchanged afterwards, i.e. no writer touched the slot.
+            // SAFETY: seqlock read of `slot.ev` — the copy is only kept if
+            // the sequence word is unchanged afterwards, i.e. no writer
+            // touched the slot.
+            // udt-lint: allow(unsafe-audit) — volatile seqlock load, not FFI.
             let ev = unsafe { std::ptr::read_volatile(slot.ev.get()) };
             if slot.seq.load(Ordering::SeqCst) == want {
                 out.push(ev);

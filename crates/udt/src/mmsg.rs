@@ -27,6 +27,7 @@ use bytes::BytesMut;
 use crate::pool::BufPool;
 
 /// Upper bound on datagrams moved per syscall, independent of config.
+#[cfg_attr(miri, allow(dead_code))] // only the batched (non-Miri) path caps
 pub(crate) const MAX_BATCH: usize = 64;
 
 /// Batched socket front end. Cheap to construct; holds only the runtime
@@ -42,18 +43,19 @@ pub(crate) struct BatchIo {
 /// buffers matter for the batched datapath: a kernel queue that absorbs
 /// a burst turns into one big `recvmmsg` batch instead of drops.
 pub(crate) fn set_socket_buffers(sock: &UdpSocket, sndbuf: u32, rcvbuf: u32) {
-    #[cfg(target_os = "linux")]
+    #[cfg(all(target_os = "linux", not(miri)))]
     linux::set_socket_buffers(sock, sndbuf, rcvbuf);
-    #[cfg(not(target_os = "linux"))]
+    #[cfg(not(all(target_os = "linux", not(miri))))]
     let _ = (sock, sndbuf, rcvbuf);
 }
 
 impl BatchIo {
     /// Detect platform support. Linux is assumed capable until the kernel
-    /// says otherwise at runtime; everything else uses the fallback.
+    /// says otherwise at runtime; everything else — including Miri, which
+    /// cannot execute foreign functions — uses the fallback.
     pub(crate) fn detect() -> BatchIo {
         BatchIo {
-            mmsg: AtomicBool::new(cfg!(target_os = "linux")),
+            mmsg: AtomicBool::new(cfg!(all(target_os = "linux", not(miri)))),
         }
     }
 
@@ -78,7 +80,7 @@ impl BatchIo {
         scratch: &mut RecvScratch,
         out: &mut Vec<(BytesMut, SocketAddr)>,
     ) -> io::Result<usize> {
-        #[cfg(target_os = "linux")]
+        #[cfg(all(target_os = "linux", not(miri)))]
         if self.is_batched() && max > 1 {
             match linux::recv_mmsg(sock, pool, max.min(MAX_BATCH), scratch, out) {
                 Err(e) if linux::is_enosys(&e) => self.mmsg.store(false, Ordering::Relaxed),
@@ -118,7 +120,7 @@ impl BatchIo {
         if bufs.is_empty() {
             return Ok(0);
         }
-        #[cfg(target_os = "linux")]
+        #[cfg(all(target_os = "linux", not(miri)))]
         if self.is_batched() && bufs.len() > 1 {
             match linux::send_mmsg(sock, bufs, to) {
                 Err(e) if linux::is_enosys(&e) => self.mmsg.store(false, Ordering::Relaxed),
@@ -141,20 +143,20 @@ impl BatchIo {
 /// path allocates nothing per wakeup once warmed up. A plain marker on
 /// non-Linux targets.
 pub(crate) struct RecvScratch {
-    #[cfg(target_os = "linux")]
+    #[cfg(all(target_os = "linux", not(miri)))]
     inner: linux::Scratch,
 }
 
 impl RecvScratch {
     pub(crate) fn new() -> RecvScratch {
         RecvScratch {
-            #[cfg(target_os = "linux")]
+            #[cfg(all(target_os = "linux", not(miri)))]
             inner: linux::Scratch::default(),
         }
     }
 }
 
-#[cfg(target_os = "linux")]
+#[cfg(all(target_os = "linux", not(miri)))]
 mod linux {
     //! Hand-rolled FFI for `recvmmsg(2)`/`sendmmsg(2)`. The workspace
     //! vendors all dependencies, so there is no `libc` crate to lean on;
@@ -201,6 +203,11 @@ mod linux {
         data: [u8; 128],
     }
 
+    /// The `msg_namelen` handed to the kernel before each receive: the
+    /// full storage size, derived from the type so the two can never
+    /// drift apart.
+    const ADDR_LEN: u32 = std::mem::size_of::<AddrStorage>() as u32;
+
     extern "C" {
         fn recvmmsg(
             fd: c_int,
@@ -229,7 +236,8 @@ mod linux {
                 continue;
             }
             let val = bytes.min(i32::MAX as u32) as c_int;
-            // SAFETY: optval points at a live c_int of the stated length.
+            // SAFETY: optval points at the live local `val` (a c_int) and
+            // optlen is sizeof(c_int); the kernel only reads through it.
             // Failure is acceptable (the OS default stays in effect).
             let _ = unsafe {
                 setsockopt(
@@ -311,7 +319,7 @@ mod linux {
                 s.hdrs.push(MMsgHdr {
                     msg_hdr: MsgHdr {
                         msg_name: (&mut s.addrs[i] as *mut AddrStorage).cast(),
-                        msg_namelen: 128,
+                        msg_namelen: ADDR_LEN,
                         msg_iov: &mut s.iovecs[i],
                         msg_iovlen: 1,
                         msg_control: ptr::null_mut(),
@@ -332,7 +340,7 @@ mod linux {
                 s.iovecs[i].iov_base = s.bufs[i].as_mut_ptr().cast();
                 s.iovecs[i].iov_len = s.bufs[i].capacity();
             }
-            s.hdrs[i].msg_hdr.msg_namelen = 128;
+            s.hdrs[i].msg_hdr.msg_namelen = ADDR_LEN;
             s.hdrs[i].msg_hdr.msg_flags = 0;
             s.hdrs[i].msg_len = 0;
         }
@@ -409,8 +417,10 @@ mod linux {
         }
         let mut sent = 0;
         while sent < hdrs.len() {
-            // SAFETY: pointers target locals/borrows that outlive the
-            // call; the kernel treats the iovecs as read-only.
+            // SAFETY: `hdrs[sent..]` and everything its headers point at
+            // (`iovecs`, `addr`, the borrowed send buffers) are locals
+            // that outlive the call; the kernel treats the iovecs as
+            // read-only for sendmmsg.
             let n = unsafe {
                 sendmmsg(
                     sock.as_raw_fd(),

@@ -426,7 +426,7 @@ impl Mux {
             // Initializer runs once per thread; the slots grow to batch
             // size below and are reused for every later flush.
             static SLOTS: std::cell::RefCell<Vec<BytesMut>> =
-                const { std::cell::RefCell::new(Vec::new()) }; // udt-lint: allow(hot-alloc)
+                const { std::cell::RefCell::new(Vec::new()) };
         }
         SLOTS.with(|cell| {
             let mut slots = cell.borrow_mut();
