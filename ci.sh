@@ -104,6 +104,18 @@ timeout 300 ./target/release/exp_auth --quick
 # share must shrink with batching on. Emits BENCH_datapath.json.
 timeout 300 ./target/release/exp_datapath --quick
 
+# Metrics overhead, CI-sized: the udt-obs registry + profiler + scrape
+# endpoint must stay within 5% of metrics-off loopback goodput
+# (most-favorable interleaved pair, same methodology as
+# exp_trace_overhead), and the hub must actually have metered the blast.
+timeout 180 ./target/release/exp_metrics_overhead --quick
+
+# Perf-regression gate: compare the BENCH_*.json artifacts the experiment
+# legs above just wrote against the committed baselines in
+# crates/bench/baselines/ (noise-tolerant, data-driven gate set — see
+# bench::regress). Fails CI on a regression beyond tolerance.
+./target/release/bench regress --quick
+
 # One release-codegen pass with the runtime invariant hooks compiled in
 # (conn/buffer/losslist check_invariants fire on the live data path).
 # Kept last: the different RUSTFLAGS rebuild replaces target/release

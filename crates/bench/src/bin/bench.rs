@@ -1,0 +1,64 @@
+//! `bench` — harness utility CLI. Currently one subcommand:
+//!
+//! ```text
+//! bench regress [--quick] [--baseline-dir DIR] [--current-dir DIR]
+//! ```
+//!
+//! Compares the `BENCH_*.json` artifacts produced by the experiment legs
+//! (in `--current-dir`, default the cwd — `ci.sh` runs from the repo
+//! root) against the committed baselines (default
+//! `crates/bench/baselines/`) through the data-driven gate set in
+//! `bench::regress::GATES`. Exits non-zero when any gate fails.
+//!
+//! `--quick` documents that the current artifacts came from `--quick`
+//! experiment runs; the committed baselines are quick-sized, and a
+//! quick/full mismatch between an artifact pair skips that file with a
+//! visible note rather than comparing incomparable sizes.
+
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!("usage: bench regress [--quick] [--baseline-dir DIR] [--current-dir DIR]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("regress") {
+        usage();
+    }
+    let mut baseline_dir = PathBuf::from("crates/bench/baselines");
+    let mut current_dir = PathBuf::from(".");
+    let mut quick = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--baseline-dir" => match it.next() {
+                Some(d) => baseline_dir = PathBuf::from(d),
+                None => usage(),
+            },
+            "--current-dir" => match it.next() {
+                Some(d) => current_dir = PathBuf::from(d),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    println!(
+        "bench regress: {} vs baselines in {}{}",
+        current_dir.display(),
+        baseline_dir.display(),
+        if quick { " (quick)" } else { "" }
+    );
+    let rep = bench::regress::run(&baseline_dir, &current_dir);
+    for line in &rep.lines {
+        println!("  {line}");
+    }
+    if rep.ok() {
+        println!("bench regress: OK ({} lines)", rep.lines.len());
+    } else {
+        println!("bench regress: {} gate(s) FAILED", rep.failures);
+        std::process::exit(1);
+    }
+}

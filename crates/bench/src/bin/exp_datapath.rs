@@ -5,7 +5,7 @@
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let report = if quick {
-        bench::experiments::datapath::run_with(60_000, 60_000_000)
+        bench::experiments::datapath::run_with(60_000, 60_000_000, true)
     } else {
         bench::experiments::datapath::run()
     };

@@ -1,0 +1,17 @@
+//! Metrics-overhead smoke: the udt-obs registry, profiler, and scrape
+//! endpoint must stay within 5% of the metrics-off loopback goodput
+//! (most-favorable interleaved pair, same methodology as
+//! `exp_trace_overhead`). `--quick` shrinks the transfer for CI.
+//! See DESIGN.md for the experiment index.
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let report = if quick {
+        bench::experiments::metrics_overhead::run_with(60_000_000)
+    } else {
+        bench::experiments::metrics_overhead::run()
+    };
+    report.print();
+    if !report.all_ok() {
+        std::process::exit(1);
+    }
+}

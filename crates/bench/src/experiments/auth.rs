@@ -90,7 +90,7 @@ fn adversarial_run(bytes: usize) -> (bool, u64, u64) {
 }
 
 /// Run with a configurable transfer size per blast.
-pub fn run_with(total_bytes: u64) -> Report {
+pub fn run_with(total_bytes: u64, quick: bool) -> Report {
     let mut rep = Report::new(
         "auth",
         "Adversary rejection and goodput cost of the authenticated profile",
@@ -153,7 +153,6 @@ pub fn run_with(total_bytes: u64) -> Report {
     );
 
     let json = Obj::new()
-        .str("experiment", "auth")
         .int("seed", SEED)
         .flag("adversary_byte_identical", identical)
         .int("adversary_tags_bad", tags_bad)
@@ -161,7 +160,7 @@ pub fn run_with(total_bytes: u64) -> Report {
         .arr("overhead_pairs", pairs_json)
         .num("best_delta", best_delta)
         .num("bound", MAX_ENABLED_LOSS);
-    match perfjson::write_bench("auth", &json) {
+    match perfjson::write_bench_v2("auth", quick, json) {
         Ok(p) => rep.row(format!("wrote {}", p.display())),
         Err(e) => rep.row(format!("BENCH_auth.json not written: {e}")),
     }
@@ -170,5 +169,5 @@ pub fn run_with(total_bytes: u64) -> Report {
 
 /// Default entry point.
 pub fn run() -> Report {
-    run_with(150_000_000)
+    run_with(150_000_000, false)
 }

@@ -57,7 +57,7 @@ fn udp_share(out: &crate::realnet::TransferOut) -> f64 {
 
 /// Run with configurable sizes: `pump_pkts` packets per pump run and
 /// `blast_bytes` per full-protocol blast.
-pub fn run_with(pump_pkts: u32, blast_bytes: u64) -> Report {
+pub fn run_with(pump_pkts: u32, blast_bytes: u64, quick: bool) -> Report {
     let mut rep = Report::new(
         "datapath",
         "Batched datapath: msgs/s and UDP-syscall CPU share",
@@ -187,7 +187,7 @@ pub fn run_with(pump_pkts: u32, blast_bytes: u64) -> Report {
             "goodput_bps",
             vec![Val::F(best_goodput.0), Val::F(best_goodput.1)],
         );
-    match perfjson::write_bench("datapath", &json) {
+    match perfjson::write_bench_v2("datapath", quick, json) {
         Ok(path) => rep.row(format!("wrote {}", path.display())),
         Err(e) => rep.row(format!("could not write BENCH_datapath.json: {e}")),
     }
@@ -196,5 +196,5 @@ pub fn run_with(pump_pkts: u32, blast_bytes: u64) -> Report {
 
 /// Default entry point.
 pub fn run() -> Report {
-    run_with(200_000, 150_000_000)
+    run_with(200_000, 150_000_000, false)
 }

@@ -1,0 +1,121 @@
+//! Metrics-overhead audit.
+//!
+//! The udt-obs layer (histograms at the datapath emit sites, per-conn
+//! counter families, the profiler tick, and the scrape endpoint's server
+//! thread) must be cheap enough to leave on in production — the same
+//! §7 argument the trace-overhead gate makes for event tracing. Loopback
+//! blasts run in interleaved pairs, identical but for the metrics hub:
+//! absent (the default — every emit site is one `Option` branch) and
+//! present with a live scrape endpoint and a fast profiler interval.
+//!
+//! The gate uses the most favorable pair for the same reason
+//! `trace_overhead` does: loopback goodput noise only ever widens an
+//! observed delta, so the smallest delta across pairs upper-bounds the
+//! intrinsic cost, while a genuine hot-path regression (a lock or an
+//! allocation per record) widens every pair and still trips it.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use udt::{MetricsHub, UdtConfig};
+use udt_metrics::registry::SampleValue;
+
+use crate::realnet::run_loopback_blast;
+use crate::report::{mbps, Report};
+
+/// Interleaved off/on pairs; the most favorable is gated.
+const PAIRS: usize = 3;
+
+/// Maximum tolerated goodput loss with metrics enabled.
+const MAX_ENABLED_LOSS: f64 = 0.05;
+
+/// Run with a configurable transfer size per blast.
+pub fn run_with(total_bytes: u64) -> Report {
+    let mut rep = Report::new(
+        "metrics_overhead",
+        "Goodput cost of the always-on metrics registry",
+        format!(
+            "{PAIRS} interleaved pairs of {} MB loopback blasts; metrics off vs hub + scrape endpoint",
+            total_bytes / 1_000_000
+        ),
+    );
+    // Warm the stack (thread pools, allocator, page cache) off the books.
+    let _ = run_loopback_blast(UdtConfig::default(), total_bytes / 4);
+
+    let mut best_delta = f64::INFINITY;
+    let mut hist_samples: u64 = 0;
+    let mut pkt_counts: u64 = 0;
+    for i in 0..PAIRS {
+        let off = run_loopback_blast(UdtConfig::default(), total_bytes);
+        let hub = MetricsHub::new();
+        let cfg = UdtConfig {
+            metrics: Some(Arc::clone(&hub)),
+            metrics_listen: Some("127.0.0.1:0".parse().unwrap()),
+            // Much faster than the default 1 s so the profiler cost is
+            // over-represented rather than missed.
+            metrics_interval: Duration::from_millis(100),
+            ..UdtConfig::default()
+        };
+        let on = run_loopback_blast(cfg, total_bytes);
+        let snap = hub.registry().snapshot();
+        let rtt_count: u64 = snap
+            .family("udt_conn_rtt_us")
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|s| match &s.value {
+                        SampleValue::Hist(h) => h.count(),
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0);
+        let sent: u64 = snap
+            .family("udt_conn_pkts_sent")
+            .map(|f| {
+                f.series
+                    .iter()
+                    .map(|s| match s.value {
+                        SampleValue::Counter(v) => v,
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0);
+        hist_samples = hist_samples.max(rtt_count);
+        pkt_counts = pkt_counts.max(sent);
+        hub.shutdown();
+        let delta = 1.0 - on.throughput_bps() / off.throughput_bps().max(1e-9);
+        best_delta = best_delta.min(delta);
+        rep.row(format!(
+            "pair {i}: off {} Mb/s, on {} Mb/s, delta {:+.2}%",
+            mbps(off.throughput_bps()),
+            mbps(on.throughput_bps()),
+            delta * 100.0
+        ));
+    }
+    rep.row(format!(
+        "best-pair delta: {:+.2}% ({pkt_counts} pkts counted, {hist_samples} RTT samples in one metered blast)",
+        best_delta * 100.0
+    ));
+    rep.shape(
+        "enabled metrics cost under 5% goodput (most favorable pair)",
+        best_delta < MAX_ENABLED_LOSS,
+        format!(
+            "best delta {:+.2}% (bound {:.0}%)",
+            best_delta * 100.0,
+            MAX_ENABLED_LOSS * 100.0
+        ),
+    );
+    rep.shape(
+        "the hub actually metered the transfer",
+        pkt_counts > 1_000 && hist_samples > 0,
+        format!("{pkt_counts} pkts, {hist_samples} RTT samples"),
+    );
+    rep
+}
+
+/// Default entry point (also the CI smoke size).
+pub fn run() -> Report {
+    run_with(150_000_000)
+}

@@ -400,7 +400,6 @@ pub fn run(quick: bool) -> Report {
     );
 
     let json = Obj::new()
-        .str("bench", if quick { "multipath-quick" } else { "multipath" })
         .arr(
             "runs",
             vec![
@@ -425,7 +424,7 @@ pub fn run(quick: bool) -> Report {
                 ),
             ],
         );
-    match perfjson::write_bench("multipath", &json) {
+    match perfjson::write_bench_v2("multipath", quick, json) {
         Ok(p) => rep.row(format!("wrote {}", p.display())),
         Err(e) => rep.row(format!("BENCH_multipath.json not written: {e}")),
     }

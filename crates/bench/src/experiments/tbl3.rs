@@ -145,10 +145,9 @@ pub fn run_quick() -> Report {
         format!("|delta| = {rcv_delta:.3}"),
     );
     let json = Obj::new()
-        .str("bench", "tbl3-quick")
         .int("bytes_per_run", total)
         .arr("runs", vec![blast_json("A", &a), blast_json("B", &b)]);
-    match perfjson::write_bench("tbl3", &json) {
+    match perfjson::write_bench_v2("tbl3", true, json) {
         Ok(p) => rep.row(format!("wrote {}", p.display())),
         Err(e) => rep.row(format!("BENCH_tbl3.json not written: {e}")),
     }

@@ -16,6 +16,7 @@ pub mod cpu;
 pub mod instrshot;
 pub mod perfjson;
 pub mod realnet;
+pub mod regress;
 pub mod report;
 pub mod scenarios;
 pub mod trace_export;
@@ -33,6 +34,7 @@ pub mod experiments {
     pub mod datapath;
     pub mod flightrec;
     pub mod trace_overhead;
+    pub mod metrics_overhead;
     pub mod multibottleneck;
     pub mod multipath;
     pub mod soak;
@@ -86,6 +88,7 @@ pub fn all_experiments() -> Vec<fn() -> Report> {
         experiments::chaos::run,
         experiments::multibottleneck::run,
         experiments::trace_overhead::run,
+        experiments::metrics_overhead::run,
         experiments::datapath::run,
         experiments::flightrec::run,
         experiments::multipath::run_full,

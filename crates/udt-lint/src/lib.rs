@@ -94,6 +94,36 @@ pub fn analyze(sources: &[(String, String)], lock_order: &[String]) -> Report {
         stats.sites += st.sites;
         stats.with_safety += st.with_safety;
     }
+    // Cross-file pass for `metrics-name`: the namespace is global, so a
+    // name registered from call sites in two different files is the same
+    // hazard the per-file duplicate check catches. Flag every site after
+    // the first, in walk order.
+    let mut first_site: HashMap<String, (String, u32)> = HashMap::new();
+    for (rel, lf) in &lexed {
+        if !rules::scope_for(Path::new(rel)).metrics_name {
+            continue;
+        }
+        for (name, line) in rules::metrics_registrations(lf) {
+            match first_site.get(&name) {
+                None => {
+                    first_site.insert(name, (rel.clone(), line));
+                }
+                Some((f0, l0)) if f0 != rel => {
+                    findings.push(Finding {
+                        file: rel.clone(),
+                        line,
+                        rule: "metrics-name",
+                        message: format!(
+                            "metric `{name}` already registered at {f0}:{l0}: one name, one call site"
+                        ),
+                        allowed: lf.is_allowed(line, "metrics-name"),
+                    });
+                }
+                // Same-file duplicates were already reported per file.
+                Some(_) => {}
+            }
+        }
+    }
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     warnings.sort();
     warnings.dedup();
@@ -140,6 +170,9 @@ pub fn analyze_file(
     }
     if scope.hot_alloc {
         findings.extend(rules::hot_alloc(rel, lexed));
+    }
+    if scope.metrics_name {
+        findings.extend(rules::metrics_name(rel, lexed));
     }
     if scope.guard_liveness {
         findings.extend(guards::guard_liveness(rel, lexed, summary));

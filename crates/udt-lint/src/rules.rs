@@ -11,6 +11,7 @@
 //! | `println`   | `println!`/`eprintln!` in library crates (use udt-trace)      |
 //! | `secret-material` | key/secret/tag identifiers fed to format macros         |
 //! | `hot-alloc` | per-packet heap allocation in the datapath modules            |
+//! | `metrics-name` | registry metric names off the `udt_*` namespace, and duplicate registration sites |
 //!
 //! Three further rules live in their own modules, built on the
 //! block-structure layer in [`crate::scope`]:
@@ -49,6 +50,7 @@ pub const RULES: &[&str] = &[
     "println",
     "secret-material",
     "hot-alloc",
+    "metrics-name",
     "guard-liveness",
     "unsafe-audit",
     "ffi-contract",
@@ -750,6 +752,81 @@ fn binding_for(tokens: &[Token], k: usize) -> Option<String> {
     None
 }
 
+/// Is `lit` (a string literal token, quotes included) a valid metric
+/// name: `^udt_[a-z0-9_]+$`?
+fn valid_metric_name_lit(lit: &str) -> bool {
+    let name = lit.trim_matches('"');
+    name.strip_prefix("udt_").is_some_and(|rest| {
+        !rest.is_empty()
+            && rest
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+    })
+}
+
+/// Metric name literals at registry call sites: `.counter("…")`,
+/// `.gauge("…")`, `.histogram("…")` with a literal first argument.
+/// Returns `(name, line)` pairs, test regions excluded.
+pub fn metrics_registrations(lexed: &LexedFile) -> Vec<(String, u32)> {
+    let tokens = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in tokens.iter().enumerate() {
+        let is_reg = t.kind == Kind::Ident
+            && !t.in_test
+            && matches!(t.text.as_str(), "counter" | "gauge" | "histogram")
+            && i > 0
+            && punct_at(tokens, i - 1, ".")
+            && punct_at(tokens, i + 1, "(");
+        if !is_reg {
+            continue;
+        }
+        if let Some(lit) = tokens
+            .get(i + 2)
+            .filter(|a| a.kind == Kind::Literal && a.text.starts_with('"'))
+        {
+            out.push((lit.text.trim_matches('"').to_string(), lit.line));
+        }
+    }
+    out
+}
+
+/// `metrics-name`: every metric name literal handed to
+/// `Registry::counter`/`gauge`/`histogram` must match `^udt_[a-z0-9_]+$`
+/// (one namespace, greppable, exporter-safe), and a name must be
+/// registered from exactly one call site per file — a second site with
+/// the same literal is either a copy-paste error or a kind conflict
+/// waiting to happen (`analyze` extends this check across files).
+/// Dynamically-built names (no literal at the call site) are out of
+/// scope; the registry itself validates those at runtime.
+pub fn metrics_name(file: &str, lexed: &LexedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: Vec<(String, u32)> = Vec::new();
+    for (name, line) in metrics_registrations(lexed) {
+        if !valid_metric_name_lit(&format!("\"{name}\"")) {
+            out.push(finding(
+                file,
+                lexed,
+                line,
+                "metrics-name",
+                format!("metric name `{name}` must match ^udt_[a-z0-9_]+$"),
+            ));
+        }
+        if let Some((_, first)) = seen.iter().find(|(n, _)| *n == name) {
+            out.push(finding(
+                file,
+                lexed,
+                line,
+                "metrics-name",
+                format!("metric `{name}` already registered at line {first}: one name, one call site"),
+            ));
+        } else {
+            seen.push((name, line));
+        }
+    }
+    out
+}
+
+
 /// Which rule set applies to `path` (relative to the repo root)?
 pub struct Scope {
     pub seq_cmp: bool,
@@ -760,6 +837,7 @@ pub struct Scope {
     pub println: bool,
     pub secret_material: bool,
     pub hot_alloc: bool,
+    pub metrics_name: bool,
     pub guard_liveness: bool,
     pub unsafe_audit: bool,
     /// Doubles as the FFI allowlist flag: `ffi-contract` runs here, and
@@ -778,6 +856,7 @@ impl Scope {
             || self.println
             || self.secret_material
             || self.hot_alloc
+            || self.metrics_name
             || self.guard_liveness
             || self.unsafe_audit
             || self.ffi_contract
@@ -835,6 +914,10 @@ pub fn scope_for(rel: &Path) -> Scope {
         // site, which is library code.
         secret_material: lib_crate && !in_bin && !test_file,
         hot_alloc: hot_path,
+        // Metric names share one flat namespace across every registering
+        // crate; bins and tests register scratch names on private
+        // registries, which is fine.
+        metrics_name: (lib_crate || crate_name == "udt-multipath") && !in_bin && !test_file,
         // Locks live in the transport crates; the multipath bonding layer
         // is just as deadlock-prone as core udt even though the older
         // name-based rules never covered it.
@@ -1053,6 +1136,55 @@ mod tests {
     fn captured_idents_parses_format_strings() {
         assert_eq!(captured_idents("\"{tx_key:?} {{esc}} {0} {ok}\""), vec!["tx_key", "ok"]);
         assert!(captured_idents("\"plain text\"").is_empty());
+    }
+
+    #[test]
+    fn metrics_name_catches_bad_names_and_duplicates() {
+        let fs = run(
+            "fn f(r: &Registry) { r.counter(\"conn_pkts\", \"h\", &[]); }",
+            metrics_name,
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("must match"), "{}", fs[0].message);
+        let fs = run(
+            "fn f(r: &Registry) { r.gauge(\"udt_Bad_Name\", \"h\", &[]); }",
+            metrics_name,
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        let fs = run(
+            "fn f(r: &Registry) {\n r.histogram(\"udt_x_us\", \"h\", &[]);\n r.histogram(\"udt_x_us\", \"h\", &[]);\n}",
+            metrics_name,
+        );
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert!(fs[0].message.contains("already registered"), "{}", fs[0].message);
+    }
+
+    #[test]
+    fn metrics_name_skips_valid_dynamic_tests_and_allows() {
+        assert!(run(
+            "fn f(r: &Registry) { r.counter(\"udt_conn_pkts_sent\", \"h\", &[]); }",
+            metrics_name
+        )
+        .is_empty());
+        // Dynamic name: no literal at the call site — runtime validates.
+        assert!(run("fn f(r: &Registry) { r.counter(name, \"h\", &[]); }", metrics_name)
+            .is_empty());
+        // Unrelated .histogram() without a literal, and test regions.
+        assert!(run("#[cfg(test)]\nmod tests { fn t(r: &Registry) { r.counter(\"bad\", \"h\", &[]); } }", metrics_name).is_empty());
+        let fs = run(
+            "fn f(r: &Registry) {\n // udt-lint: allow(metrics-name) — migration shim\n r.counter(\"legacy_name\", \"h\", &[]);\n}",
+            metrics_name,
+        );
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].allowed);
+    }
+
+    #[test]
+    fn metrics_name_scope_covers_registering_crates_only() {
+        assert!(scope_for(Path::new("crates/udt/src/obs.rs")).metrics_name);
+        assert!(scope_for(Path::new("crates/udt-metrics/src/registry.rs")).metrics_name);
+        assert!(!scope_for(Path::new("crates/udt/src/bin/udtstat.rs")).metrics_name);
+        assert!(!scope_for(Path::new("crates/bench/src/experiments/metrics_overhead.rs")).metrics_name);
     }
 
     #[test]

@@ -30,6 +30,7 @@ const BAD: &[(&str, &str, &str)] = &[
     ("ffi_magic_len.rs", "crates/udt/src/mmsg.rs", "ffi-contract"),
     ("hot_alloc_closure.rs", "crates/udt/src/mux.rs", "hot-alloc"),
     ("lock_order_inversion.rs", "crates/udt/src/conn.rs", "lock-order"),
+    ("metrics_name.rs", "crates/udt/src/obs.rs", "metrics-name"),
 ];
 
 /// (fixture file, pseudo repo path): the fixed twins, asserted clean.
@@ -43,6 +44,7 @@ const GOOD: &[(&str, &str)] = &[
     ("ffi_magic_len.rs", "crates/udt/src/mmsg.rs"),
     ("hot_alloc_closure.rs", "crates/udt/src/mux.rs"),
     ("lock_order_inversion.rs", "crates/udt/src/conn.rs"),
+    ("metrics_name.rs", "crates/udt/src/obs.rs"),
 ];
 
 fn fixture(kind: &str, name: &str) -> String {

@@ -1,0 +1,14 @@
+//! Metric registrations off the namespace contract: a name outside
+//! `udt_*`, a capitalised name, and the same name registered from two
+//! call sites (the second is a copy-paste landmine — the registry would
+//! silently hand back the first series).
+
+impl ConnObs {
+    fn register(&self, reg: &Registry) {
+        let a = reg.counter("conn_pkts_sent", "sent packets", &[]);
+        let b = reg.gauge("udt_Conn_Share", "cpu share", &[]);
+        let c = reg.histogram("udt_conn_rtt_us", "rtt", &[]);
+        let d = reg.histogram("udt_conn_rtt_us", "rtt again", &[]);
+        self.keep(a, b, c, d);
+    }
+}

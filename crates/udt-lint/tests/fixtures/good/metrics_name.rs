@@ -1,0 +1,16 @@
+//! The fixed twin: every name in the `udt_` namespace, lowercase, one
+//! call site per name; a dynamically-built name is out of the rule's
+//! scope (the registry validates it at runtime); and a deliberate
+//! off-namespace name for a migration shim takes the escape hatch.
+
+impl ConnObs {
+    fn register(&self, reg: &Registry, legacy: &str) {
+        let a = reg.counter("udt_conn_pkts_sent", "sent packets", &[]);
+        let b = reg.gauge("udt_conn_cpu_share", "cpu share", &[]);
+        let c = reg.histogram("udt_conn_rtt_us", "rtt", &[]);
+        let d = reg.histogram(legacy, "dynamic name, validated at runtime", &[]);
+        // udt-lint: allow(metrics-name) — legacy dashboard reads this name
+        let e = reg.counter("legacy_pkts", "migration shim", &[]);
+        self.keep(a, b, c, d, e);
+    }
+}

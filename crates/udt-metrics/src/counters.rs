@@ -9,6 +9,17 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A counter family that can be folded into the registry namespace as
+/// `udt_<subsystem>_<field>` series (see [`crate::registry::Registry::
+/// register_family`]). Implemented by every `counter_set!` family and by
+/// [`FaultCounters`]; `samples` reads relaxed, matching `snapshot`.
+pub trait CounterFamily: Send + Sync + 'static {
+    /// Subsystem segment of the `udt_<subsystem>_<field>` metric names.
+    fn subsystem(&self) -> &'static str;
+    /// `(field name, current value)` pairs, in declaration order.
+    fn samples(&self) -> Vec<(&'static str, u64)>;
+}
+
 /// Per-stage impairment counters, cheap enough for the packet hot path.
 #[derive(Debug, Default)]
 pub struct FaultCounters {
@@ -73,6 +84,25 @@ impl FaultCounters {
     }
 }
 
+impl CounterFamily for FaultCounters {
+    fn subsystem(&self) -> &'static str {
+        "fault"
+    }
+
+    fn samples(&self) -> Vec<(&'static str, u64)> {
+        let s = self.snapshot();
+        vec![
+            ("seen", s.seen),
+            ("dropped", s.dropped),
+            ("delayed_pkts", s.delayed_pkts),
+            ("delayed_us", s.delayed_us),
+            ("duplicated", s.duplicated),
+            ("corrupted", s.corrupted),
+            ("injected", s.injected),
+        ]
+    }
+}
+
 /// Point-in-time copy of a [`FaultCounters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultSnapshot {
@@ -115,6 +145,7 @@ impl FaultSnapshot {
 
 macro_rules! counter_set {
     (
+        family $subsys:literal;
         $(#[$cmeta:meta])* counters $counters:ident;
         $(#[$smeta:meta])* snapshot $snapshot:ident;
         $( $(#[$fmeta:meta])* $field:ident ),+ $(,)?
@@ -147,6 +178,18 @@ macro_rules! counter_set {
             }
         }
 
+        impl CounterFamily for $counters {
+            fn subsystem(&self) -> &'static str {
+                $subsys
+            }
+
+            fn samples(&self) -> Vec<(&'static str, u64)> {
+                vec![
+                    $( (stringify!($field), self.$field.load(Ordering::Relaxed)), )+
+                ]
+            }
+        }
+
         $(#[$smeta])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
         pub struct $snapshot {
@@ -159,6 +202,7 @@ macro_rules! counter_set {
 }
 
 counter_set! {
+    family "listener";
     /// Listener-hardening counters: one per `UdtListener`, bumped from
     /// the handshake service thread.
     counters ListenerCounters;
@@ -180,6 +224,7 @@ counter_set! {
 }
 
 counter_set! {
+    family "session";
     /// Resilient-session counters: one per `ResilientSession`-equivalent.
     counters SessionCounters;
     /// Point-in-time copy of a [`SessionCounters`].
@@ -195,6 +240,7 @@ counter_set! {
 }
 
 counter_set! {
+    family "auth";
     /// Authenticated-profile counters: one per connection (and one per
     /// listener for handshake-level rejects), bumped from the mux receive
     /// path.
@@ -213,6 +259,7 @@ counter_set! {
 }
 
 counter_set! {
+    family "path";
     /// Per-path counters for bonded (multipath) sessions: one per path
     /// in a `BondedSession`, bumped from the path reader/writer threads.
     counters PathCounters;
@@ -235,6 +282,7 @@ counter_set! {
 }
 
 counter_set! {
+    family "batch";
     /// Batched-datapath counters: one per UDP demultiplexer, bumped from
     /// the demux thread (receive side, pool) and the sending threads.
     counters BatchCounters;

@@ -1,0 +1,426 @@
+//! Lock-free log-linear histogram (HDR-style).
+//!
+//! [`Histogram`] records unsigned 64-bit values (microseconds, packet
+//! counts, queue depths …) into a fixed array of atomic buckets:
+//!
+//! * values below `2^SUB_BITS` (= 32) land in one exact bucket each;
+//! * every power-of-two range `[2^e, 2^(e+1))` above that is split into
+//!   `2^SUB_BITS` linear sub-buckets, bounding the relative quantile
+//!   error at `2^-SUB_BITS` ≈ 3.1% while covering the whole `u64` range
+//!   with 1 920 buckets (15 KiB per histogram).
+//!
+//! [`Histogram::record`] is a handful of relaxed atomic RMWs — no locks,
+//! no allocation — cheap enough for the per-packet datapath.
+//! [`Histogram::snapshot`] takes relaxed per-bucket loads; the result is
+//! internally consistent by construction because every derived statistic
+//! (count, percentiles) is computed from the *copied* bucket array, so a
+//! reader can never observe a torn percentile. [`HistSnapshot::merge`]
+//! adds bucket arrays with saturating arithmetic and is associative,
+//! which makes per-shard histograms aggregatable in any order.
+
+// Numeric casts in this module are deliberate bucket arithmetic: values
+// are masked to `SUB_BITS` / bounded by `N_BUCKETS` before every
+// narrowing cast, and quantile ranks are non-negative by construction.
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::cast_sign_loss)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket resolution: each power-of-two range is split into
+/// `2^SUB_BITS` buckets (relative error ≤ 1/32 ≈ 3.1%).
+const SUB_BITS: u32 = 5;
+/// Number of linear sub-buckets per power-of-two range.
+const BASE: usize = 1 << SUB_BITS;
+/// Total bucket count: the exact linear region `[0, BASE)` plus
+/// `64 - SUB_BITS` log ranges of `BASE` sub-buckets each.
+pub const N_BUCKETS: usize = BASE + (64 - SUB_BITS as usize) * BASE;
+
+/// Bucket index for a value. Total order: `v <= w` ⇒
+/// `bucket_index(v) <= bucket_index(w)`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < BASE as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros(); // >= SUB_BITS
+        let low = ((v >> (exp - SUB_BITS)) as usize) & (BASE - 1);
+        (exp - SUB_BITS + 1) as usize * BASE + low
+    }
+}
+
+/// Lowest value mapping to bucket `idx` (the bucket's representative).
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    debug_assert!(idx < N_BUCKETS);
+    if idx < BASE {
+        idx as u64
+    } else {
+        let r = idx - BASE;
+        let exp = SUB_BITS + (r / BASE) as u32;
+        let low = (r % BASE) as u64;
+        (BASE as u64 + low) << (exp - SUB_BITS)
+    }
+}
+
+/// Highest value mapping to bucket `idx` (inclusive upper bound).
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 < N_BUCKETS {
+        bucket_low(idx + 1) - 1
+    } else {
+        u64::MAX
+    }
+}
+
+/// Lock-free log-linear histogram. See the module docs for the bucket
+/// scheme; construction is cheap but not free (15 KiB zeroed), so share
+/// one per series via `Arc` rather than building them per event.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; N_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count.load(Ordering::Relaxed))
+            .field("sum", &self.sum.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Histogram {
+    /// Fresh empty histogram.
+    pub fn new() -> Histogram {
+        // `vec![..]` then an infallible conversion: a 15 KiB array is
+        // better heap-built than passed through the stack.
+        let v: Vec<AtomicU64> = (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let boxed: Box<[AtomicU64; N_BUCKETS]> = match v.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            // udt-lint: allow(unwrap) — vec built with exactly N_BUCKETS elements above
+            Err(_) => unreachable!("vec built with N_BUCKETS elements"),
+        };
+        Histogram {
+            buckets: boxed,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Relaxed atomics only; safe from any thread.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a duration, saturating to `u64::MAX` nanoseconds.
+    #[inline]
+    pub fn record_duration_ns(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copy the current state. Per-bucket loads are relaxed, so a
+    /// snapshot taken mid-record may miss in-flight values, but every
+    /// statistic derived from it comes from the same copied buckets —
+    /// percentiles are never torn.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+///
+/// `count` is derived from the bucket array (not stored separately), so
+/// the snapshot is internally consistent even when taken concurrently
+/// with writers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Per-bucket counts, [`N_BUCKETS`] entries ([`bucket_low`] order).
+    pub buckets: Vec<u64>,
+    /// Sum of recorded values (saturating under merge).
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// An empty snapshot (identity element of [`HistSnapshot::merge`]).
+    pub fn empty() -> HistSnapshot {
+        HistSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Total recorded values (sum of the bucket array).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the bucket
+    /// holding the `⌈q·n⌉`-th recorded value (exact when every recorded
+    /// value was a bucket boundary, within 3.1% otherwise), clamped to
+    /// the exact observed `min`/`max`.
+    pub fn value_at_quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        if rank >= n {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_low(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Shorthand percentiles used by the dashboards.
+    pub fn p50(&self) -> u64 {
+        self.value_at_quantile(0.50)
+    }
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.value_at_quantile(0.90)
+    }
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.value_at_quantile(0.99)
+    }
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.value_at_quantile(0.999)
+    }
+
+    /// Merge `other` into `self` (saturating bucket/sum adds). Merge is
+    /// commutative and associative, so per-shard snapshots can be
+    /// combined in any order.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, &b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a = a.saturating_add(b);
+        }
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_index_is_monotone_and_inverse_of_bounds() {
+        // Exhaustive over the linear region + boundaries of every range.
+        for v in 0..4096u64 {
+            let i = bucket_index(v);
+            assert!(bucket_low(i) <= v && v <= bucket_high(i), "v={v} i={i}");
+        }
+        for exp in SUB_BITS..64 {
+            for off in [0u64, 1, (1 << exp) / 64] {
+                let v = (1u64 << exp).saturating_add(off);
+                let i = bucket_index(v);
+                assert!(bucket_low(i) <= v && v <= bucket_high(i));
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_high(N_BUCKETS - 1), u64::MAX);
+        // Monotone: every bucket's low is above the previous bucket's high.
+        for i in 1..N_BUCKETS {
+            assert!(bucket_low(i) == bucket_high(i - 1) + 1, "i={i}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 32);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 31);
+        for v in 0..32usize {
+            assert_eq!(s.buckets[v], 1);
+        }
+    }
+
+    #[test]
+    fn known_distribution_percentiles_are_exact() {
+        // 1000 copies of 10, 100 of 100, 10 of 1000, 1 of 10000: all
+        // values lie on bucket boundaries or in exact buckets, so the
+        // quantiles are exact.
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(10);
+        }
+        for _ in 0..100 {
+            h.record(100);
+        }
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        h.record(10_000);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1111);
+        assert_eq!(s.p50(), 10);
+        assert_eq!(s.p90(), 10);
+        assert_eq!(s.p99(), bucket_low(bucket_index(100)));
+        assert_eq!(s.p999(), bucket_low(bucket_index(1000)));
+        assert_eq!(s.value_at_quantile(1.0), s.max);
+        assert_eq!(s.max, 10_000);
+    }
+
+    #[test]
+    fn uniform_distribution_quantile_error_is_bounded() {
+        let h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, want) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = s.value_at_quantile(q) as f64;
+            let err = (got - want).abs() / want;
+            assert!(err <= 1.0 / 32.0 + 1e-9, "q={q} got={got} err={err}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zeroes() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s, HistSnapshot::empty());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[1, 5, 900, u64::MAX]);
+        let b = mk(&[2, 2, 2, 1 << 40]);
+        let c = mk(&[7]);
+        // (a+b)+c == a+(b+c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // a+b == b+a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        // identity
+        let mut ae = a.clone();
+        ae.merge(&HistSnapshot::empty());
+        assert_eq!(ae, a);
+    }
+
+    #[test]
+    fn merge_saturates_at_u64_max() {
+        let mut a = HistSnapshot::empty();
+        a.buckets[0] = u64::MAX - 1;
+        a.sum = u64::MAX - 1;
+        let mut b = HistSnapshot::empty();
+        b.buckets[0] = 5;
+        b.sum = 5;
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.buckets[0], u64::MAX);
+        assert_eq!(ab.sum, u64::MAX);
+        assert_eq!(ab.count(), u64::MAX);
+        // Still associative at the saturation edge.
+        let c = b.clone();
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 1000 + (i % 97));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 40_000);
+        assert!(s.min <= 96);
+        assert!(s.max >= 3000);
+    }
+}

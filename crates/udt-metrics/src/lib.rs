@@ -7,8 +7,17 @@
 //!   per-interval throughput series, the common currency of all of them.
 //! * [`counters`] — lock-free per-stage fault counters used by the
 //!   `udt-chaos` impairment pipeline.
+//! * [`hist`] — lock-free log-linear (HDR-style) histograms for
+//!   latency/size distributions on the datapath.
+//! * [`registry`] — the hierarchical metric registry unifying counters,
+//!   gauges and histograms under the `udt_<subsystem>_<name>` namespace.
+//! * [`export`] — dependency-free OpenMetrics text rendering (and
+//!   parsing, for round-trip tests) plus JSONL sampling.
 
 pub mod counters;
+pub mod export;
+pub mod hist;
+pub mod registry;
 
 /// Jain's fairness index over per-flow throughputs:
 /// `J = (Σxᵢ)² / (n · Σxᵢ²)`. 1.0 is perfectly fair; `1/n` is a single

@@ -1,0 +1,202 @@
+//! Concurrency and property coverage for the metrics layer.
+//!
+//! * Registry hammering: N writer threads bump counters and record into
+//!   histograms while a reader thread snapshots continuously — counters
+//!   must be monotone across snapshots and every percentile read must be
+//!   a plausible (untorn) value inside the recorded range.
+//! * Property tests on the bucket math: index/bound inverses over the
+//!   whole `u64` range, quantile bounds, and merge associativity with
+//!   saturating (`u64::MAX`) edges.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use proptest::prelude::*;
+use udt_metrics::hist::{bucket_high, bucket_index, bucket_low, HistSnapshot, Histogram, N_BUCKETS};
+use udt_metrics::registry::{Registry, SampleValue};
+
+const WRITERS: usize = 4;
+const PER_WRITER: u64 = 50_000;
+
+#[test]
+fn registry_survives_concurrent_writers_and_snapshots() {
+    let reg = Arc::new(Registry::new());
+    let done = Arc::new(AtomicBool::new(false));
+
+    let mut writers = Vec::new();
+    for t in 0..WRITERS {
+        let reg = Arc::clone(&reg);
+        writers.push(thread::spawn(move || {
+            let label = t.to_string();
+            let ctr = reg
+                .counter("udt_test_ops", "ops per writer", &[("w", &label)])
+                .unwrap();
+            let hist = reg
+                .histogram("udt_test_lat_us", "synthetic latency", &[("w", &label)])
+                .unwrap();
+            let salt = t as u64;
+            for i in 0..PER_WRITER {
+                ctr.inc(1);
+                // Values confined to [1, 10_000] so torn percentiles are
+                // detectable as out-of-range reads.
+                hist.record(1 + (i * 37 + salt) % 10_000);
+            }
+        }));
+    }
+
+    // Reader: snapshot continuously until the writers finish, checking
+    // monotonicity and percentile sanity on every iteration.
+    let reader = {
+        let reg = Arc::clone(&reg);
+        let done = Arc::clone(&done);
+        thread::spawn(move || {
+            let mut last_counts = [0u64; WRITERS];
+            let mut iterations = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let snap = reg.snapshot();
+                for (t, last) in last_counts.iter_mut().enumerate() {
+                    let label = t.to_string();
+                    if let Some(SampleValue::Counter(v)) =
+                        snap.series("udt_test_ops", &[("w", &label)])
+                    {
+                        assert!(*v >= *last, "counter went backwards: {last} -> {v}");
+                        *last = *v;
+                    }
+                    if let Some(SampleValue::Hist(h)) =
+                        snap.series("udt_test_lat_us", &[("w", &label)])
+                    {
+                        if h.count() > 0 {
+                            for q in [0.5, 0.9, 0.99, 0.999] {
+                                let p = h.value_at_quantile(q);
+                                assert!(
+                                    (1..=10_000).contains(&p),
+                                    "torn percentile read: q={q} -> {p}"
+                                );
+                            }
+                            assert!(h.min >= 1 && h.max <= 10_000);
+                        }
+                    }
+                }
+                iterations += 1;
+            }
+            iterations
+        })
+    };
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let iterations = reader.join().unwrap();
+    assert!(iterations > 0, "reader never got to snapshot");
+
+    // Quiesced: totals are exact.
+    let snap = reg.snapshot();
+    for t in 0..WRITERS {
+        let label = t.to_string();
+        assert_eq!(
+            snap.series("udt_test_ops", &[("w", &label)]),
+            Some(&SampleValue::Counter(PER_WRITER))
+        );
+        match snap.series("udt_test_lat_us", &[("w", &label)]) {
+            Some(SampleValue::Hist(h)) => assert_eq!(h.count(), PER_WRITER),
+            other => panic!("missing histogram: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn merged_shard_snapshots_equal_single_histogram() {
+    // Record the same stream into one shared histogram and into
+    // per-thread shards; the merged shard snapshots must be identical.
+    let shared = Arc::new(Histogram::new());
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let shared = Arc::clone(&shared);
+        handles.push(thread::spawn(move || {
+            let local = Histogram::new();
+            for i in 0..20_000u64 {
+                let v = (i * 131 + t * 7) % 1_000_000;
+                shared.record(v);
+                local.record(v);
+            }
+            local.snapshot()
+        }));
+    }
+    let mut merged = HistSnapshot::empty();
+    for h in handles {
+        merged.merge(&h.join().unwrap());
+    }
+    assert_eq!(merged, shared.snapshot());
+}
+
+fn hist_values() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..1024,
+            any::<u64>(),
+            Just(u64::MAX),
+            Just(u64::MAX - 1),
+            Just(0u64),
+        ],
+        0..64,
+    )
+}
+
+fn snap_of(vals: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #[test]
+    fn bucket_bounds_are_an_exact_cover(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        prop_assert!(bucket_low(i) <= v);
+        prop_assert!(v <= bucket_high(i));
+        // Adjacent values never skip backwards a bucket.
+        if v > 0 {
+            prop_assert!(bucket_index(v - 1) <= i);
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bounded_by_min_max(vals in hist_values()) {
+        let s = snap_of(&vals);
+        prop_assert_eq!(s.count(), vals.len() as u64);
+        if !vals.is_empty() {
+            for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let p = s.value_at_quantile(q);
+                prop_assert!(p >= s.min && p <= s.max, "q={} p={}", q, p);
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_under_saturation(
+        a in hist_values(),
+        b in hist_values(),
+        c in hist_values(),
+        spike in any::<u64>(),
+    ) {
+        let (sa, sb, sc) = (snap_of(&a), snap_of(&b), snap_of(&c));
+        // Saturation edge: one operand carries a near-MAX bucket count.
+        let mut sa = sa;
+        sa.buckets[bucket_index(spike)] = u64::MAX - 3;
+        sa.sum = u64::MAX - 3;
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+}

@@ -12,6 +12,9 @@
 //!   udtmon <trace.jsonl>              live: re-reads appended lines, redraws
 //!   udtmon --once <trace.jsonl>       render the current file once and exit
 //!   udtmon --interval 500 <trace.jsonl>   redraw period in ms (default 1000)
+//!   udtmon --metrics 127.0.0.1:9151 <trace.jsonl>   also scrape the udt-obs
+//!       endpoint each pass and render per-connection latency/batch
+//!       percentile rows (RTT p50/p99/p999, batch-size p50/p99)
 //!
 //! Lines that fail the shared schema parser are counted, not fatal —
 //! a live writer may be mid-line at read time.
@@ -26,8 +29,51 @@ use std::io::{BufRead, BufReader, Seek, SeekFrom};
 use std::path::PathBuf;
 use std::time::Duration;
 
+use udt_metrics::registry::SampleValue;
 use udt_trace::event::{EventKind, TraceEvent};
 use udt_trace::json;
+
+/// Per-connection percentile row scraped from the udt-obs endpoint.
+#[derive(Default, Clone)]
+struct PctRow {
+    rtt: Option<(u64, u64, u64, u64)>,   // count, p50, p99, p999 (µs)
+    batch: Option<(u64, u64, u64)>,      // count, p50, p99 (pkts)
+}
+
+/// Scrape `addr` and fold the per-conn histograms into percentile rows.
+fn scrape_percentiles(addr: std::net::SocketAddr) -> BTreeMap<u32, PctRow> {
+    let mut rows: BTreeMap<u32, PctRow> = BTreeMap::new();
+    let Ok(snap) = udt::obs::scrape_snapshot(addr) else {
+        return rows;
+    };
+    for (family, is_rtt) in [
+        ("udt_conn_rtt_us", true),
+        ("udt_conn_rcv_batch_pkts", false),
+    ] {
+        let Some(fam) = snap.family(family) else { continue };
+        for s in &fam.series {
+            let Some(conn) = s
+                .labels
+                .iter()
+                .find(|(k, _)| k == "conn")
+                .and_then(|(_, v)| v.parse::<u32>().ok())
+            else {
+                continue;
+            };
+            let SampleValue::Hist(h) = &s.value else { continue };
+            if h.count() == 0 {
+                continue;
+            }
+            let row = rows.entry(conn).or_default();
+            if is_rtt {
+                row.rtt = Some((h.count(), h.p50(), h.p99(), h.p999()));
+            } else {
+                row.batch = Some((h.count(), h.p50(), h.p99()));
+            }
+        }
+    }
+    rows
+}
 
 /// One bonded path's slice of a connection timeline.
 #[derive(Default)]
@@ -166,14 +212,17 @@ impl Monitor {
         }
     }
 
-    fn render(&self, path: &std::path::Path) -> String {
+    fn render(&self, path: Option<&std::path::Path>, pct: &BTreeMap<u32, PctRow>) -> String {
         let mut s = String::new();
-        s.push_str(&format!(
-            "udtmon — {} ({} events, {} unparsed)\n",
-            path.display(),
-            self.parsed,
-            self.bad_lines
-        ));
+        match path {
+            Some(p) => s.push_str(&format!(
+                "udtmon — {} ({} events, {} unparsed)\n",
+                p.display(),
+                self.parsed,
+                self.bad_lines
+            )),
+            None => s.push_str("udtmon — metrics scrape only (no trace file)\n"),
+        }
         s.push_str(
             "conn      events     sent(retx)     recvd   acks   naks  drops  chaos  exp  \
              rtt(ms)  rate(pkt/s)   cwnd  bw(pkt/s)  state      last(s)\n",
@@ -216,6 +265,9 @@ impl Monitor {
                     a.batch_pkts as f64 / a.batches as f64, // udt-lint: allow(as-cast) — display maths
                 ));
             }
+            if let Some(row) = pct.get(conn) {
+                s.push_str(&render_pct_row(row));
+            }
             for (pid, p) in &a.paths {
                 s.push_str(&format!(
                     "  └ path {pid:<3} sent {:>7} ({:>8.2} MB)  recvd {:>7} ({:>8.2} MB)  \
@@ -237,12 +289,43 @@ impl Monitor {
                 ));
             }
         }
+        // Connections visible only through the scrape endpoint (e.g. a
+        // metrics-enabled process that is not writing this trace file).
+        for (conn, row) in pct {
+            if !self.conns.contains_key(conn) {
+                s.push_str(&format!("{conn:<8x} (metrics only)\n"));
+                s.push_str(&render_pct_row(row));
+            }
+        }
         s
     }
 }
 
+/// The `└ pct:` sub-row shared by traced and metrics-only connections.
+fn render_pct_row(row: &PctRow) -> String {
+    let rtt = row.rtt.map_or_else(
+        || "rtt -".to_string(),
+        |(n, p50, p99, p999)| {
+            format!(
+                "rtt p50 {:.2}ms p99 {:.2}ms p999 {:.2}ms (n={n})",
+                p50 as f64 / 1e3,  // udt-lint: allow(as-cast) — display maths
+                p99 as f64 / 1e3,  // udt-lint: allow(as-cast) — display maths
+                p999 as f64 / 1e3, // udt-lint: allow(as-cast) — display maths
+            )
+        },
+    );
+    let batch = row.batch.map_or_else(
+        || "batch -".to_string(),
+        |(n, p50, p99)| format!("batch p50 {p50} p99 {p99} pkts (n={n})"),
+    );
+    format!("  └ pct: {rtt}  {batch}\n")
+}
+
 fn usage() -> ! {
-    eprintln!("usage: udtmon [--once] [--interval <ms>] <trace.jsonl>");
+    eprintln!(
+        "usage: udtmon [--once] [--interval <ms>] [--metrics <host:port>] [<trace.jsonl>]\n\
+         a trace file, --metrics, or both must be given"
+    );
     std::process::exit(2);
 }
 
@@ -251,6 +334,7 @@ fn main() {
     let mut once = false;
     let mut interval = Duration::from_millis(1000);
     let mut path: Option<PathBuf> = None;
+    let mut metrics: Option<std::net::SocketAddr> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -261,61 +345,74 @@ fn main() {
                 };
                 interval = Duration::from_millis(ms.max(50));
             }
+            "--metrics" => {
+                let Some(addr) = it.next().and_then(|v| v.parse().ok()) else {
+                    usage();
+                };
+                metrics = Some(addr);
+            }
             "--help" | "-h" => usage(),
             _ if path.is_none() => path = Some(PathBuf::from(a)),
             _ => usage(),
         }
     }
-    let Some(path) = path else { usage() };
+    if path.is_none() && metrics.is_none() {
+        usage();
+    }
 
     let mut mon = Monitor::default();
     let mut offset: u64 = 0;
     loop {
         // Tail: only the bytes appended since the last pass are parsed.
-        match std::fs::File::open(&path) {
-            Ok(mut f) => {
-                let len = f.metadata().map(|m| m.len()).unwrap_or(0);
-                if len < offset {
-                    // Truncated/rotated: start over.
-                    mon = Monitor::default();
-                    offset = 0;
-                }
-                if f.seek(SeekFrom::Start(offset)).is_ok() {
-                    let mut reader = BufReader::new(&mut f);
-                    let mut line = String::new();
-                    loop {
-                        line.clear();
-                        match reader.read_line(&mut line) {
-                            Ok(0) | Err(_) => break,
-                            Ok(n) => {
-                                // Hold back a partial trailing line for the
-                                // next pass (a live writer may be mid-write).
-                                if !line.ends_with('\n') {
-                                    break;
+        // With --metrics alone there is no file to tail; the dashboard is
+        // built entirely from the scrape.
+        if let Some(path) = &path {
+            match std::fs::File::open(path) {
+                Ok(mut f) => {
+                    let len = f.metadata().map(|m| m.len()).unwrap_or(0);
+                    if len < offset {
+                        // Truncated/rotated: start over.
+                        mon = Monitor::default();
+                        offset = 0;
+                    }
+                    if f.seek(SeekFrom::Start(offset)).is_ok() {
+                        let mut reader = BufReader::new(&mut f);
+                        let mut line = String::new();
+                        loop {
+                            line.clear();
+                            match reader.read_line(&mut line) {
+                                Ok(0) | Err(_) => break,
+                                Ok(n) => {
+                                    // Hold back a partial trailing line for the
+                                    // next pass (a live writer may be mid-write).
+                                    if !line.ends_with('\n') {
+                                        break;
+                                    }
+                                    offset += n as u64;
+                                    mon.feed_line(&line);
                                 }
-                                offset += n as u64;
-                                mon.feed_line(&line);
                             }
                         }
                     }
                 }
-            }
-            Err(e) => {
-                if once {
-                    eprintln!("udtmon: {}: {e}", path.display());
-                    std::process::exit(1);
+                Err(e) => {
+                    if once {
+                        eprintln!("udtmon: {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
                 }
             }
         }
+        let pct = metrics.map(scrape_percentiles).unwrap_or_default();
         if once {
-            print!("{}", mon.render(&path));
-            if mon.parsed == 0 {
+            print!("{}", mon.render(path.as_deref(), &pct));
+            if mon.parsed == 0 && pct.is_empty() {
                 std::process::exit(1);
             }
             return;
         }
         // ANSI clear + home, then the table — a minimal live TUI.
-        print!("\x1b[2J\x1b[H{}", mon.render(&path));
+        print!("\x1b[2J\x1b[H{}", mon.render(path.as_deref(), &pct));
         use std::io::Write;
         let _ = std::io::stdout().flush();
         std::thread::sleep(interval);

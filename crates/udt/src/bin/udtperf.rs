@@ -47,7 +47,7 @@ use udt_trace::event::{EventKind, TraceEvent};
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  udtperf server <bind-addr> [--bonded N]\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS] [--path ADDR]...\n\n  --path ADDR  bond an additional path (repeatable); the blast is striped\n               across <server-addr> plus every --path\n  --bonded N   serve one bonded session of N paths, then exit\n  --auth-key H 32-hex-char pre-shared key; every packet carries a MAC tag\n               (implies --auth require unless --auth says otherwise)\n  --auth M     require | prefer | off — whether the peer must authenticate"
+        "usage:\n  udtperf server <bind-addr> [--bonded N]\n  udtperf client <server-addr> [--secs N] [--mss BYTES] [--buf PKTS]\n                [--trace PATH] [--interval MS] [--path ADDR]...\n\n  --path ADDR  bond an additional path (repeatable); the blast is striped\n               across <server-addr> plus every --path\n  --bonded N   serve one bonded session of N paths, then exit\n  --auth-key H 32-hex-char pre-shared key; every packet carries a MAC tag\n               (implies --auth require unless --auth says otherwise)\n  --auth M     require | prefer | off — whether the peer must authenticate\n  --metrics A  serve live OpenMetrics on A (e.g. 127.0.0.1:9151); scrape\n               with curl or `udtstat A`"
     );
     std::process::exit(2);
 }
@@ -124,9 +124,16 @@ fn parse_paths(args: &[String]) -> Vec<SocketAddr> {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (auth, auth_key) = parse_auth(&args);
+    let metrics_listen = parse_str_flag(&args, "--metrics").map(|raw| {
+        raw.parse().unwrap_or_else(|e| {
+            eprintln!("udtperf: bad --metrics address {raw:?}: {e}");
+            std::process::exit(2);
+        })
+    });
     let base_cfg = UdtConfig {
         auth,
         auth_key,
+        metrics_listen,
         ..UdtConfig::default()
     };
     match args.first().map(String::as_str) {

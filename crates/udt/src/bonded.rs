@@ -31,8 +31,36 @@ use crate::socket::UdtListener;
 /// How long the accept pump waits per poll before checking for shutdown.
 const ACCEPT_POLL: Duration = Duration::from_millis(100);
 
-/// A UDT connection carrying one path of a bonded session.
-pub struct UdtPathStream(pub UdtConnection);
+/// A UDT connection carrying one path of a bonded session. The second
+/// field is the optional `udt_path_rtt_us{path=…}` histogram, fed from
+/// the scheduler's periodic [`PathStream::estimate`] polls.
+pub struct UdtPathStream(
+    pub UdtConnection,
+    Option<std::sync::Arc<udt_metrics::hist::Histogram>>,
+);
+
+impl UdtPathStream {
+    /// Wrap a connection with no metrics attached (accept side, tests).
+    pub fn new(conn: UdtConnection) -> UdtPathStream {
+        UdtPathStream(conn, None)
+    }
+
+    /// Wrap a connection; when `cfg` carries a metrics hub the path's
+    /// RTT estimates are recorded under `udt_path_rtt_us{path="<id>"}`.
+    pub fn wrap(conn: UdtConnection, cfg: &UdtConfig, path: u32) -> UdtPathStream {
+        let hist = cfg.metrics.as_ref().and_then(|hub| {
+            let id = path.to_string();
+            hub.registry()
+                .histogram(
+                    "udt_path_rtt_us",
+                    "bonded-path RTT estimates, microseconds",
+                    &[("path", &id)],
+                )
+                .ok()
+        });
+        UdtPathStream(conn, hist)
+    }
+}
 
 impl PathStream for UdtPathStream {
     fn send(&self, buf: &[u8]) -> Result<(), StreamError> {
@@ -54,6 +82,13 @@ impl PathStream for UdtPathStream {
     fn estimate(&self) -> PathEstimate {
         let p = self.0.perfmon();
         let sent = p.pkts_sent.max(1);
+        if let Some(h) = &self.1 {
+            if p.rtt_us > 0.0 {
+                // udt-lint: allow(as-cast) — positive µs magnitude
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                h.record(p.rtt_us as u64);
+            }
+        }
         PathEstimate {
             bw_pps: p.bandwidth_est_pps,
             rtt_us: p.rtt_us,
@@ -92,7 +127,7 @@ impl PathConnector for UdtPathConnector {
         let addr = self.addrs[path.0 as usize % self.addrs.len()];
         let conn = UdtConnection::connect(addr, self.cfg.clone())
             .map_err(|e| StreamError::new(format!("{addr}: {e}")))?;
-        Ok(Box::new(UdtPathStream(conn)))
+        Ok(Box::new(UdtPathStream::wrap(conn, &self.cfg, path.0)))
     }
 }
 
@@ -123,7 +158,9 @@ pub fn bonded_accept(
     mp: BondedCfg,
 ) -> BondedReceiver {
     let accept: AcceptFn = Box::new(move || match listener.accept_timeout(ACCEPT_POLL) {
-        Ok(Some(c)) => Ok(Some(Box::new(UdtPathStream(c)) as Box<dyn PathStream>)),
+        // Accept side: no per-path histogram (the listener has no stable
+        // path identity to label by; the sender side records RTT).
+        Ok(Some(c)) => Ok(Some(Box::new(UdtPathStream::new(c)) as Box<dyn PathStream>)),
         Ok(None) => Ok(None),
         Err(e) => Err(StreamError::new(e.to_string())),
     });

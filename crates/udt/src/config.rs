@@ -133,6 +133,27 @@ pub struct UdtConfig {
     /// conditions batching is for. Best-effort: the kernel silently caps
     /// at `net.core.rmem_max`.
     pub udp_rcvbuf_bytes: u32,
+    /// Observability hub: every endpoint created from this config
+    /// registers its counters/histograms into the hub's
+    /// [`crate::obs::MetricsHub`] registry. `None` (the default) disables
+    /// all metric recording — every emit site is then a single
+    /// `Option` branch. Left `None` with `metrics_listen` set, a hub is
+    /// created on demand at bind/connect.
+    pub metrics: Option<std::sync::Arc<crate::obs::MetricsHub>>,
+    /// Plaintext HTTP scrape endpoint serving `GET /metrics` in
+    /// OpenMetrics text. Off by default. The endpoint is unauthenticated
+    /// cleartext — bind it to localhost (`127.0.0.1:9151`) unless the
+    /// network is trusted; see the "Metrics & export" section of
+    /// DESIGN.md.
+    pub metrics_listen: Option<std::net::SocketAddr>,
+    /// Continuous-profiler and JSONL sampling interval: how often the
+    /// observability thread snapshots per-thread CPU, per-connection
+    /// Table-3 category shares, and (when `metrics_jsonl` is set)
+    /// appends a registry sample.
+    pub metrics_interval: Duration,
+    /// When set, the observability thread appends one JSONL registry
+    /// sample to this file every `metrics_interval`.
+    pub metrics_jsonl: Option<PathBuf>,
 }
 
 /// Reconnect/backoff policy for resilient sessions: exponential backoff
@@ -215,6 +236,10 @@ impl Default for UdtConfig {
             buf_pool_pkts: 256,
             udp_sndbuf_bytes: 65_536,
             udp_rcvbuf_bytes: 10_000_000,
+            metrics: None,
+            metrics_listen: None,
+            metrics_interval: Duration::from_secs(1),
+            metrics_jsonl: None,
         }
     }
 }
@@ -249,6 +274,11 @@ mod tests {
         // send, ~10 MB receive).
         assert_eq!(c.udp_sndbuf_bytes, 65_536);
         assert_eq!(c.udp_rcvbuf_bytes, 10_000_000);
+        // Observability is strictly opt-in.
+        assert!(c.metrics.is_none());
+        assert!(c.metrics_listen.is_none());
+        assert!(c.metrics_jsonl.is_none());
+        assert_eq!(c.metrics_interval, Duration::from_secs(1));
     }
 
     #[test]

@@ -294,9 +294,12 @@ pub(crate) struct Shared {
     pub rcv: Mutex<RcvCtl>,
     pub rcv_cv: Condvar,
     state: AtomicU8,
-    pub stats: ConnStats,
+    pub stats: Arc<ConnStats>,
     pub meta: SessionMeta,
     pub instr: Arc<Instrument>,
+    /// Per-connection histograms, present only when the config carries a
+    /// [`crate::obs::MetricsHub`]; every emit site is one branch.
+    pub obs: Option<crate::obs::ConnObs>,
     /// EWMA of the wall-clock cost of one UDP send, nanoseconds (§4.4).
     pub send_cost_ns: AtomicU64,
     /// Authenticated-profile context, when the handshake negotiated one:
@@ -406,6 +409,7 @@ impl UdtConnection {
         let payload = cfg.payload_size();
         let loss_cap = (cfg.rcv_buf_pkts.max(cfg.snd_buf_pkts) as usize * 2).max(1024);
         mux.set_tracer(&cfg.tracer);
+        let obs = cfg.metrics.as_ref().map(|h| h.conn_obs(local_id));
         let sh = Arc::new(Shared {
             snd: Mutex::new(SndCtl {
                 buffer: SndBuffer::new(cfg.snd_buf_pkts as usize, payload),
@@ -441,9 +445,10 @@ impl UdtConnection {
             }),
             rcv_cv: Condvar::new(),
             state: AtomicU8::new(State::Connected as u8),
-            stats: ConnStats::default(),
+            stats: Arc::new(ConnStats::default()),
             meta,
             instr: Instrument::new(),
+            obs,
             send_cost_ns: AtomicU64::new(0),
             auth,
             clock: EpochClock::start(),
@@ -453,6 +458,15 @@ impl UdtConnection {
             peer_addr,
             mux,
         });
+        if let Some(hub) = sh.cfg.metrics.as_ref() {
+            hub.register_conn(
+                sh.local_id,
+                &sh.stats,
+                &sh.instr,
+                &sh.cfg.tracer,
+                sh.auth.as_ref().map(|a| Arc::clone(&a.counters)),
+            );
+        }
         // udt-lint: allow(hot-alloc) — one-time connection setup
         let mut threads = Vec::new();
         let bail = |sh: &Arc<Shared>, e: std::io::Error| {
@@ -595,6 +609,16 @@ impl UdtConnection {
             };
             if n > 0 {
                 ConnStats::inc(&sh.stats.bytes_delivered, n as u64);
+                if let Some(o) = &sh.obs {
+                    // ACK-to-delivery latency: the periodic ACK stamped
+                    // `last_ack_time` when it advanced the frontier the
+                    // application just drained.
+                    if r.last_ack_time > Nanos::ZERO {
+                        let now = sh.clock.now();
+                        o.ack_delivery_us
+                            .record(now.since(r.last_ack_time).as_micros());
+                    }
+                }
                 return Ok(n);
             }
             if r.eof {
@@ -953,6 +977,12 @@ pub(crate) fn receiver_loop(sh: Arc<Shared>, rx: Receiver<MuxBatch>) {
                 sh.trace(EventKind::BatchRecv {
                     pkts: batch.len() as u32,
                 });
+                if let Some(o) = &sh.obs {
+                    o.rcv_batch_pkts.record(batch.len() as u64);
+                    // Depth still queued behind this batch: backlog the
+                    // receiver thread has yet to drain.
+                    o.queue_depth_pkts.record(rx.len() as u64);
+                }
                 for (pkt, _from) in batch {
                     process_packet(&sh, pkt, &mut ctrl_out);
                 }
@@ -1027,6 +1057,9 @@ fn process_packet(sh: &Shared, pkt: Packet, out: &mut Vec<ControlBody>) {
                     if let Some((sample, acked)) = r.ackw.acknowledge(ack_seq, now) {
                         let _m = sh.instr.scope(Category::Measurement);
                         r.rtt.update(sample);
+                        if let Some(o) = &sh.obs {
+                            o.rtt_us.record(sample.as_micros());
+                        }
                         sh.trace(EventKind::RttUpdate {
                             rtt_us: r.rtt.rtt_us() as u32, // udt-lint: allow(as-cast) — fits 32-bit µs
                             var_us: r.rtt.rtt_var_us() as u32,
@@ -1165,6 +1198,11 @@ fn handle_ack(sh: &Shared, ack_seq: u32, data: AckData, now: Nanos, out: &mut Ve
         }
         if let (Some(rtt), Some(var)) = (data.rtt_us, data.rtt_var_us) {
             s.rtt.absorb_peer(rtt, var);
+            if let Some(o) = &sh.obs {
+                if rtt > 0 {
+                    o.rtt_us.record(u64::from(rtt));
+                }
+            }
             sh.trace(EventKind::RttUpdate {
                 rtt_us: s.rtt.rtt_us() as u32, // udt-lint: allow(as-cast) — fits 32-bit µs
                 var_us: s.rtt.rtt_var_us() as u32,

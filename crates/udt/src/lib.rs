@@ -63,6 +63,7 @@ pub mod file;
 pub mod instrument;
 pub(crate) mod mmsg;
 pub(crate) mod mux;
+pub mod obs;
 pub mod perfmon;
 pub(crate) mod pool;
 pub mod resilience;
@@ -76,6 +77,7 @@ pub use config::{CcChoice, RetryPolicy, UdtConfig};
 pub use conn::UdtConnection;
 pub use error::UdtError;
 pub use instrument::{Category, Instrument};
+pub use obs::MetricsHub;
 pub use perfmon::{throughput_between, PerfSnapshot};
 pub use resilience::{serve_download, ResilientSession, ResumableFileSink, SessionTable};
 pub use socket::UdtListener;

@@ -77,8 +77,17 @@ pub(crate) struct Mux {
     pool: BufPool,
     /// Batch-size and pool hit/miss accounting, shared with the pool.
     counters: Arc<BatchCounters>,
+    /// Batch-size histograms, present only when the config carries a
+    /// [`crate::obs::MetricsHub`].
+    obs: Option<MuxObs>,
     /// Max datagrams drained per demux wakeup (`rcv_batch_pkts`).
     rcv_batch: usize,
+}
+
+/// Per-mux histogram set (labelled `mux="<local port>"`).
+struct MuxObs {
+    recv_batch: Arc<udt_metrics::hist::Histogram>,
+    send_batch: Arc<udt_metrics::hist::Histogram>,
 }
 
 /// Minimal raw-header peek: `(is_control, type_code, conn_id, seq)`
@@ -126,6 +135,35 @@ impl Mux {
             stride,
             Arc::clone(&counters),
         );
+        let obs = cfg.metrics.as_ref().map(|hub| {
+            let port = local_addr.port().to_string();
+            let labels = [("mux", port.as_str())];
+            let reg = hub.registry();
+            // Registration failures (e.g. a port reused within one hub)
+            // degrade observability, never the datapath.
+            let _ = reg.register_family(&labels, Arc::clone(&counters));
+            if let Ok(h) = reg.histogram(
+                "udt_mux_pool_sweep_ns",
+                "duration of buffer-pool reclaim sweeps, nanoseconds",
+                &labels,
+            ) {
+                pool.set_sweep_hist(h);
+            }
+            let hist = |name: &str, help: &str| {
+                reg.histogram(name, help, &labels)
+                    .unwrap_or_else(|_| Arc::new(udt_metrics::hist::Histogram::new()))
+            };
+            MuxObs {
+                recv_batch: hist(
+                    "udt_mux_recv_batch_pkts",
+                    "datagrams drained from the UDP socket per demux wakeup",
+                ),
+                send_batch: hist(
+                    "udt_mux_send_batch_pkts",
+                    "data packets coalesced per socket flush",
+                ),
+            }
+        });
         let mux = Arc::new(Mux {
             socket,
             local_addr,
@@ -138,6 +176,7 @@ impl Mux {
             io: BatchIo::detect(),
             pool,
             counters,
+            obs,
             rcv_batch: cfg.rcv_batch_pkts.max(1) as usize,
         });
         let weak = Arc::downgrade(&mux);
@@ -214,6 +253,9 @@ impl Mux {
     fn process_batch(&self, raw: &mut Vec<(BytesMut, SocketAddr)>) {
         self.counters.recv_batches(1);
         self.counters.recv_pkts(raw.len() as u64);
+        if let Some(o) = &self.obs {
+            o.recv_batch.record(raw.len() as u64);
+        }
         // Per-wakeup scratch, amortized over the whole batch. The inner
         // `MuxBatch` vectors transfer ownership through the channel, so
         // they cannot be reused — that is the one amortized allocation
@@ -399,6 +441,9 @@ impl Mux {
             };
             self.counters.send_batches(1);
             self.counters.send_pkts(1);
+            if let Some(o) = &self.obs {
+                o.send_batch.record(1);
+            }
             res.map(|_| t0.elapsed().as_nanos() as u64)
         })
     }
@@ -453,6 +498,9 @@ impl Mux {
             let sent = res?;
             self.counters.send_batches(1);
             self.counters.send_pkts(sent as u64);
+            if let Some(o) = &self.obs {
+                o.send_batch.record(sent as u64);
+            }
             Ok(t0.elapsed().as_nanos() as u64)
         })
     }

@@ -55,6 +55,9 @@ pub(crate) struct BufPool {
     retired: Mutex<VecDeque<Bytes>>,
     /// Shared hit/miss accounting (`pool_hits` / `pool_misses`).
     counters: Arc<BatchCounters>,
+    /// Sweep-duration histogram (`udt_mux_pool_sweep_ns`), attached once
+    /// at mux creation when a metrics hub is configured.
+    sweep_ns: std::sync::OnceLock<Arc<udt_metrics::hist::Histogram>>,
 }
 
 impl BufPool {
@@ -68,7 +71,13 @@ impl BufPool {
             free: Mutex::new(Vec::new()),
             retired: Mutex::new(VecDeque::new()),
             counters,
+            sweep_ns: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the sweep-duration histogram (first caller wins).
+    pub(crate) fn set_sweep_hist(&self, h: Arc<udt_metrics::hist::Histogram>) {
+        let _ = self.sweep_ns.set(h);
     }
 
     /// Datagram capacity every buffer handed out by this pool guarantees.
@@ -101,6 +110,7 @@ impl BufPool {
         // and only exists on the miss path.
         // udt-lint: allow(hot-alloc)
         let mut banked: Vec<BytesMut> = Vec::new();
+        let sweep_t0 = self.sweep_ns.get().map(|_| std::time::Instant::now());
         {
             let mut retired = self.retired.lock();
             for _ in 0..SWEEP_LIMIT {
@@ -123,6 +133,9 @@ impl BufPool {
                     Err(live) => retired.push_back(live),
                 }
             }
+        }
+        if let (Some(h), Some(t0)) = (self.sweep_ns.get(), sweep_t0) {
+            h.record_duration_ns(t0.elapsed());
         }
         if !banked.is_empty() {
             let mut free = self.free.lock();

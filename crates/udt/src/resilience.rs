@@ -194,11 +194,20 @@ impl ResilientSession {
     /// itself retried under `cfg.retry` when it fails transiently.
     pub fn connect(server: SocketAddr, cfg: UdtConfig) -> Result<ResilientSession> {
         let token = rand::thread_rng().gen_range(1..=u64::MAX);
+        let counters = Arc::new(SessionCounters::new());
+        if let Some(hub) = &cfg.metrics {
+            // Label by token (the session outlives any one connection id);
+            // a clash only degrades observability.
+            let tok = format!("{token:016x}");
+            let _ = hub
+                .registry()
+                .register_family(&[("session", tok.as_str())], Arc::clone(&counters));
+        }
         let mut sess = ResilientSession {
             server,
             cfg,
             token,
-            counters: Arc::new(SessionCounters::new()),
+            counters,
             conn: None,
         };
         match UdtConnection::connect_session(server, sess.cfg.clone(), token, 0) {

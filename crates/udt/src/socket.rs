@@ -164,7 +164,9 @@ impl UdtConnection {
         token: u64,
         resume_offset: u64,
     ) -> Result<UdtConnection> {
+        let mut cfg = cfg;
         check_auth_cfg(&cfg)?;
+        crate::obs::init(&mut cfg)?;
         let bind_addr: SocketAddr = if server.is_ipv4() {
             // udt-lint: allow(unwrap) — literal addresses always parse
             "0.0.0.0:0".parse().expect("addr")
@@ -479,7 +481,9 @@ impl UdtListener {
         cfg: UdtConfig,
         sessions: Arc<SessionTable>,
     ) -> Result<UdtListener> {
+        let mut cfg = cfg;
         check_auth_cfg(&cfg)?;
+        let hub = crate::obs::init(&mut cfg)?;
         let mux = Mux::bind(addr, &cfg)?;
         mux.set_tracer(&cfg.tracer);
         let hs_queue = mux.set_listener();
@@ -488,6 +492,15 @@ impl UdtListener {
         let draining = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ListenerCounters::new());
         let auth_counters = Arc::new(AuthCounters::new());
+        if let Some(hub) = hub {
+            let port = mux.local_addr().port().to_string();
+            let labels = [("listener", port.as_str())];
+            // Fail-soft: a clash only degrades observability.
+            let _ = hub.registry().register_family(&labels, Arc::clone(&counters));
+            let _ = hub
+                .registry()
+                .register_family(&labels, Arc::clone(&auth_counters));
+        }
         let conn_table: ConnTable = Arc::new(Mutex::new(HashMap::new()));
         let service = {
             let mux = Arc::clone(&mux);

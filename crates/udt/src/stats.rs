@@ -50,6 +50,32 @@ impl ConnStats {
     }
 }
 
+/// Joins the registry namespace as `udt_conn_<field>{conn="…"}`.
+impl udt_metrics::counters::CounterFamily for ConnStats {
+    fn subsystem(&self) -> &'static str {
+        "conn"
+    }
+
+    fn samples(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("pkts_sent", ConnStats::get(&self.pkts_sent)),
+            ("pkts_retransmitted", ConnStats::get(&self.pkts_retransmitted)),
+            ("pkts_received", ConnStats::get(&self.pkts_received)),
+            ("pkts_duplicate", ConnStats::get(&self.pkts_duplicate)),
+            ("bytes_sent", ConnStats::get(&self.bytes_sent)),
+            ("bytes_delivered", ConnStats::get(&self.bytes_delivered)),
+            ("acks_sent", ConnStats::get(&self.acks_sent)),
+            ("acks_received", ConnStats::get(&self.acks_received)),
+            ("naks_sent", ConnStats::get(&self.naks_sent)),
+            ("naks_received", ConnStats::get(&self.naks_received)),
+            ("loss_events", ConnStats::get(&self.loss_events)),
+            ("pkts_lost", ConnStats::get(&self.pkts_lost)),
+            ("exp_timeouts", ConnStats::get(&self.exp_timeouts)),
+            ("pkts_rejected", ConnStats::get(&self.pkts_rejected)),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -415,7 +415,7 @@ impl PathConnector for WrapConnector {
         let cfg = self.cfgs[path.0 as usize % self.cfgs.len()].clone();
         let conn = UdtConnection::connect(self.addr, cfg)
             .map_err(|e| StreamError::new(format!("{path}: {e}")))?;
-        Ok(Box::new(UdtPathStream(conn)))
+        Ok(Box::new(UdtPathStream::new(conn)))
     }
 }
 
